@@ -1,0 +1,352 @@
+(* Benchmark harness: regenerates every figure of the paper's Section 5
+   evaluation on the simulated WAN, plus Bechamel micro-benchmarks and the
+   ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe            -- everything (quick settings)
+     dune exec bench/main.exe fig9a      -- one figure
+     dune exec bench/main.exe all full   -- longer runs / wider sweeps
+
+   Absolute numbers are simulator-scale; EXPERIMENTS.md records the
+   paper-vs-measured comparison of the *shapes*. *)
+
+module Sim = Raftpax_sim
+module Stats = Sim.Stats
+module Topology = Sim.Topology
+open Raftpax_kvstore
+module H = Harness
+module W = Workload
+
+let quick = ref true
+
+let duration () = if !quick then 6 else 30
+let trim () = if !quick then 1 else 3
+
+let run_cfg ?leader_site ?(clients = 50) ?(read_fraction = 0.9)
+    ?(conflict_rate = 0.05) ?(value_size = 8) proto =
+  H.config ?leader_site ~duration_s:(duration ()) ~warmup_s:(trim ())
+    ~cooldown_s:(trim ()) proto
+    {
+      W.read_fraction;
+      conflict_rate;
+      value_size;
+      records = 100_000;
+      clients_per_region = clients;
+    }
+
+let pp_ms ppf us = Fmt.pf ppf "%7.1f" (float_of_int us /. 1000.0)
+
+let pp_lat_row name stats =
+  Fmt.pr "  %-14s p50=%ams p90=%ams p99=%ams (n=%d)@." name pp_ms
+    (Stats.percentile_us stats 0.50)
+    pp_ms
+    (Stats.percentile_us stats 0.90)
+    pp_ms
+    (Stats.percentile_us stats 0.99)
+    (Stats.count stats)
+
+let fig9_systems = [ H.Raft_pql; H.Raft_ll; H.Raft; H.Raft_star ]
+
+(* ---- Figure 9a/9b: read and write latency, leader vs followers ---- *)
+
+let fig9_latency ~which () =
+  Fmt.pr "== Figure 9%s: %s latency (90%% read, 5%% conflict, 50 clients/region) ==@."
+    (if which = `Read then "a" else "b")
+    (if which = `Read then "read" else "write");
+  List.iter
+    (fun proto ->
+      let r = H.run (run_cfg proto) in
+      let leader, follower =
+        match which with
+        | `Read -> (r.H.read_leader, r.H.read_follower)
+        | `Write -> (r.H.write_leader, r.H.write_follower)
+      in
+      Fmt.pr "%s@." (H.protocol_name proto);
+      pp_lat_row "leader" leader;
+      pp_lat_row "followers" follower;
+      assert (r.H.consistency_violations = 0))
+    fig9_systems
+
+(* ---- Figure 9c: peak throughput vs read percentage ---- *)
+
+let fig9c () =
+  Fmt.pr "== Figure 9c: peak throughput (ops/s) vs read percentage ==@.";
+  let client_sweep = if !quick then [ 100; 400 ] else [ 100; 400; 1200; 3000 ] in
+  Fmt.pr "%-14s %10s %10s %10s@." "system" "50%" "90%" "99%";
+  let raft_star_90 = ref 0.0 and pql_90 = ref 0.0 in
+  List.iter
+    (fun proto ->
+      let peak read_fraction =
+        H.peak_throughput ~clients:client_sweep
+          (run_cfg ~read_fraction ~conflict_rate:0.05 proto)
+      in
+      let p50 = peak 0.50 and p90 = peak 0.90 and p99 = peak 0.99 in
+      if proto = H.Raft_star then raft_star_90 := p90;
+      if proto = H.Raft_pql then pql_90 := p90;
+      Fmt.pr "%-14s %10.0f %10.0f %10.0f@." (H.protocol_name proto) p50 p90 p99)
+    fig9_systems;
+  if !raft_star_90 > 0.0 then
+    Fmt.pr "PQL speedup over Raft* at 90%% reads: %.2fx (paper: 1.6x)@."
+      (!pql_90 /. !raft_star_90)
+
+(* ---- Figure 9d: PQL speedup over Raft* vs conflict rate ---- *)
+
+let fig9d () =
+  Fmt.pr "== Figure 9d: Raft*-PQL throughput speedup over Raft* vs conflict rate ==@.";
+  let clients = if !quick then 200 else 1200 in
+  List.iter
+    (fun conflict ->
+      let tput proto =
+        H.median_throughput ~trials:1
+          (run_cfg ~clients ~conflict_rate:conflict proto)
+      in
+      let pql = tput H.Raft_pql and star = tput H.Raft_star in
+      Fmt.pr "  conflict %3.0f%%: speedup %+.0f%%@." (conflict *. 100.0)
+        ((pql -. star) /. star *. 100.0))
+    [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5 ]
+
+(* ---- Figure 10: Mencius ---- *)
+
+type m_sys = {
+  name : string;
+  proto : H.protocol;
+  leader : Topology.site;
+  conflict : float;
+}
+
+let fig10_systems =
+  [
+    { name = "Raft*-M-100%"; proto = H.Mencius; leader = Topology.Oregon; conflict = 1.0 };
+    { name = "Raft*-M-0%"; proto = H.Mencius; leader = Topology.Oregon; conflict = 0.0 };
+    { name = "Raft-Oregon"; proto = H.Raft; leader = Topology.Oregon; conflict = 0.0 };
+    { name = "Raft*-Oregon"; proto = H.Raft_star; leader = Topology.Oregon; conflict = 0.0 };
+    { name = "Raft-Seoul"; proto = H.Raft; leader = Topology.Seoul; conflict = 0.0 };
+  ]
+
+let fig10_throughput ~value_size ~label () =
+  Fmt.pr "== Figure 10%s: throughput (ops/s) vs clients/region, %s values, 100%% writes ==@."
+    label
+    (if value_size = 8 then "8B" else "4KB");
+  let sweeps =
+    if value_size = 8 then
+      if !quick then [ 10; 50; 200; 600 ] else [ 10; 50; 200; 800; 2500 ]
+    else if !quick then [ 5; 20; 80; 200 ]
+    else [ 5; 20; 80; 250; 800 ]
+  in
+  Fmt.pr "%-14s" "system";
+  List.iter (fun c -> Fmt.pr " %8d" c) sweeps;
+  Fmt.pr "@.";
+  List.iter
+    (fun sys ->
+      Fmt.pr "%-14s" sys.name;
+      List.iter
+        (fun clients ->
+          let r =
+            H.run
+              (run_cfg ~leader_site:sys.leader ~clients ~read_fraction:0.0
+                 ~conflict_rate:sys.conflict ~value_size sys.proto)
+          in
+          Fmt.pr " %8.0f" r.H.throughput_ops)
+        sweeps;
+      Fmt.pr "@.")
+    fig10_systems
+
+let fig10_latency ~value_size ~label () =
+  Fmt.pr "== Figure 10%s: latency, %s values, 100%% writes, 50 clients/region ==@."
+    label
+    (if value_size = 8 then "8B" else "4KB");
+  List.iter
+    (fun sys ->
+      let r =
+        H.run
+          (run_cfg ~leader_site:sys.leader ~clients:50 ~read_fraction:0.0
+             ~conflict_rate:sys.conflict ~value_size sys.proto)
+      in
+      Fmt.pr "%s@." sys.name;
+      pp_lat_row "leader" r.H.write_leader;
+      pp_lat_row "followers" r.H.write_follower)
+    fig10_systems
+
+(* ---- network cost table (ours): egress distribution per protocol ---- *)
+
+let netcost () =
+  Fmt.pr "== Network cost (ours): egress MB per replica, 100%% writes, 8B, 50 clients/region ==@.";
+  Fmt.pr "%-14s %9s" "system" "msgs";
+  List.iter
+    (fun site -> Fmt.pr " %8s" (Topology.site_name site))
+    Topology.sites;
+  Fmt.pr "@.";
+  List.iter
+    (fun proto ->
+      let r = H.run (run_cfg ~read_fraction:0.0 ~conflict_rate:0.0 proto) in
+      Fmt.pr "%-14s %9d" (H.protocol_name proto) r.H.messages;
+      Array.iter
+        (fun bytes -> Fmt.pr " %8.1f" (float_of_int bytes /. 1_000_000.0))
+        r.H.bytes_by_node;
+      Fmt.pr "@.")
+    [ H.Raft; H.Raft_pql; H.Mencius; H.Multipaxos ];
+  Fmt.pr "   (single-leader systems concentrate egress at the leader;@.";
+  Fmt.pr "    Mencius spreads it across the five sites)@."
+
+(* ---- ablations (DESIGN.md) ---- *)
+
+let ablation_lease_duration () =
+  Fmt.pr "== Ablation: PQL lease duration: post-crash write stall ==@.";
+  Fmt.pr "   (paper parameters: 2s duration, 0.5s renewal; a crashed lease@.";
+  Fmt.pr "    holder blocks commits until its last lease expires)@.";
+  List.iter
+    (fun (duration_ms, renew_ms) ->
+      let params =
+        {
+          Raftpax_consensus.Types.default_params with
+          lease_duration_us = duration_ms * 1000;
+          lease_renew_us = renew_ms * 1000;
+        }
+      in
+      let engine = Sim.Engine.create ~seed:5L () in
+      let nodes =
+        List.mapi (fun i site -> { Sim.Net.id = i; site }) Topology.sites
+      in
+      let net = Sim.Net.create engine ~nodes in
+      let cfg = { (Raftpax_consensus.Raft.raft_pql ~leader:0 ()) with params } in
+      let t = Raftpax_consensus.Raft.create cfg net in
+      Raftpax_consensus.Raft.start t;
+      (* steady state, then crash Seoul (a lease holder) and immediately
+         issue a write: it stalls until Seoul's lease lapses *)
+      Raftpax_consensus.Raft.submit t ~node:0
+        (Raftpax_consensus.Types.Put { key = 1; size = 8; write_id = 1 })
+        (fun _ -> ());
+      Sim.Engine.run engine ~until:3_000_000;
+      Raftpax_consensus.Raft.crash t ~node:4;
+      let stall = ref 0 in
+      let t0 = Sim.Engine.now engine in
+      Raftpax_consensus.Raft.submit t ~node:0
+        (Raftpax_consensus.Types.Put { key = 1; size = 8; write_id = 2 })
+        (fun _ -> stall := Sim.Engine.now engine - t0);
+      Sim.Engine.run engine ~until:(3_000_000 + (duration_ms * 1000) + 5_000_000);
+      Fmt.pr "  lease %5dms renew %5dms: post-crash write stall %ams@."
+        duration_ms renew_ms pp_ms !stall)
+    [ (500, 125); (2000, 500); (8000, 2000) ]
+
+let ablation_pipeline_window () =
+  Fmt.pr "== Ablation: replication pipeline window (leader write latency) ==@.";
+  List.iter
+    (fun window ->
+      let params =
+        { Raftpax_consensus.Types.default_params with pipeline_window = window }
+      in
+      let engine = Sim.Engine.create ~seed:6L () in
+      let nodes =
+        List.mapi (fun i site -> { Sim.Net.id = i; site }) Topology.sites
+      in
+      let net = Sim.Net.create engine ~nodes in
+      let cfg = { (Raftpax_consensus.Raft.raft_star ~leader:0 ()) with params } in
+      let t = Raftpax_consensus.Raft.create cfg net in
+      Raftpax_consensus.Raft.start t;
+      let lat = Stats.create () in
+      let rec client i =
+        if Sim.Engine.now engine < 5_000_000 then begin
+          let t0 = Sim.Engine.now engine in
+          Raftpax_consensus.Raft.submit t ~node:0
+            (Raftpax_consensus.Types.Put { key = i; size = 8; write_id = i })
+            (fun _ ->
+              Stats.record lat
+                ~latency_us:(Sim.Engine.now engine - t0)
+                ~at_us:(Sim.Engine.now engine);
+              client (i + 1))
+        end
+      in
+      for _ = 1 to 10 do
+        client 1
+      done;
+      Sim.Engine.run engine ~until:5_000_000;
+      Fmt.pr "  window %2d: leader write p50 %ams p90 %ams@." window pp_ms
+        (Stats.percentile_us lat 0.50)
+        pp_ms
+        (Stats.percentile_us lat 0.90))
+    [ 1; 2; 8 ]
+
+(* ---- Bechamel micro-benchmarks ---- *)
+
+let micro () =
+  let open Bechamel in
+  let open Raftpax_core in
+  let cfg_tiny = Proto_config.tiny in
+  let mp = Spec_multipaxos.spec cfg_tiny in
+  let rs = Spec_raft_star.spec cfg_tiny in
+  let mp_init = List.hd mp.Spec.init in
+  let mapped = Spec_raft_star.to_paxos cfg_tiny (List.hd rs.Spec.init) in
+  let wl = W.create ~seed:3L ~regions:5 W.default in
+  let tests =
+    [
+      Test.make ~name:"spec/multipaxos-successors"
+        (Staged.stage (fun () -> ignore (Spec.successors mp mp_init)));
+      Test.make ~name:"spec/raft-star-mapping"
+        (Staged.stage (fun () ->
+             ignore (Spec_raft_star.to_paxos cfg_tiny (List.hd rs.Spec.init))));
+      Test.make ~name:"refinement/discharge-stutter"
+        (Staged.stage (fun () ->
+             ignore (Refinement.discharge ~high:mp ~max_hops:1 mapped mapped)));
+      Test.make ~name:"workload/next-op"
+        (Staged.stage (fun () -> ignore (W.next_op wl ~region:2)));
+      Test.make ~name:"sim/engine-event"
+        (Staged.stage (fun () ->
+             let e = Sim.Engine.create () in
+             Sim.Engine.schedule e ~delay:1 ignore;
+             Sim.Engine.run_all e));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()
+    in
+    let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Fmt.pr "  %-32s %12.1f ns/run@." name est
+        | _ -> Fmt.pr "  %-32s (no estimate)@." name)
+      results
+  in
+  Fmt.pr "== Micro-benchmarks (Bechamel, monotonic clock) ==@.";
+  List.iter benchmark tests
+
+(* ---- driver ---- *)
+
+let figures =
+  [
+    ("fig9a", fun () -> fig9_latency ~which:`Read ());
+    ("fig9b", fun () -> fig9_latency ~which:`Write ());
+    ("fig9c", fig9c);
+    ("fig9d", fig9d);
+    ("fig10a", fun () -> fig10_throughput ~value_size:8 ~label:"a" ());
+    ("fig10b", fun () -> fig10_throughput ~value_size:4096 ~label:"b" ());
+    ("fig10c", fun () -> fig10_latency ~value_size:8 ~label:"c" ());
+    ("fig10d", fun () -> fig10_latency ~value_size:4096 ~label:"d" ());
+    ("netcost", netcost);
+    ("ablation-lease", ablation_lease_duration);
+    ("ablation-pipeline", ablation_pipeline_window);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "full" args then quick := false;
+  let targets = List.filter (fun a -> a <> "full") args in
+  let targets = if targets = [] || targets = [ "all" ] then List.map fst figures else targets in
+  List.iter
+    (fun target ->
+      match List.assoc_opt target figures with
+      | Some f ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Fmt.pr "   [%s took %.1fs wall]@.@." target (Unix.gettimeofday () -. t0)
+      | None ->
+          Fmt.epr "unknown target %s; available: %a@." target
+            Fmt.(list ~sep:sp string)
+            (List.map fst figures @ [ "all"; "full" ]))
+    targets

@@ -1,0 +1,272 @@
+(* raftpax — command-line front end.
+
+   Subcommands:
+     check       model-check a spec's invariants
+     refine      check a refinement mapping
+     port        run the porting pipeline and its Figure-5 obligations
+     simulate    run a protocol under the YCSB-like workload
+     topology    print the WAN model *)
+
+open Cmdliner
+open Raftpax_core
+module Sim = Raftpax_sim
+module KV = Raftpax_kvstore
+
+(* ---- shared arguments ---- *)
+
+let cfg_of ~acceptors ~values ~ballots ~indexes =
+  {
+    Proto_config.acceptors;
+    values;
+    max_ballot = ballots;
+    max_index = indexes;
+  }
+
+let acceptors =
+  Arg.(value & opt int 3 & info [ "acceptors" ] ~doc:"Number of acceptors.")
+
+let values = Arg.(value & opt int 1 & info [ "values" ] ~doc:"Distinct values.")
+let ballots = Arg.(value & opt int 1 & info [ "ballots" ] ~doc:"Max ballot.")
+let indexes = Arg.(value & opt int 0 & info [ "indexes" ] ~doc:"Max log index.")
+
+let max_states =
+  Arg.(
+    value
+    & opt int 200_000
+    & info [ "max-states" ] ~doc:"Bound on explored states.")
+
+let spec_arg names =
+  Arg.(
+    required
+    & pos 0 (some (enum names)) None
+    & info [] ~docv:"SPEC" ~doc:"Which specification.")
+
+(* ---- check ---- *)
+
+let specs cfg =
+  [
+    ("multipaxos", (Spec_multipaxos.spec cfg, Spec_multipaxos.invariants cfg));
+    ("raft-star", (Spec_raft_star.spec cfg, Spec_raft_star.invariants cfg));
+    ("raft", (Spec_raft_vanilla.spec cfg, Spec_raft_vanilla.invariants cfg));
+    ( "pql",
+      ( Port.apply (Opt_pql.delta cfg) (Spec_multipaxos.spec cfg),
+        Opt_pql.invariants cfg @ Spec_multipaxos.invariants cfg ) );
+    ( "mencius",
+      ( Port.apply (Opt_mencius.delta cfg) (Spec_multipaxos.spec cfg),
+        Opt_mencius.invariants cfg @ Spec_multipaxos.invariants cfg ) );
+  ]
+
+let run_check which acceptors values ballots indexes max_states =
+  let cfg = cfg_of ~acceptors ~values ~ballots ~indexes in
+  let spec, invariants = List.assoc which (specs cfg) in
+  Fmt.pr "checking %s on %d acceptors, %d values, ballots<=%d, indexes<=%d@."
+    which acceptors values ballots indexes;
+  let r = Explorer.check ~max_states ~invariants spec in
+  Fmt.pr "%a@." Explorer.pp_result r;
+  match r with Explorer.Pass _ -> 0 | _ -> 1
+
+let check_cmd =
+  let which =
+    spec_arg
+      [
+        ("multipaxos", "multipaxos");
+        ("raft-star", "raft-star");
+        ("raft", "raft");
+        ("pql", "pql");
+        ("mencius", "mencius");
+      ]
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Model-check a protocol spec's invariants.")
+    Term.(
+      const run_check $ which $ acceptors $ values $ ballots $ indexes
+      $ max_states)
+
+(* ---- refine ---- *)
+
+let run_refine which acceptors values ballots indexes max_states =
+  let cfg = cfg_of ~acceptors ~values ~ballots ~indexes in
+  let low, high, map =
+    match which with
+    | `Raft_star_paxos ->
+        (Spec_raft_star.spec cfg, Spec_multipaxos.spec cfg, Spec_raft_star.to_paxos cfg)
+    | `Raft_paxos ->
+        ( Spec_raft_vanilla.spec cfg,
+          Spec_multipaxos.spec cfg,
+          Spec_raft_vanilla.to_paxos cfg )
+    | `Log_kv -> (Example_kv.log_store, Example_kv.kv_store, Example_kv.log_to_kv)
+  in
+  let r = Refinement.check ~max_states ~max_hops:4 ~low ~high ~map () in
+  Fmt.pr "%a@." Refinement.pp_result r;
+  match r with Refinement.Refines _ -> 0 | _ -> 1
+
+let refine_cmd =
+  let which =
+    spec_arg
+      [
+        ("raft-star=>paxos", `Raft_star_paxos);
+        ("raft=>paxos", `Raft_paxos);
+        ("log=>kv", `Log_kv);
+      ]
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:
+         "Check a refinement mapping (raft=>paxos is expected to fail — the \
+          paper's negative result; deepen bounds to find the erase \
+          counterexample).")
+    Term.(
+      const run_refine $ which $ acceptors $ values $ ballots $ indexes
+      $ max_states)
+
+(* ---- port ---- *)
+
+let raft_implies = function
+  | "IncreaseHighestBallot" -> [ "IncreaseHighestBallot" ]
+  | "Phase1a" -> [ "Phase1a" ]
+  | "Phase1b" -> [ "Phase1b" ]
+  | "BecomeLeader" -> [ "BecomeLeader" ]
+  | "ProposeEntries" -> [ "Propose" ]
+  | "AcceptEntries" -> [ "Accept" ]
+  | _ -> []
+
+let raft_label_map ~b_action ~a_action:_ label =
+  match b_action with
+  | "ProposeEntries" -> Label.keep [ "a"; "i"; "v" ] label
+  | _ -> label
+
+let run_port which acceptors values ballots indexes max_states =
+  let cfg = cfg_of ~acceptors ~values ~ballots ~indexes in
+  let delta =
+    match which with `Pql -> Opt_pql.delta cfg | `Mencius -> Opt_mencius.delta cfg
+  in
+  let mp = Spec_multipaxos.spec cfg in
+  let rs = Spec_raft_star.spec cfg in
+  Fmt.pr "delta:@.%a@.@." Delta.pp delta;
+  Fmt.pr "1. non-mutating classification:@.";
+  (match Port.check_non_mutating ~max_states ~base:mp ~delta () with
+  | Refinement.Refines r -> Fmt.pr "   ok (%d states)@." r.checked_states
+  | Refinement.Fails (f, _) -> Fmt.pr "   FAILS at %s@." f.b_action);
+  Fmt.pr "2. porting to Raft* and checking the Figure-5 obligations:@.";
+  let r1, r2 =
+    Port.check_ported ~max_states ~max_hops:4 ~low:rs ~high:mp ~delta
+      ~map:(Spec_raft_star.to_paxos cfg) ~implies:raft_implies
+      ~label_map:raft_label_map ()
+  in
+  let show name = function
+    | Refinement.Refines r -> Fmt.pr "   %s: ok (%d states)@." name r.checked_states
+    | Refinement.Fails (f, _) -> Fmt.pr "   %s: FAILS at %s(%s)@." name f.b_action f.b_label
+  in
+  show "B^D => A^D" r1;
+  show "B^D => B  " r2;
+  match (r1, r2) with Refinement.Refines _, Refinement.Refines _ -> 0 | _ -> 1
+
+let port_cmd =
+  let which = spec_arg [ ("pql", `Pql); ("mencius", `Mencius) ] in
+  Cmd.v
+    (Cmd.info "port" ~doc:"Port an optimization from MultiPaxos to Raft*.")
+    Term.(
+      const run_port $ which $ acceptors $ values $ ballots $ indexes
+      $ max_states)
+
+(* ---- simulate ---- *)
+
+let run_simulate proto duration clients read_pct conflict_pct size leader_site =
+  let workload =
+    {
+      KV.Workload.read_fraction = float_of_int read_pct /. 100.0;
+      conflict_rate = float_of_int conflict_pct /. 100.0;
+      value_size = size;
+      records = 100_000;
+      clients_per_region = clients;
+    }
+  in
+  let leader_site =
+    List.find
+      (fun s -> String.lowercase_ascii (Sim.Topology.site_name s) = leader_site)
+      Sim.Topology.sites
+  in
+  let cfg =
+    KV.Harness.config ~leader_site ~duration_s:duration proto workload
+  in
+  let r = KV.Harness.run cfg in
+  Fmt.pr "%s: %.0f ops/s@." (KV.Harness.protocol_name proto) r.KV.Harness.throughput_ops;
+  Fmt.pr "  reads  (leader region):    %a@." Sim.Stats.pp_summary r.KV.Harness.read_leader;
+  Fmt.pr "  reads  (follower regions): %a@." Sim.Stats.pp_summary r.KV.Harness.read_follower;
+  Fmt.pr "  writes (leader region):    %a@." Sim.Stats.pp_summary r.KV.Harness.write_leader;
+  Fmt.pr "  writes (follower regions): %a@." Sim.Stats.pp_summary r.KV.Harness.write_follower;
+  Fmt.pr "  retries: %d, consistency violations: %d@." r.KV.Harness.retries
+    r.KV.Harness.consistency_violations;
+  if r.KV.Harness.consistency_violations = 0 then 0 else 1
+
+let simulate_cmd =
+  let proto =
+    spec_arg
+      [
+        ("raft", KV.Harness.Raft);
+        ("raft-star", KV.Harness.Raft_star);
+        ("raft-ll", KV.Harness.Raft_ll);
+        ("raft-pql", KV.Harness.Raft_pql);
+        ("mencius", KV.Harness.Mencius);
+        ("multipaxos", KV.Harness.Multipaxos);
+      ]
+  in
+  let duration =
+    Arg.(value & opt int 10 & info [ "duration" ] ~doc:"Seconds of simulated time.")
+  in
+  let clients =
+    Arg.(value & opt int 50 & info [ "clients" ] ~doc:"Clients per region.")
+  in
+  let read_pct = Arg.(value & opt int 90 & info [ "reads" ] ~doc:"Read percentage.") in
+  let conflict_pct =
+    Arg.(value & opt int 5 & info [ "conflict" ] ~doc:"Conflict percentage.")
+  in
+  let size = Arg.(value & opt int 8 & info [ "size" ] ~doc:"Value bytes.") in
+  let leader =
+    Arg.(value & opt string "oregon" & info [ "leader" ] ~doc:"Leader site.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a protocol on the simulated WAN.")
+    Term.(
+      const run_simulate $ proto $ duration $ clients $ read_pct $ conflict_pct
+      $ size $ leader)
+
+(* ---- topology ---- *)
+
+let run_topology () =
+  Fmt.pr "%-9s" "";
+  List.iter (fun s -> Fmt.pr "%9s" (Sim.Topology.site_name s)) Sim.Topology.sites;
+  Fmt.pr "@.";
+  List.iter
+    (fun a ->
+      Fmt.pr "%-9s" (Sim.Topology.site_name a);
+      List.iter (fun b -> Fmt.pr "%9d" (Sim.Topology.rtt_ms a b)) Sim.Topology.sites;
+      Fmt.pr "@.")
+    Sim.Topology.sites;
+  Fmt.pr "RTT in ms; bandwidth per site: ";
+  List.iter
+    (fun s ->
+      Fmt.pr "%s=%dMB/s "
+        (Sim.Topology.site_name s)
+        (Sim.Topology.bandwidth_bytes_per_sec s / 1_000_000))
+    Sim.Topology.sites;
+  Fmt.pr "@.";
+  0
+
+let topology_cmd =
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Print the WAN model.")
+    Term.(const run_topology $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "raftpax" ~version:"1.0.0"
+      ~doc:
+        "Paxos/Raft refinement mapping, automatic optimization porting, and \
+         the paper's geo-replication evaluation."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ check_cmd; refine_cmd; port_cmd; simulate_cmd; topology_cmd ]))

@@ -1,0 +1,1 @@
+examples/geo_replication.ml: Fmt Harness Raftpax_kvstore Raftpax_sim Workload

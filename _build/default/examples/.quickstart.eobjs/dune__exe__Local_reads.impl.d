@@ -1,0 +1,1 @@
+examples/local_reads.ml: Fmt List Raft Raftpax_consensus Raftpax_sim Types

@@ -1,0 +1,1 @@
+examples/port_optimization.ml: Delta Example_kv Fmt Label List Opt_mencius Opt_pql Port Proto_config Raftpax_core Refinement Spec Spec_multipaxos Spec_raft_star

@@ -1,0 +1,1 @@
+examples/port_optimization.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Raft Raftpax_consensus Raftpax_sim Types

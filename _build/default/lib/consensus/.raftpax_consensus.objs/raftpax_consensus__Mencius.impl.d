@@ -1,0 +1,1 @@
+lib/consensus/mencius.ml: Array Fun Hashtbl List Raftpax_sim Types Vec

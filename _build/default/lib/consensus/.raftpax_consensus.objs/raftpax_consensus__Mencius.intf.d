@@ -1,0 +1,1 @@
+lib/consensus/mencius.mli: Raftpax_sim Types

@@ -1,0 +1,1 @@
+lib/consensus/multipaxos.ml: Array Fun Hashtbl List Raftpax_sim Types Vec

@@ -1,0 +1,1 @@
+lib/consensus/multipaxos.mli: Raftpax_sim Types

@@ -1,0 +1,1 @@
+lib/consensus/raft.ml: Array Hashtbl List Option Raftpax_sim Types Vec

@@ -1,0 +1,444 @@
+module Net = Raftpax_sim.Net
+module Engine = Raftpax_sim.Engine
+module Cpu = Raftpax_sim.Cpu
+module Rng = Raftpax_sim.Rng
+
+type config = { params : Types.params; revoke_timeout_us : int }
+
+let default_config =
+  { params = Types.default_params; revoke_timeout_us = 3_000_000 }
+
+let hot_key = 0
+
+type slot = Unknown | Value of Types.cmd | Skip
+
+type revocation = { mutable replies : int; mutable found : Types.cmd option }
+
+type msg =
+  | MAppend of { from : int; inst : int; cmd : Types.cmd }
+  | MAck of { from : int; inst : int }
+  | MSkip of { from : int; upto : int }
+      (** every unused slot owned by [from] below [upto] is a no-op *)
+  | MCommit of { inst : int }
+  | MRevoke of { from : int; inst : int }
+      (** simplified recovery: the designated revoker polls the cluster
+          about a dead replica's slot *)
+  | MRevStatus of { from : int; inst : int; value : Types.cmd option }
+  | MSkipForce of { inst : int }
+      (** revoker decision: the slot is a no-op *)
+  | MCatchup of { from : int }
+      (** a restarted replica asks a peer for its slot state *)
+  | MState of {
+      slots : (int * bool * Types.cmd option * bool) list;
+          (** (instance, is_skip, value, committed) for every decided or
+              known slot *)
+    }
+  | Complete of { cmd_id : int; reply : Types.reply }
+
+type server = {
+  id : int;
+  slots : slot Vec.t;
+  committed : bool Vec.t;
+  mutable next_own : int;
+  mutable known_frontier : int;  (** all slots < this are Value or Skip *)
+  mutable commit_frontier : int;  (** all slots < this are committed *)
+  acks : (int, int ref) Hashtbl.t;  (** own instance -> ack count *)
+  revocations : (int, revocation) Hashtbl.t;
+  store : (int, int) Hashtbl.t;
+  mutable applied : int;  (** slots < this applied to [store] *)
+  mutable waiting : (int * Types.cmd) list;  (** (slot, cmd) awaiting reply *)
+  mutable recovering : bool;
+  mutable buffered : Types.cmd list;  (** submissions queued during recovery *)
+  mutable down : bool;
+  cpu : Cpu.t;
+  rng : Rng.t;
+}
+
+type t = {
+  config : config;
+  net : Net.t;
+  engine : Engine.t;
+  n : int;
+  servers : server array;
+  completions : (int, Types.reply -> unit) Hashtbl.t;
+  mutable next_cmd_id : int;
+}
+
+let majority t = (t.n / 2) + 1
+let p t = t.config.params
+
+let msg_size t = function
+  | MAppend { cmd; _ } -> (p t).msg_header_bytes + Types.op_size cmd.Types.op
+  | MRevStatus { value; _ } ->
+      (p t).msg_header_bytes
+      + (match value with Some c -> Types.op_size c.Types.op | None -> 0)
+  | MAck _ | MSkip _ | MCommit _ | MRevoke _ | MSkipForce _ | MCatchup _ ->
+      (p t).msg_header_bytes
+  | MState { slots } ->
+      (p t).msg_header_bytes
+      + List.fold_left
+          (fun acc (_, _, cmd, _) ->
+            acc
+            + 8
+            + match cmd with Some c -> Types.op_size c.Types.op | None -> 0)
+          0 slots
+  | Complete _ -> (p t).reply_bytes
+
+(* ---- slot bookkeeping ---- *)
+
+let ensure srv inst =
+  while Vec.length srv.slots <= inst do
+    Vec.push srv.slots Unknown;
+    Vec.push srv.committed false
+  done
+
+let slot srv inst =
+  if inst < Vec.length srv.slots then Vec.get srv.slots inst else Unknown
+
+let is_committed srv inst =
+  inst < Vec.length srv.committed && Vec.get srv.committed inst
+
+let owner t inst = inst mod t.n
+
+let conflicting (cmd : Types.cmd) = Types.key_of cmd.op = hot_key
+
+(* ---- dispatch ---- *)
+
+let rec send t ~src ~dst msg =
+  Net.send t.net ~src ~dst ~size:(msg_size t msg) (fun () ->
+      handle t t.servers.(dst) msg)
+
+and broadcast t srv msg =
+  Array.iter
+    (fun peer -> if peer.id <> srv.id then send t ~src:srv.id ~dst:peer.id msg)
+    t.servers
+
+and complete_at_origin t srv (cmd : Types.cmd) reply =
+  send t ~src:srv.id ~dst:cmd.Types.origin
+    (Complete { cmd_id = cmd.Types.id; reply })
+
+(* ---- frontiers, application, replies ---- *)
+
+and advance_frontiers t srv =
+  let len = Vec.length srv.slots in
+  while
+    srv.known_frontier < len && slot srv srv.known_frontier <> Unknown
+  do
+    srv.known_frontier <- srv.known_frontier + 1
+  done;
+  while
+    srv.commit_frontier < len
+    && is_committed srv srv.commit_frontier
+    && slot srv srv.commit_frontier <> Unknown
+  do
+    srv.commit_frontier <- srv.commit_frontier + 1
+  done;
+  (* Apply in slot order as the committed prefix grows. *)
+  while srv.applied < srv.commit_frontier do
+    (match slot srv srv.applied with
+    | Value { op = Put { key; write_id; _ }; _ } ->
+        Hashtbl.replace srv.store key write_id
+    | Value { op = Get _; _ } | Skip | Unknown -> ());
+    srv.applied <- srv.applied + 1
+  done;
+  try_reply t srv
+
+and try_reply t srv =
+  let ready, waiting =
+    List.partition
+      (fun (inst, cmd) ->
+        if conflicting cmd then srv.commit_frontier > inst
+        else is_committed srv inst && srv.known_frontier > inst)
+      srv.waiting
+  in
+  srv.waiting <- waiting;
+  List.iter
+    (fun (inst, (cmd : Types.cmd)) ->
+      let value =
+        match cmd.op with
+        | Types.Get { key } ->
+            (* Reads ordered at their slot: contended reads applied in slot
+               order see the applied store; commutative reads see their
+               key's applied state, untouched by concurrent ops. *)
+            ignore inst;
+            Hashtbl.find_opt srv.store key
+        | Types.Put _ -> None
+      in
+      complete_at_origin t srv cmd { Types.value })
+    ready
+
+(* Mark every unused slot owned by [who] below [upto] as a skip.  Skips by
+   the default leader are decided immediately (coordinated-Paxos). *)
+and apply_skips t srv ~who ~upto =
+  ensure srv upto;
+  let changed = ref false in
+  let inst = ref who in
+  while !inst < upto do
+    if slot srv !inst = Unknown then begin
+      Vec.set srv.slots !inst Skip;
+      Vec.set srv.committed !inst true;
+      changed := true
+    end;
+    inst := !inst + t.n
+  done;
+  !changed
+
+(* The replica skips its own pending turns once it sees the instance space
+   move past them, telling everyone. *)
+and skip_own_turns t srv ~upto =
+  if srv.next_own < upto then begin
+    ignore (apply_skips t srv ~who:srv.id ~upto);
+    let first_own_after =
+      let r = srv.id mod t.n in
+      let q = (upto - r + t.n - 1) / t.n in
+      (q * t.n) + r
+    in
+    srv.next_own <- max srv.next_own first_own_after;
+    broadcast t srv (MSkip { from = srv.id; upto })
+  end
+
+(* ---- message handling ---- *)
+
+and handle t srv msg =
+  if not srv.down then
+    match msg with
+    | Complete { cmd_id; reply } -> (
+        match Hashtbl.find_opt t.completions cmd_id with
+        | Some k ->
+            Hashtbl.remove t.completions cmd_id;
+            k reply
+        | None -> ())
+    | MAppend { from; inst; cmd } ->
+        Cpu.exec srv.cpu ~cost_us:(p t).cpu_follower_op_us (fun () ->
+            if not srv.down then begin
+              ensure srv inst;
+              (match slot srv inst with
+              | Unknown -> Vec.set srv.slots inst (Value cmd)
+              | Value _ | Skip -> ());
+              skip_own_turns t srv ~upto:inst;
+              send t ~src:srv.id ~dst:from (MAck { from = srv.id; inst });
+              advance_frontiers t srv
+            end)
+    | MAck { from = _; inst } -> (
+        match Hashtbl.find_opt srv.acks inst with
+        | None -> ()
+        | Some count ->
+            incr count;
+            if !count + 1 >= majority t && not (is_committed srv inst) then begin
+              ensure srv inst;
+              Vec.set srv.committed inst true;
+              broadcast t srv (MCommit { inst });
+              advance_frontiers t srv
+            end)
+    | MSkip { from; upto } ->
+        if apply_skips t srv ~who:from ~upto then advance_frontiers t srv
+    | MCommit { inst } ->
+        ensure srv inst;
+        (* The commit flag may race ahead of the append carrying the value;
+           the frontier waits for both. *)
+        Vec.set srv.committed inst true;
+        advance_frontiers t srv
+    | MRevoke { from; inst } ->
+        ensure srv inst;
+        let value =
+          match slot srv inst with Value cmd -> Some cmd | Unknown | Skip -> None
+        in
+        send t ~src:srv.id ~dst:from (MRevStatus { from = srv.id; inst; value })
+    | MRevStatus { from = _; inst; value } -> (
+        match Hashtbl.find_opt srv.revocations inst with
+        | None -> ()
+        | Some pending ->
+            pending.replies <- pending.replies + 1;
+            (match (pending.found, value) with
+            | None, Some _ -> pending.found <- value
+            | _ -> ());
+            if pending.replies + 1 >= majority t then begin
+              Hashtbl.remove srv.revocations inst;
+              match pending.found with
+              | Some cmd ->
+                  (* Someone saw the owner's value: re-propose it under the
+                     revoker's ownership so it can still commit. *)
+                  ensure srv inst;
+                  if slot srv inst = Unknown then
+                    Vec.set srv.slots inst (Value cmd);
+                  Hashtbl.replace srv.acks inst (ref 0);
+                  broadcast t srv (MAppend { from = srv.id; inst; cmd });
+                  advance_frontiers t srv
+              | None ->
+                  (* Nobody saw it: the slot is a no-op everywhere. *)
+                  if slot srv inst = Unknown then Vec.set srv.slots inst Skip;
+                  Vec.set srv.committed inst true;
+                  broadcast t srv (MSkipForce { inst });
+                  advance_frontiers t srv
+            end)
+    | MSkipForce { inst } ->
+        ensure srv inst;
+        if slot srv inst = Unknown then Vec.set srv.slots inst Skip;
+        Vec.set srv.committed inst true;
+        advance_frontiers t srv
+    | MCatchup { from } ->
+        let slots = ref [] in
+        Vec.iteri
+          (fun inst s ->
+            match s with
+            | Unknown -> ()
+            | Skip -> slots := (inst, true, None, is_committed srv inst) :: !slots
+            | Value cmd ->
+                slots := (inst, false, Some cmd, is_committed srv inst) :: !slots)
+          srv.slots;
+        send t ~src:srv.id ~dst:from (MState { slots = !slots })
+    | MState { slots } ->
+        List.iter
+          (fun (inst, is_skip, cmd, committed) ->
+            ensure srv inst;
+            (match (slot srv inst, is_skip, cmd) with
+            | Unknown, true, _ -> Vec.set srv.slots inst Skip
+            | Unknown, false, Some cmd -> Vec.set srv.slots inst (Value cmd)
+            | _ -> ());
+            if committed then Vec.set srv.committed inst true)
+          slots;
+        (* Our own unused turns inside the transferred region are dead:
+           skip them and restart proposing after the region. *)
+        while
+          srv.next_own < Vec.length srv.slots
+          && slot srv srv.next_own <> Unknown
+        do
+          srv.next_own <- srv.next_own + t.n
+        done;
+        advance_frontiers t srv;
+        if srv.recovering then begin
+          srv.recovering <- false;
+          let queued = List.rev srv.buffered in
+          srv.buffered <- [];
+          List.iter (fun cmd -> start_own_slot t srv cmd) queued
+        end
+
+(* Frontier watchdog: if the committed prefix stalls on a dead replica's
+   slot, the lowest live replica revokes it with no-ops. *)
+and watchdog t srv =
+  if not srv.down then begin
+    let stuck = srv.commit_frontier in
+    Engine.schedule t.engine ~delay:t.config.revoke_timeout_us (fun () ->
+        if
+          (not srv.down)
+          && srv.commit_frontier = stuck
+          && stuck < Vec.length srv.slots
+          && owner t stuck <> srv.id
+          && (let lowest_live = lowest_live t in
+              srv.id = lowest_live)
+        then begin
+          (* Poll the cluster about the blocking slot before deciding. *)
+          if not (Hashtbl.mem srv.revocations stuck) then begin
+            Hashtbl.replace srv.revocations stuck
+              { replies = 0; found = (match slot srv stuck with Value c -> Some c | _ -> None) };
+            broadcast t srv (MRevoke { from = srv.id; inst = stuck })
+          end
+        end;
+        watchdog t srv)
+  end
+  else
+    Engine.schedule t.engine ~delay:t.config.revoke_timeout_us (fun () ->
+        watchdog t srv)
+
+and lowest_live t =
+  let rec find i = if i >= t.n || not t.servers.(i).down then i else find (i + 1) in
+  find 0
+
+and start_own_slot t srv (cmd : Types.cmd) =
+  let inst = srv.next_own in
+  srv.next_own <- inst + t.n;
+  ensure srv inst;
+  Vec.set srv.slots inst (Value cmd);
+  Hashtbl.replace srv.acks inst (ref 0);
+  srv.waiting <- (inst, cmd) :: srv.waiting;
+  broadcast t srv (MAppend { from = srv.id; inst; cmd });
+  if t.n = 1 then Vec.set srv.committed inst true;
+  advance_frontiers t srv
+
+(* ---- construction and client interface ---- *)
+
+let create config net =
+  let engine = Net.engine net in
+  let n = List.length (Net.nodes net) in
+  let servers =
+    Array.init n (fun id ->
+        {
+          id;
+          slots = Vec.create ();
+          committed = Vec.create ();
+          next_own = id;
+          known_frontier = 0;
+          commit_frontier = 0;
+          acks = Hashtbl.create 1024;
+          revocations = Hashtbl.create 8;
+          store = Hashtbl.create 1024;
+          applied = 0;
+          waiting = [];
+          recovering = false;
+          buffered = [];
+          down = false;
+          cpu = Cpu.create engine;
+          rng = Rng.split (Engine.rng engine);
+        })
+  in
+  {
+    config;
+    net;
+    engine;
+    n;
+    servers;
+    completions = Hashtbl.create 4096;
+    next_cmd_id = 0;
+  }
+
+let start t = Array.iter (fun srv -> watchdog t srv) t.servers
+
+let submit_cmd t srv (cmd : Types.cmd) =
+  Cpu.exec srv.cpu ~cost_us:(p t).cpu_leader_op_us (fun () ->
+      if not srv.down then
+        if srv.recovering then srv.buffered <- cmd :: srv.buffered
+        else start_own_slot t srv cmd)
+
+let submit t ~node op k =
+  let id = t.next_cmd_id in
+  t.next_cmd_id <- id + 1;
+  Hashtbl.replace t.completions id k;
+  let cmd =
+    { Types.id; op; origin = node; submitted_us = Engine.now t.engine }
+  in
+  Net.send t.net ~src:node ~dst:node
+    ~size:((p t).msg_header_bytes + Types.op_size op)
+    (fun () -> submit_cmd t t.servers.(node) cmd)
+
+let commit_frontier t ~node = t.servers.(node).commit_frontier
+
+let committed_ops t ~node =
+  let srv = t.servers.(node) in
+  List.filter_map
+    (fun i ->
+      match slot srv i with
+      | Value cmd -> Some cmd.Types.op
+      | Skip | Unknown -> None)
+    (List.init srv.commit_frontier Fun.id)
+let known_frontier t ~node = t.servers.(node).known_frontier
+let applied_value t ~node ~key = Hashtbl.find_opt t.servers.(node).store key
+let slot_count t ~node = Vec.length t.servers.(node).slots
+
+let skipped_count t ~node =
+  let srv = t.servers.(node) in
+  let c = ref 0 in
+  Vec.iteri (fun _ s -> if s = Skip then incr c) srv.slots;
+  !c
+
+let crash t ~node =
+  t.servers.(node).down <- true;
+  Net.set_node_down t.net node true
+
+let restart t ~node =
+  let srv = t.servers.(node) in
+  srv.down <- false;
+  Net.set_node_down t.net node false;
+  (* Re-learn decided slots (and our dead turns) from the peers before
+     proposing again. *)
+  srv.recovering <- true;
+  broadcast t srv (MCatchup { from = node })

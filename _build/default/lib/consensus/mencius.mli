@@ -1,0 +1,60 @@
+(** Runtime implementation of Raft*-Mencius: the round-robin composition of
+    coordinated instances whose spec-level core is
+    {!Raftpax_core.Opt_mencius}.
+
+    Every replica is the {e default leader} of the instances congruent to
+    its id modulo the cluster size, so a client always submits to its local
+    replica and never pays a forwarding round-trip.  A replica that
+    observes the instance space advancing past its own unused slots
+    {e skips} them (broadcasting no-ops that peers may treat as decided
+    immediately — the coordinated-Paxos property checked at spec level).
+
+    Execution follows Mencius' split between commit and execute:
+    - an op on a {e contended} key replies only when the log is committed
+      sequentially up to its slot (it must order against every earlier
+      conflicting op);
+    - a {e commutative} op (its key touched by no concurrent op) replies
+      once its own slot commits and the contents of all earlier slots are
+      known (append or skip received) — the paper's Raft*-M-0% fast path.
+
+    Contention is keyed: operations on {!hot_key} are treated as
+    conflicting, everything else as commutative, which is exactly how the
+    paper's workload dials the conflict rate.
+
+    A simplified revocation path handles a crashed replica: the lowest
+    live replica no-ops the dead peer's pending slots after
+    [revoke_timeout] (standing in for Mencius' recovery-leader Phase-1,
+    with a single designated revoker instead of ballots). *)
+
+type config = {
+  params : Types.params;
+  revoke_timeout_us : int;
+}
+
+val default_config : config
+
+type t
+
+val create : config -> Raftpax_sim.Net.t -> t
+val start : t -> unit
+val hot_key : int
+
+val submit : t -> node:int -> Types.op -> (Types.reply -> unit) -> unit
+
+(** {1 Introspection} *)
+
+val commit_frontier : t -> node:int -> int
+(** Slots below this are committed (value or skip) in order. *)
+
+val known_frontier : t -> node:int -> int
+
+val committed_ops : t -> node:int -> Types.op list
+(** Operations in the committed prefix, in slot order (skips omitted) —
+    the oracle for consistency checking. *)
+
+val applied_value : t -> node:int -> key:int -> int option
+val slot_count : t -> node:int -> int
+val skipped_count : t -> node:int -> int
+
+val crash : t -> node:int -> unit
+val restart : t -> node:int -> unit

@@ -1,0 +1,381 @@
+module Net = Raftpax_sim.Net
+module Engine = Raftpax_sim.Engine
+module Cpu = Raftpax_sim.Cpu
+module Rng = Raftpax_sim.Rng
+
+type config = { params : Types.params; takeover_timeout_us : int }
+
+let default_config =
+  { params = Types.default_params; takeover_timeout_us = 3_000_000 }
+
+type inst = {
+  mutable accepted_bal : int;
+  mutable accepted_cmd : Types.cmd option option;
+      (** [None] = nothing accepted; [Some c] = accepted (c = None is noop) *)
+  mutable chosen : bool;
+}
+
+type msg =
+  | Prepare of { bal : int; from : int }
+  | PrepareOk of {
+      bal : int;
+      from : int;
+      accepted : (int * int * Types.cmd option) list;
+          (** (instance, ballot, value) for every accepted instance *)
+    }
+  | Accept of { bal : int; from : int; inst : int; cmd : Types.cmd option }
+  | AcceptOk of { bal : int; from : int; inst : int }
+  | Learn of { inst : int; cmd : Types.cmd option }
+  | Forward of Types.cmd
+  | Complete of { cmd_id : int; reply : Types.reply }
+
+type server = {
+  id : int;
+  mutable ballot : int;  (** highest ballot seen *)
+  mutable is_leader : bool;
+  mutable leader_hint : int;
+  insts : inst Vec.t;
+  mutable next_inst : int;  (** leader: next free instance *)
+  mutable executed : int;  (** prefix [0..executed) applied to store *)
+  store : (int, int) Hashtbl.t;
+  prepare_oks : (int, int) Hashtbl.t;  (** voter -> 1 (set) *)
+  mutable gathered : (int * int * Types.cmd option) list;
+  accept_oks : (int, int ref) Hashtbl.t;  (** instance -> ok count *)
+  waiters : (int, Types.cmd) Hashtbl.t;  (** instance -> originating cmd *)
+  mutable last_leader_sign : int;
+  mutable down : bool;
+  cpu : Cpu.t;
+  rng : Rng.t;
+}
+
+type t = {
+  config : config;
+  net : Net.t;
+  engine : Engine.t;
+  n : int;
+  servers : server array;
+  completions : (int, Types.reply -> unit) Hashtbl.t;
+  mutable next_cmd_id : int;
+}
+
+let majority t = (t.n / 2) + 1
+let p t = t.config.params
+
+let msg_size t = function
+  | Prepare _ | AcceptOk _ -> (p t).msg_header_bytes
+  | PrepareOk { accepted; _ } ->
+      (p t).msg_header_bytes
+      + List.fold_left
+          (fun acc (_, _, c) ->
+            acc + match c with Some c -> Types.op_size c.Types.op | None -> 8)
+          0 accepted
+  | Accept { cmd; _ } | Learn { cmd; _ } -> (
+      (p t).msg_header_bytes
+      + match cmd with Some c -> Types.op_size c.Types.op | None -> 8)
+  | Forward cmd -> (p t).msg_header_bytes + Types.op_size cmd.Types.op
+  | Complete _ -> (p t).reply_bytes
+
+let ensure srv i =
+  while Vec.length srv.insts <= i do
+    Vec.push srv.insts { accepted_bal = -1; accepted_cmd = None; chosen = false }
+  done
+
+let inst srv i =
+  ensure srv i;
+  Vec.get srv.insts i
+
+(* Ballots are globally unique per server: b = round * n + id. *)
+let next_ballot t srv = ((srv.ballot / t.n) + 1) * t.n + srv.id
+
+let rec send t ~src ~dst msg =
+  Net.send t.net ~src ~dst ~size:(msg_size t msg) (fun () ->
+      handle t t.servers.(dst) msg)
+
+and broadcast t srv msg =
+  Array.iter
+    (fun peer -> if peer.id <> srv.id then send t ~src:srv.id ~dst:peer.id msg)
+    t.servers
+
+and complete_at_origin t srv (cmd : Types.cmd) reply =
+  send t ~src:srv.id ~dst:cmd.Types.origin
+    (Complete { cmd_id = cmd.Types.id; reply })
+
+(* Execute the decided prefix in order. *)
+and execute t srv =
+  let len = Vec.length srv.insts in
+  let continue = ref true in
+  while !continue && srv.executed < len do
+    let it = Vec.get srv.insts srv.executed in
+    if it.chosen then begin
+      (match it.accepted_cmd with
+      | Some (Some ({ op = Types.Put { key; write_id; _ }; _ } as cmd)) ->
+          Hashtbl.replace srv.store key write_id;
+          if srv.is_leader then
+            complete_at_origin t srv cmd { Types.value = None }
+      | Some (Some ({ op = Types.Get { key }; _ } as cmd)) ->
+          if srv.is_leader then
+            complete_at_origin t srv cmd
+              { Types.value = Hashtbl.find_opt srv.store key }
+      | Some None | None -> ());
+      srv.executed <- srv.executed + 1
+    end
+    else continue := false
+  done
+
+and mark_chosen t srv i cmd =
+  let it = inst srv i in
+  if not it.chosen then begin
+    it.chosen <- true;
+    it.accepted_cmd <- Some cmd;
+    execute t srv
+  end
+
+(* ---- phase 2 ---- *)
+
+and propose t srv (cmd : Types.cmd) =
+  Cpu.exec srv.cpu ~cost_us:(p t).cpu_leader_op_us (fun () ->
+      if srv.is_leader && not srv.down then begin
+        let i = srv.next_inst in
+        srv.next_inst <- i + 1;
+        let it = inst srv i in
+        it.accepted_bal <- srv.ballot;
+        it.accepted_cmd <- Some (Some cmd);
+        Hashtbl.replace srv.accept_oks i (ref 0);
+        Hashtbl.replace srv.waiters i cmd;
+        broadcast t srv
+          (Accept { bal = srv.ballot; from = srv.id; inst = i; cmd = Some cmd });
+        if t.n = 1 then begin
+          mark_chosen t srv i (Some cmd)
+        end
+      end
+      else if not srv.down then
+        send t ~src:srv.id ~dst:srv.leader_hint (Forward cmd))
+
+(* ---- phase 1 ---- *)
+
+and start_phase1 t srv =
+  srv.ballot <- next_ballot t srv;
+  srv.is_leader <- false;
+  Hashtbl.reset srv.prepare_oks;
+  srv.gathered <- [];
+  broadcast t srv (Prepare { bal = srv.ballot; from = srv.id })
+
+and become_leader t srv =
+  srv.is_leader <- true;
+  srv.leader_hint <- srv.id;
+  (* Adopt the highest-ballot accepted value per instance; re-propose each
+     adopted instance at our ballot so it can be chosen. *)
+  let best = Hashtbl.create 64 in
+  List.iter
+    (fun (i, b, c) ->
+      match Hashtbl.find_opt best i with
+      | Some (b', _) when b' >= b -> ()
+      | _ -> Hashtbl.replace best i (b, c))
+    srv.gathered;
+  (* Include our own accepted values. *)
+  Vec.iteri
+    (fun i it ->
+      if it.accepted_bal >= 0 then
+        match Hashtbl.find_opt best i with
+        | Some (b', _) when b' >= it.accepted_bal -> ()
+        | _ -> (
+            match it.accepted_cmd with
+            | Some c -> Hashtbl.replace best i (it.accepted_bal, c)
+            | None -> ()))
+    srv.insts;
+  let max_i = Hashtbl.fold (fun i _ acc -> max i acc) best (-1) in
+  srv.next_inst <- max_i + 1;
+  for i = 0 to max_i do
+    let it = inst srv i in
+    if not it.chosen then begin
+      let value =
+        match Hashtbl.find_opt best i with Some (_, c) -> c | None -> None
+      in
+      it.accepted_bal <- srv.ballot;
+      it.accepted_cmd <- Some value;
+      Hashtbl.replace srv.accept_oks i (ref 0);
+      broadcast t srv
+        (Accept { bal = srv.ballot; from = srv.id; inst = i; cmd = value })
+    end
+  done
+
+(* ---- handling ---- *)
+
+and handle t srv msg =
+  if not srv.down then
+    match msg with
+    | Forward cmd -> propose t srv cmd
+    | Complete { cmd_id; reply } -> (
+        match Hashtbl.find_opt t.completions cmd_id with
+        | Some k ->
+            Hashtbl.remove t.completions cmd_id;
+            k reply
+        | None -> ())
+    | Prepare { bal; from } ->
+        if bal > srv.ballot then begin
+          srv.ballot <- bal;
+          srv.is_leader <- false;
+          srv.leader_hint <- from;
+          srv.last_leader_sign <- Engine.now t.engine;
+          let accepted = ref [] in
+          Vec.iteri
+            (fun i it ->
+              if it.accepted_bal >= 0 then
+                match it.accepted_cmd with
+                | Some c -> accepted := (i, it.accepted_bal, c) :: !accepted
+                | None -> ())
+            srv.insts;
+          send t ~src:srv.id ~dst:from
+            (PrepareOk { bal; from = srv.id; accepted = !accepted })
+        end
+    | PrepareOk { bal; from; accepted } ->
+        if bal = srv.ballot && not srv.is_leader then begin
+          Hashtbl.replace srv.prepare_oks from 1;
+          srv.gathered <- accepted @ srv.gathered;
+          if Hashtbl.length srv.prepare_oks + 1 >= majority t then
+            become_leader t srv
+        end
+    | Accept { bal; from; inst = i; cmd } ->
+        if bal >= srv.ballot then begin
+          srv.ballot <- bal;
+          if from <> srv.id then srv.is_leader <- false;
+          srv.leader_hint <- from;
+          srv.last_leader_sign <- Engine.now t.engine;
+          Cpu.exec srv.cpu ~cost_us:(p t).cpu_follower_op_us (fun () ->
+              if not srv.down then begin
+                let it = inst srv i in
+                it.accepted_bal <- bal;
+                it.accepted_cmd <- Some cmd;
+                send t ~src:srv.id ~dst:from (AcceptOk { bal; from = srv.id; inst = i })
+              end)
+        end
+    | AcceptOk { bal; from = _; inst = i } ->
+        if bal = srv.ballot && srv.is_leader then begin
+          match Hashtbl.find_opt srv.accept_oks i with
+          | None -> ()
+          | Some count ->
+              incr count;
+              if !count + 1 >= majority t && not (inst srv i).chosen then begin
+                let cmd =
+                  match (inst srv i).accepted_cmd with Some c -> c | None -> None
+                in
+                mark_chosen t srv i cmd;
+                broadcast t srv (Learn { inst = i; cmd })
+              end
+        end
+    | Learn { inst = i; cmd } -> mark_chosen t srv i cmd
+
+(* Leader-failure watchdog: lowest live replica takes over. *)
+and watchdog t srv =
+  Engine.schedule t.engine ~delay:t.config.takeover_timeout_us (fun () ->
+      if not srv.down then begin
+        let now = Engine.now t.engine in
+        let leader = t.servers.(srv.leader_hint) in
+        let lowest_live =
+          let rec find i =
+            if i >= t.n || not t.servers.(i).down then i else find (i + 1)
+          in
+          find 0
+        in
+        if
+          (not srv.is_leader)
+          && leader.down
+          && srv.id = lowest_live
+          && now - srv.last_leader_sign >= t.config.takeover_timeout_us
+        then start_phase1 t srv
+      end;
+      watchdog t srv)
+
+let create ?(leader = 0) config net =
+  let engine = Net.engine net in
+  let n = List.length (Net.nodes net) in
+  let servers =
+    Array.init n (fun id ->
+        {
+          id;
+          ballot = 0;
+          is_leader = false;
+          leader_hint = leader;
+          insts = Vec.create ();
+          next_inst = 0;
+          executed = 0;
+          store = Hashtbl.create 1024;
+          prepare_oks = Hashtbl.create 8;
+          gathered = [];
+          accept_oks = Hashtbl.create 1024;
+          waiters = Hashtbl.create 1024;
+          last_leader_sign = 0;
+          down = false;
+          cpu = Cpu.create engine;
+          rng = Rng.split (Engine.rng engine);
+        })
+  in
+  let t =
+    {
+      config;
+      net;
+      engine;
+      n;
+      servers;
+      completions = Hashtbl.create 4096;
+      next_cmd_id = 0;
+    }
+  in
+  (* Bootstrap: the configured leader owns ballot [leader] (its own id in
+     round 0 is unique) and is pre-elected, exactly as if Phase 1 ran. *)
+  let l = t.servers.(leader) in
+  l.ballot <- leader + n (* round 1 ballot, unique to this server *);
+  l.is_leader <- true;
+  Array.iter (fun srv -> if srv.id <> leader then srv.ballot <- l.ballot) servers;
+  t
+
+let start t = Array.iter (fun srv -> watchdog t srv) t.servers
+
+let submit t ~node op k =
+  let id = t.next_cmd_id in
+  t.next_cmd_id <- id + 1;
+  Hashtbl.replace t.completions id k;
+  let cmd =
+    { Types.id; op; origin = node; submitted_us = Engine.now t.engine }
+  in
+  Net.send t.net ~src:node ~dst:node
+    ~size:((p t).msg_header_bytes + Types.op_size op)
+    (fun () -> propose t t.servers.(node) cmd)
+
+let leader_of t =
+  let best = ref 0 in
+  Array.iter
+    (fun srv ->
+      if srv.is_leader && not srv.down then
+        if not t.servers.(!best).is_leader || srv.ballot > t.servers.(!best).ballot
+        then best := srv.id)
+    t.servers;
+  !best
+
+let ballot_of t ~node = t.servers.(node).ballot
+
+let chosen_count t ~node =
+  let c = ref 0 in
+  Vec.iteri (fun _ it -> if it.chosen then incr c) t.servers.(node).insts;
+  !c
+
+let executed_prefix t ~node = t.servers.(node).executed
+
+let committed_ops t ~node =
+  let srv = t.servers.(node) in
+  List.filter_map
+    (fun i ->
+      match (Vec.get srv.insts i).accepted_cmd with
+      | Some (Some cmd) -> Some cmd.Types.op
+      | Some None | None -> None)
+    (List.init srv.executed Fun.id)
+let applied_value t ~node ~key = Hashtbl.find_opt t.servers.(node).store key
+
+let crash t ~node =
+  t.servers.(node).down <- true;
+  Net.set_node_down t.net node true
+
+let restart t ~node =
+  t.servers.(node).down <- false;
+  Net.set_node_down t.net node false;
+  t.servers.(node).is_leader <- false

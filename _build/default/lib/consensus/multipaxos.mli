@@ -1,0 +1,43 @@
+(** Runtime MultiPaxos (Figure 1): a stable-leader multi-decree Paxos over
+    the simulated WAN.
+
+    The leader runs Phase 1 once (batched over all instances, as the paper
+    describes) and then commits one instance per client operation with a
+    single Phase-2 round.  Instances commit out of order — the
+    characteristic MultiPaxos behaviour Raft lacks — and replicas execute
+    the log in order once the prefix is decided.
+
+    Failure handling: when the leader dies, the replica with the lowest id
+    among the live ones takes over with a higher ballot, re-running
+    Phase 1; acceptors reject lower-ballot traffic. *)
+
+type config = {
+  params : Types.params;
+  takeover_timeout_us : int;  (** leader-failure detection *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?leader:int -> config -> Raftpax_sim.Net.t -> t
+val start : t -> unit
+
+val submit : t -> node:int -> Types.op -> (Types.reply -> unit) -> unit
+
+val leader_of : t -> int
+val ballot_of : t -> node:int -> int
+val chosen_count : t -> node:int -> int
+(** Instances this replica knows to be chosen. *)
+
+val executed_prefix : t -> node:int -> int
+(** Length of the executed (in-order decided) prefix. *)
+
+val committed_ops : t -> node:int -> Types.op list
+(** Operations in the executed prefix, in instance order — the oracle for
+    consistency checking. *)
+
+val applied_value : t -> node:int -> key:int -> int option
+
+val crash : t -> node:int -> unit
+val restart : t -> node:int -> unit

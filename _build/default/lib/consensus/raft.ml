@@ -1,0 +1,798 @@
+module Net = Raftpax_sim.Net
+module Engine = Raftpax_sim.Engine
+module Cpu = Raftpax_sim.Cpu
+module Rng = Raftpax_sim.Rng
+
+type flavor = Vanilla | Star
+type read_mode = Log_read | Leader_lease | Quorum_lease
+
+type config = {
+  flavor : flavor;
+  read_mode : read_mode;
+  params : Types.params;
+  initial_leader : int option;
+}
+
+let raft ?leader () =
+  {
+    flavor = Vanilla;
+    read_mode = Log_read;
+    params = Types.default_params;
+    initial_leader = leader;
+  }
+
+let raft_star ?leader () = { (raft ?leader ()) with flavor = Star }
+
+let raft_ll ?leader () =
+  { (raft ?leader ()) with flavor = Star; read_mode = Leader_lease }
+
+let raft_pql ?leader () =
+  { (raft ?leader ()) with flavor = Star; read_mode = Quorum_lease }
+
+type role = Follower | Candidate | Leader
+
+type msg =
+  | RequestVote of { term : int; cand : int; last_idx : int; last_term : int }
+  | Vote of {
+      term : int;
+      from : int;
+      granted : bool;
+      extras : (int * Types.entry * int) list;
+          (** Raft*: (index, entry, ballot) beyond the candidate's log *)
+    }
+  | Append of {
+      term : int;
+      leader : int;
+      prev_idx : int;
+      prev_term : int;
+      entries : (Types.entry * int) list;  (** entry with its ballot *)
+      commit : int;
+    }
+  | Ack of {
+      term : int;
+      from : int;
+      success : bool;
+      match_idx : int;
+      holders : (int * int) list;
+          (** quorum-lease mode: (holder, deadline) leases granted by the
+              acker and still valid — the paper's Figure-13 appendOK
+              attachment *)
+    }
+  | Forward of Types.cmd
+  | Complete of { cmd_id : int; reply : Types.reply }
+  | Grant of { from : int; deadline : int; grantor_last : int }
+  | GrantConfirm of { from : int; deadline : int }
+      (** the holder activated the grant; renewals require it, so a dead
+          holder stops being renewed and its last lease simply expires *)
+      (** a lease only activates at the holder once its log reaches the
+          grantor's log length at grant time — otherwise a freshly-granted
+          replica could serve reads missing values the grantor already
+          acknowledged *)
+
+type server = {
+  id : int;
+  mutable term : int;
+  mutable voted_for : int option;
+  mutable role : role;
+  mutable leader_hint : int;
+  log : (Types.entry * int) Vec.t;
+  mutable commit_index : int;
+  mutable last_applied : int;
+  store : (int, int) Hashtbl.t;
+  key_last_write : (int, int) Hashtbl.t;
+  (* leader bookkeeping *)
+  next_index : int array;
+  match_index : int array;
+  inflight : int array;  (* in-flight append batches per follower *)
+  votes : bool array;
+  mutable vote_extras : (int * Types.entry * int) list;
+  follower_last_ack : int array;
+  mutable leader_lease_until : int;
+  (* quorum leases *)
+  grant_from : int array;  (** deadline of the active lease p granted me *)
+  mutable pending_grants : (int * int * int) list;
+      (** (grantor, deadline, required log length) not yet activated *)
+  my_grants : int array;  (** deadline of the lease I granted to p *)
+  confirmed_grants : int array;
+      (** deadline of the last grant p confirmed activating *)
+  peer_grants : int array array;
+      (** [peer_grants.(x).(h)]: deadline of the lease x reported granting
+          to h in its latest ack (leader-side bookkeeping) *)
+  mutable pending_reads : (int * (unit -> unit)) list;
+  mutable election_timer : Engine.timer option;
+  mutable down : bool;
+  cpu : Cpu.t;
+  rng : Rng.t;
+}
+
+type t = {
+  config : config;
+  net : Net.t;
+  engine : Engine.t;
+  n : int;
+  servers : server array;
+  completions : (int, Types.reply -> unit) Hashtbl.t;
+  mutable next_cmd_id : int;
+}
+
+let majority t = (t.n / 2) + 1
+let p t = t.config.params
+
+(* ---- message sizes ---- *)
+
+let msg_size t = function
+  | RequestVote _ -> (p t).msg_header_bytes
+  | Vote { extras; _ } ->
+      (p t).msg_header_bytes
+      + List.fold_left
+          (fun acc (_, e, _) -> acc + Types.entry_bytes (p t) e)
+          0 extras
+  | Append { entries; _ } -> Types.batch_bytes (p t) (List.map fst entries)
+  | Ack { holders; _ } -> (p t).msg_header_bytes + (16 * List.length holders)
+  | Forward cmd -> (p t).msg_header_bytes + Types.op_size cmd.Types.op
+  | Complete _ -> (p t).reply_bytes
+  | Grant _ | GrantConfirm _ -> (p t).msg_header_bytes
+
+(* ---- log helpers ---- *)
+
+let last_index srv = Vec.length srv.log - 1
+
+let term_at srv i =
+  if i < 0 || i > last_index srv then -1 else (fst (Vec.get srv.log i)).Types.term
+
+let note_write srv idx (e : Types.entry) =
+  match e.cmd with
+  | Some { op = Put { key; _ }; _ } ->
+      let prev = Option.value ~default:(-1) (Hashtbl.find_opt srv.key_last_write key) in
+      if idx > prev then Hashtbl.replace srv.key_last_write key idx
+  | _ -> ()
+
+(* ---- forward declarations through a mutable dispatcher ---- *)
+
+let rec send t ~src ~dst msg =
+  Net.send t.net ~src ~dst ~size:(msg_size t msg) (fun () ->
+      handle t t.servers.(dst) msg)
+
+and broadcast t srv msg =
+  Array.iter (fun peer -> if peer.id <> srv.id then send t ~src:srv.id ~dst:peer.id msg) t.servers
+
+(* ---- applying committed entries ---- *)
+
+and complete_at_origin t srv (cmd : Types.cmd) reply =
+  send t ~src:srv.id ~dst:cmd.origin (Complete { cmd_id = cmd.id; reply })
+
+and apply_committed t srv =
+  while srv.last_applied < srv.commit_index do
+    srv.last_applied <- srv.last_applied + 1;
+    let entry, _bal = Vec.get srv.log srv.last_applied in
+    (match entry.Types.cmd with
+    | Some ({ op = Put { key; write_id; _ }; _ } as cmd) ->
+        Hashtbl.replace srv.store key write_id;
+        if srv.role = Leader then
+          complete_at_origin t srv cmd { Types.value = None }
+    | Some ({ op = Get { key }; _ } as cmd) ->
+        if srv.role = Leader then
+          complete_at_origin t srv cmd
+            { Types.value = Hashtbl.find_opt srv.store key }
+    | None -> ())
+  done;
+  (* Wake local reads blocked on the commit index (quorum-lease mode). *)
+  let ready, blocked =
+    List.partition (fun (threshold, _) -> srv.commit_index >= threshold) srv.pending_reads
+  in
+  srv.pending_reads <- blocked;
+  List.iter (fun (_, serve) -> serve ()) ready
+
+(* ---- leases ---- *)
+
+and quorum_lease_active t srv =
+  let now = Engine.now t.engine in
+  let valid = ref 1 (* self-grant *) in
+  Array.iteri
+    (fun i deadline -> if i <> srv.id && deadline >= now then incr valid)
+    srv.grant_from;
+  !valid >= majority t
+
+and leader_lease_valid t srv =
+  srv.role = Leader && Engine.now t.engine <= srv.leader_lease_until
+
+and refresh_leader_lease t srv =
+  let now = Engine.now t.engine in
+  let fresh = ref 1 in
+  Array.iteri
+    (fun i ack ->
+      if i <> srv.id && ack >= now - (2 * (p t).heartbeat_interval_us) then
+        incr fresh)
+    srv.follower_last_ack;
+  if !fresh >= majority t then
+    srv.leader_lease_until <- now + (p t).election_timeout_min_us
+
+(* The (holder, deadline) leases this server has granted and that are
+   still valid — attached to acks in quorum-lease mode (Figure 13). *)
+and my_valid_grants t srv =
+  if t.config.read_mode <> Quorum_lease then []
+  else begin
+    let now = Engine.now t.engine in
+    let acc = ref [] in
+    Array.iteri
+      (fun h deadline ->
+        if h <> srv.id && deadline >= now then acc := (h, deadline) :: !acc)
+      srv.my_grants;
+    !acc
+  end
+
+(* ---- replication (leader side) ---- *)
+
+and send_batch t srv peer =
+  let next = srv.next_index.(peer) in
+  let entries =
+    List.init
+      (max 0 (last_index srv - next + 1))
+      (fun k -> Vec.get srv.log (next + k))
+  in
+  srv.inflight.(peer) <- srv.inflight.(peer) + 1;
+  (* Optimistic next-index: pipeline further batches without waiting. *)
+  srv.next_index.(peer) <- max srv.next_index.(peer) (last_index srv + 1);
+  send t ~src:srv.id ~dst:peer
+    (Append
+       {
+         term = srv.term;
+         leader = srv.id;
+         prev_idx = next - 1;
+         prev_term = term_at srv (next - 1);
+         entries;
+         commit = srv.commit_index;
+       })
+
+and maybe_replicate t srv =
+  if srv.role = Leader then
+    Array.iter
+      (fun peer ->
+        if
+          peer.id <> srv.id
+          && srv.inflight.(peer.id) < (p t).pipeline_window
+          && srv.next_index.(peer.id) <= last_index srv
+        then send_batch t srv peer.id)
+      t.servers
+
+and advance_commit t srv =
+  if srv.role = Leader then begin
+    let now = Engine.now t.engine in
+    let quorum_match m =
+      let c = ref 1 in
+      Array.iteri (fun i x -> if i <> srv.id && x >= m then incr c) srv.match_index;
+      !c >= majority t
+    in
+    let holders_match m =
+      match t.config.read_mode with
+      | Quorum_lease ->
+          (* Figure 13's LeaderLearn: the holder set is the union of the
+             leases granted by every commit-quorum member (reported in
+             their acks) and by the leader itself; each such holder must
+             have acknowledged the entry before it commits. *)
+          let ok = ref true in
+          let require h =
+            if h <> srv.id && srv.match_index.(h) < m then ok := false
+          in
+          Array.iteri
+            (fun h deadline -> if deadline >= now then require h)
+            srv.my_grants;
+          Array.iteri
+            (fun x row ->
+              if x <> srv.id && srv.match_index.(x) >= m then
+                Array.iteri
+                  (fun h deadline -> if deadline >= now then require h)
+                  row)
+            srv.peer_grants;
+          !ok
+      | Log_read | Leader_lease -> true
+    in
+    (* 5.4.2: only an entry of the current term commits by counting
+       replicas, but committing it commits the whole prefix (inherited
+       old-term entries included) — so scan downward for the highest
+       committable index. *)
+    let new_commit = ref srv.commit_index in
+    let blocked_on_holder = ref false in
+    let m = ref (last_index srv) in
+    while !m > srv.commit_index && !new_commit = srv.commit_index do
+      if quorum_match !m && term_at srv !m = srv.term then
+        if holders_match !m then new_commit := !m
+        else blocked_on_holder := true;
+      decr m
+    done;
+    if !new_commit > srv.commit_index then begin
+      srv.commit_index <- !new_commit;
+      apply_committed t srv
+    end;
+    if !blocked_on_holder then
+      (* A lease holder is behind (possibly down): retry when the earliest
+         blocking lease expires. *)
+      let earliest =
+        let min_valid acc d = if d >= now then min acc d else acc in
+        let own = Array.fold_left min_valid max_int srv.my_grants in
+        Array.fold_left
+          (fun acc row -> Array.fold_left min_valid acc row)
+          own srv.peer_grants
+      in
+      if earliest < max_int then
+        Engine.schedule t.engine ~delay:(earliest - now + 1) (fun () ->
+            if srv.role = Leader && not srv.down then advance_commit t srv)
+  end
+
+(* ---- client operations ---- *)
+
+and serve_local_read t srv (cmd : Types.cmd) =
+  Cpu.exec srv.cpu ~cost_us:(p t).cpu_read_op_us (fun () ->
+      if not srv.down then
+        let key = Types.key_of cmd.op in
+        complete_at_origin t srv cmd { Types.value = Hashtbl.find_opt srv.store key })
+
+and append_cmd t srv (cmd : Types.cmd) =
+  let extra =
+    match (t.config.read_mode, cmd.op) with
+    | Quorum_lease, Put _ -> (p t).cpu_pql_commit_extra_us
+    | _ -> 0
+  in
+  Cpu.exec srv.cpu ~cost_us:((p t).cpu_leader_op_us + extra) (fun () ->
+      if srv.role = Leader && not srv.down then begin
+        let entry = { Types.term = srv.term; cmd = Some cmd } in
+        Vec.push srv.log (entry, srv.term);
+        note_write srv (last_index srv) entry;
+        maybe_replicate t srv;
+        if t.n = 1 then begin
+          srv.match_index.(srv.id) <- last_index srv;
+          srv.commit_index <- last_index srv;
+          apply_committed t srv
+        end
+      end
+      else if not srv.down then
+        (* Leadership moved while queued: forward to wherever we believe
+           the leader is. *)
+        send t ~src:srv.id ~dst:srv.leader_hint (Forward cmd))
+
+and handle_client t srv (cmd : Types.cmd) =
+  if not srv.down then
+    match cmd.op with
+    | Get { key } -> (
+        match t.config.read_mode with
+        | Quorum_lease when quorum_lease_active t srv ->
+            (* Figure 13: wait until every log entry that writes the key is
+               committed, then read locally. *)
+            let threshold =
+              Option.value ~default:(-1) (Hashtbl.find_opt srv.key_last_write key)
+            in
+            if srv.commit_index >= threshold then serve_local_read t srv cmd
+            else
+              srv.pending_reads <-
+                (threshold, fun () -> serve_local_read t srv cmd)
+                :: srv.pending_reads
+        | Leader_lease when leader_lease_valid t srv ->
+            serve_local_read t srv cmd
+        | _ ->
+            if srv.role = Leader then append_cmd t srv cmd
+            else send t ~src:srv.id ~dst:srv.leader_hint (Forward cmd))
+    | Put _ ->
+        if srv.role = Leader then append_cmd t srv cmd
+        else send t ~src:srv.id ~dst:srv.leader_hint (Forward cmd)
+
+(* ---- elections ---- *)
+
+and reset_election_timer t srv =
+  (match srv.election_timer with Some timer -> Engine.cancel timer | None -> ());
+  if not srv.down then
+    let span =
+      (p t).election_timeout_min_us
+      + Rng.int srv.rng
+          (max 1 ((p t).election_timeout_max_us - (p t).election_timeout_min_us))
+    in
+    srv.election_timer <-
+      Some
+        (Engine.schedule_cancellable t.engine ~delay:span (fun () ->
+             if (not srv.down) && srv.role <> Leader then start_election t srv))
+
+and start_election t srv =
+  srv.term <- srv.term + 1;
+  srv.role <- Candidate;
+  srv.voted_for <- Some srv.id;
+  Array.fill srv.votes 0 t.n false;
+  srv.votes.(srv.id) <- true;
+  srv.vote_extras <- [];
+  reset_election_timer t srv;
+  broadcast t srv
+    (RequestVote
+       {
+         term = srv.term;
+         cand = srv.id;
+         last_idx = last_index srv;
+         last_term = term_at srv (last_index srv);
+       })
+
+and candidate_up_to_date srv ~last_idx ~last_term =
+  let my_last = last_index srv in
+  let my_term = term_at srv my_last in
+  last_term > my_term || (last_term = my_term && last_idx >= my_last)
+
+and become_leader t srv =
+  srv.role <- Leader;
+  srv.leader_hint <- srv.id;
+  (* Raft*: adopt the safe (highest-ballot) extra entries the voters sent
+     for the slots beyond our log. *)
+  (if t.config.flavor = Star then
+     let best = Hashtbl.create 8 in
+     List.iter
+       (fun (idx, entry, bal) ->
+         if idx > last_index srv then
+           match Hashtbl.find_opt best idx with
+           | Some (_, b) when b >= bal -> ()
+           | _ -> Hashtbl.replace best idx (entry, bal))
+       srv.vote_extras;
+     let rec adopt idx =
+       match Hashtbl.find_opt best idx with
+       | Some (entry, bal) ->
+           Vec.push srv.log (entry, bal);
+           note_write srv (last_index srv) entry;
+           adopt (idx + 1)
+       | None -> ()
+     in
+     adopt (last_index srv + 1));
+  (* A fresh no-op lets the new term commit inherited entries (5.4.2). *)
+  Vec.push srv.log ({ Types.term = srv.term; cmd = None }, srv.term);
+  Array.iteri (fun i _ -> srv.next_index.(i) <- last_index srv) srv.next_index;
+  Array.fill srv.match_index 0 t.n (-1);
+  Array.fill srv.inflight 0 t.n 0;
+  srv.match_index.(srv.id) <- last_index srv;
+  Array.iter
+    (fun peer -> if peer.id <> srv.id then send_batch t srv peer.id)
+    t.servers;
+  heartbeat_loop t srv srv.term
+
+and heartbeat_loop t srv term =
+  if srv.role = Leader && srv.term = term && not srv.down then begin
+    let now = Engine.now t.engine in
+    Array.iter
+      (fun peer ->
+        if peer.id <> srv.id then
+          if srv.inflight.(peer.id) = 0 then send_batch t srv peer.id
+          else if
+            (* A link with in-flight batches but no ack for a long time is
+               stale (peer crashed or partitioned): reset the window and
+               probe so it can resynchronise when it comes back. *)
+            srv.follower_last_ack.(peer.id)
+            < now - (5 * (p t).heartbeat_interval_us)
+          then begin
+            srv.inflight.(peer.id) <- 0;
+            send_batch t srv peer.id
+          end)
+      t.servers;
+    Engine.schedule t.engine ~delay:(p t).heartbeat_interval_us (fun () ->
+        heartbeat_loop t srv term)
+  end
+
+(* ---- message handling ---- *)
+
+and step_down t srv term =
+  srv.term <- term;
+  srv.role <- Follower;
+  srv.voted_for <- None;
+  reset_election_timer t srv
+
+and handle t srv msg =
+  if not srv.down then
+    match msg with
+    | Forward cmd -> handle_client t srv cmd
+    | Complete { cmd_id; reply } -> (
+        match Hashtbl.find_opt t.completions cmd_id with
+        | Some k ->
+            Hashtbl.remove t.completions cmd_id;
+            k reply
+        | None -> () (* duplicate completion after leader change *))
+    | Grant { from; deadline; grantor_last } ->
+        if last_index srv >= grantor_last then begin
+          srv.grant_from.(from) <- max srv.grant_from.(from) deadline;
+          send t ~src:srv.id ~dst:from (GrantConfirm { from = srv.id; deadline })
+        end
+        else
+          srv.pending_grants <-
+            (from, deadline, grantor_last) :: srv.pending_grants
+    | GrantConfirm { from; deadline } ->
+        srv.confirmed_grants.(from) <- max srv.confirmed_grants.(from) deadline
+    | RequestVote { term; cand; last_idx; last_term } ->
+        if term > srv.term then step_down t srv term;
+        let granted =
+          term = srv.term
+          && (match srv.voted_for with None -> true | Some v -> v = cand)
+          && candidate_up_to_date srv ~last_idx ~last_term
+        in
+        if granted then begin
+          srv.voted_for <- Some cand;
+          reset_election_timer t srv
+        end;
+        let extras =
+          if t.config.flavor = Star && granted then
+            List.init
+              (max 0 (last_index srv - last_idx))
+              (fun k ->
+                let idx = last_idx + 1 + k in
+                let entry, bal = Vec.get srv.log idx in
+                (idx, entry, bal))
+          else []
+        in
+        send t ~src:srv.id ~dst:cand (Vote { term = srv.term; from = srv.id; granted; extras })
+    | Vote { term; from; granted; extras } ->
+        if term > srv.term then step_down t srv term
+        else if srv.role = Candidate && term = srv.term && granted then begin
+          srv.votes.(from) <- true;
+          srv.vote_extras <- extras @ srv.vote_extras;
+          let count = Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 srv.votes in
+          if count >= majority t then become_leader t srv
+        end
+    | Append { term; leader; prev_idx; prev_term; entries; commit } ->
+        if term < srv.term then
+          send t ~src:srv.id ~dst:leader
+            (Ack
+               {
+                 term = srv.term;
+                 from = srv.id;
+                 success = false;
+                 match_idx = -1;
+                 holders = my_valid_grants t srv;
+               })
+        else begin
+          if term > srv.term || srv.role <> Follower then step_down t srv term;
+          srv.leader_hint <- leader;
+          reset_election_timer t srv;
+          let k = List.length entries in
+          let cost = max 1 (k * (p t).cpu_follower_op_us) in
+          (* The consistency check runs in processing order (inside the CPU
+             queue): an earlier batch's log write may still be queued, and
+             checking against the stale log would reject valid batches. *)
+          Cpu.exec srv.cpu ~cost_us:cost (fun () ->
+              if not srv.down then
+                if not (prev_idx < 0 || term_at srv prev_idx = prev_term) then
+                  send t ~src:srv.id ~dst:leader
+                    (Ack
+                       {
+                         term = srv.term;
+                         from = srv.id;
+                         success = false;
+                         match_idx = srv.commit_index;
+                         holders = my_valid_grants t srv;
+                       })
+                else begin
+                  accept_entries t srv ~prev_idx ~entries ~term;
+                  let match_idx = prev_idx + k in
+                  srv.commit_index <-
+                    max srv.commit_index (min commit match_idx);
+                  apply_committed t srv;
+                  activate_pending_grants t srv;
+                  send t ~src:srv.id ~dst:leader
+                    (Ack
+                       {
+                         term = srv.term;
+                         from = srv.id;
+                         success = true;
+                         match_idx;
+                         holders = my_valid_grants t srv;
+                       })
+                end)
+        end
+    | Ack { term; from; success; match_idx; holders } ->
+        if term > srv.term then step_down t srv term
+        else if srv.role = Leader then begin
+          srv.inflight.(from) <- max 0 (srv.inflight.(from) - 1);
+          srv.follower_last_ack.(from) <- Engine.now t.engine;
+          List.iter
+            (fun (h, deadline) ->
+              srv.peer_grants.(from).(h) <-
+                max srv.peer_grants.(from).(h) deadline)
+            holders;
+          refresh_leader_lease t srv;
+          if success then begin
+            srv.match_index.(from) <- max srv.match_index.(from) match_idx;
+            srv.next_index.(from) <-
+              max srv.next_index.(from) (srv.match_index.(from) + 1);
+            advance_commit t srv
+          end
+          else srv.next_index.(from) <- max 0 (match_idx + 1);
+          maybe_replicate t srv
+        end
+
+and activate_pending_grants t srv =
+  let ready, waiting =
+    List.partition
+      (fun (_, _, required) -> last_index srv >= required)
+      srv.pending_grants
+  in
+  srv.pending_grants <- waiting;
+  List.iter
+    (fun (from, deadline, _) ->
+      srv.grant_from.(from) <- max srv.grant_from.(from) deadline;
+      send t ~src:srv.id ~dst:from (GrantConfirm { from = srv.id; deadline }))
+    ready
+
+(* Log reconciliation.  Vanilla erases the conflicting suffix; Raft*
+   overwrites the replicated range (rewriting ballots) and never shortens
+   the log. *)
+and accept_entries t srv ~prev_idx ~entries ~term =
+  let idx = ref (prev_idx + 1) in
+  List.iter
+    (fun ((entry : Types.entry), bal) ->
+      let i = !idx in
+      if i > last_index srv then begin
+        Vec.push srv.log (entry, bal);
+        note_write srv i entry
+      end
+      else begin
+        let existing, _ = Vec.get srv.log i in
+        if existing.Types.term <> entry.Types.term then begin
+          (match t.config.flavor with
+          | Vanilla -> Vec.truncate srv.log i
+          | Star -> ());
+          if i > last_index srv then Vec.push srv.log (entry, bal)
+          else Vec.set srv.log i (entry, bal);
+          note_write srv i entry
+        end
+        else if t.config.flavor = Star then
+          (* ballot rewrite on re-replication *)
+          Vec.set srv.log i (entry, max bal term)
+      end;
+      incr idx)
+    entries
+
+(* ---- lease renewal loop (quorum-lease mode) ---- *)
+
+let rec lease_loop t srv =
+  if not srv.down then begin
+    let deadline = Engine.now t.engine + (p t).lease_duration_us in
+    let now = Engine.now t.engine in
+    let grantor_last = last_index srv in
+    Array.iter
+      (fun peer ->
+        (* We are bound by any grant from the moment it is sent — even to
+           a crashed holder, until it expires.  Renewal therefore requires
+           the holder to have confirmed the previous grant: a dead holder
+           stalls writes for at most one lease duration. *)
+        if
+          peer.id <> srv.id
+          && (srv.my_grants.(peer.id) < now
+             || srv.confirmed_grants.(peer.id) >= srv.my_grants.(peer.id))
+        then begin
+          srv.my_grants.(peer.id) <- max srv.my_grants.(peer.id) deadline;
+          send t ~src:srv.id ~dst:peer.id
+            (Grant { from = srv.id; deadline; grantor_last })
+        end)
+      t.servers
+  end;
+  Engine.schedule t.engine ~delay:(p t).lease_renew_us (fun () -> lease_loop t srv)
+
+(* ---- construction ---- *)
+
+let create config net =
+  let engine = Net.engine net in
+  let n = List.length (Net.nodes net) in
+  let servers =
+    Array.init n (fun id ->
+        {
+          id;
+          term = 0;
+          voted_for = None;
+          role = Follower;
+          leader_hint = 0;
+          log = Vec.create ();
+          commit_index = -1;
+          last_applied = -1;
+          store = Hashtbl.create 1024;
+          key_last_write = Hashtbl.create 1024;
+          next_index = Array.make n 0;
+          match_index = Array.make n (-1);
+          inflight = Array.make n 0;
+          votes = Array.make n false;
+          vote_extras = [];
+          follower_last_ack = Array.make n min_int;
+          leader_lease_until = min_int;
+          grant_from = Array.make n min_int;
+          pending_grants = [];
+          my_grants = Array.make n min_int;
+          confirmed_grants = Array.make n min_int;
+          peer_grants = Array.make_matrix n n min_int;
+          pending_reads = [];
+          election_timer = None;
+          down = false;
+          cpu = Cpu.create engine;
+          rng = Rng.split (Engine.rng engine);
+        })
+  in
+  let t =
+    {
+      config;
+      net;
+      engine;
+      n;
+      servers;
+      completions = Hashtbl.create 4096;
+      next_cmd_id = 0;
+    }
+  in
+  (match config.initial_leader with
+  | Some l ->
+      Array.iter
+        (fun srv ->
+          srv.term <- 1;
+          srv.leader_hint <- l)
+        servers;
+      let leader = servers.(l) in
+      leader.role <- Leader;
+      Vec.push leader.log ({ Types.term = 1; cmd = None }, 1);
+      leader.match_index.(l) <- 0;
+      Array.iteri (fun i _ -> leader.next_index.(i) <- 0) leader.next_index;
+      leader.next_index.(l) <- 1
+  | None -> ());
+  t
+
+let start t =
+  Array.iter
+    (fun srv ->
+      if srv.role = Leader then heartbeat_loop t srv srv.term
+      else reset_election_timer t srv;
+      if t.config.read_mode = Quorum_lease then lease_loop t srv)
+    t.servers
+
+let submit t ~node op k =
+  let id = t.next_cmd_id in
+  t.next_cmd_id <- id + 1;
+  Hashtbl.replace t.completions id k;
+  let cmd =
+    { Types.id; op; origin = node; submitted_us = Engine.now t.engine }
+  in
+  (* Client-to-colocated-replica hop. *)
+  Net.send t.net ~src:node ~dst:node
+    ~size:((p t).msg_header_bytes + Types.op_size op)
+    (fun () -> handle_client t t.servers.(node) cmd)
+
+let leader_of t =
+  let found = ref None in
+  Array.iter
+    (fun srv ->
+      if srv.role = Leader && not srv.down then
+        match !found with
+        | None -> found := Some srv.id
+        | Some other ->
+            (* Two leaders can transiently coexist at different terms; the
+               higher term wins as "the" leader. *)
+            if srv.term > t.servers.(other).term then found := Some srv.id)
+    t.servers;
+  !found
+
+let term_of t ~node = t.servers.(node).term
+let commit_index t ~node = t.servers.(node).commit_index
+let log_length t ~node = Vec.length t.servers.(node).log
+
+let applied_value t ~node ~key =
+  Hashtbl.find_opt t.servers.(node).store key
+
+let log_entries t ~node =
+  List.map fst (Vec.to_list t.servers.(node).log)
+
+let lease_active t ~node = quorum_lease_active t t.servers.(node)
+
+let crash t ~node =
+  let srv = t.servers.(node) in
+  srv.down <- true;
+  Net.set_node_down t.net node true;
+  (match srv.election_timer with Some timer -> Engine.cancel timer | None -> ());
+  srv.election_timer <- None
+
+let restart t ~node =
+  let srv = t.servers.(node) in
+  srv.down <- false;
+  Net.set_node_down t.net node false;
+  srv.role <- Follower;
+  Array.fill srv.inflight 0 t.n 0;
+  srv.pending_reads <- [];
+  Array.fill srv.grant_from 0 t.n min_int;
+  srv.pending_grants <- [];
+  Array.fill srv.my_grants 0 t.n min_int;
+  Array.fill srv.confirmed_grants 0 t.n min_int;
+  Array.iter (fun row -> Array.fill row 0 t.n min_int) srv.peer_grants;
+  reset_election_timer t srv;
+  if t.config.read_mode = Quorum_lease then lease_loop t srv

@@ -1,0 +1,70 @@
+(** Runtime implementation of the Raft protocol family over the simulated
+    WAN: vanilla Raft, Raft*, Raft*-LL (leader lease) and Raft*-PQL
+    (quorum leases) share this core, selected by {!config}.
+
+    The implementation is event-driven: replicas exchange messages through
+    {!Raftpax_sim.Net}, charge CPU through {!Raftpax_sim.Cpu}, and complete
+    client operations via callbacks.  A closed-loop client keeps exactly
+    one operation outstanding, so saturation shows up as latency rather
+    than unbounded queues.
+
+    Protocol features implemented: randomized-timeout leader election
+    (with Raft*'s extra-entry adoption under [flavor = Star]), log
+    replication with per-follower pipelining and unbounded batching (group
+    commit), vanilla conflict-erase vs Raft*'s no-shorten reconciliation
+    and ballot rewrite, Raft's 5.4.2 current-term commit restriction,
+    follower-to-leader forwarding (the etcd optimization the paper keeps
+    on), heartbeats, leader leases, quorum leases with
+    all-holder-acknowledged commits and commit-waited local reads. *)
+
+type flavor = Vanilla | Star
+
+type read_mode =
+  | Log_read  (** reads replicate through the log (Raft and Raft star) *)
+  | Leader_lease  (** only the leader answers reads locally (LL) *)
+  | Quorum_lease  (** any lease-holding replica answers locally (PQL) *)
+
+type config = {
+  flavor : flavor;
+  read_mode : read_mode;
+  params : Types.params;
+  initial_leader : int option;
+      (** [Some l] bootstraps with [l] already elected at term 1 (used by
+          the benchmarks to skip the startup election); [None] runs a real
+          election. *)
+}
+
+val raft : ?leader:int -> unit -> config
+val raft_star : ?leader:int -> unit -> config
+val raft_ll : ?leader:int -> unit -> config
+val raft_pql : ?leader:int -> unit -> config
+
+type t
+
+val create : config -> Raftpax_sim.Net.t -> t
+val start : t -> unit
+(** Arms timers (heartbeats, election timeouts, lease renewal). *)
+
+val submit : t -> node:int -> Types.op -> (Types.reply -> unit) -> unit
+(** Submit an operation at a replica's colocated client entry point; the
+    callback fires (simulated-time later) when the operation completes. *)
+
+(** {1 Introspection} *)
+
+val leader_of : t -> int option
+(** Current leader if any replica believes it is one. *)
+
+val term_of : t -> node:int -> int
+val commit_index : t -> node:int -> int
+val log_length : t -> node:int -> int
+val applied_value : t -> node:int -> key:int -> int option
+(** The write_id the replica's state machine currently holds for a key. *)
+
+val log_entries : t -> node:int -> Types.entry list
+val lease_active : t -> node:int -> bool
+(** Quorum-lease mode: is the replica entitled to local reads right now? *)
+
+val crash : t -> node:int -> unit
+val restart : t -> node:int -> unit
+(** Crash-stop and restart with durable state (term, vote, log) retained —
+    models a persisted log. *)

@@ -1,0 +1,51 @@
+type op =
+  | Get of { key : int }
+  | Put of { key : int; size : int; write_id : int }
+
+type cmd = { id : int; op : op; origin : int; submitted_us : int }
+
+let op_size = function Get _ -> 16 | Put { size; _ } -> size + 16
+let is_read = function Get _ -> true | Put _ -> false
+let key_of = function Get { key } -> key | Put { key; _ } -> key
+
+type entry = { term : int; cmd : cmd option }
+type reply = { value : int option }
+
+type params = {
+  pipeline_window : int;
+  cpu_leader_op_us : int;
+  cpu_follower_op_us : int;
+  cpu_read_op_us : int;
+  cpu_pql_commit_extra_us : int;
+  msg_header_bytes : int;
+  reply_bytes : int;
+  heartbeat_interval_us : int;
+  election_timeout_min_us : int;
+  election_timeout_max_us : int;
+  lease_duration_us : int;
+  lease_renew_us : int;
+}
+
+let default_params =
+  {
+    pipeline_window = 256;
+    cpu_leader_op_us = 24;
+    cpu_follower_op_us = 16;
+    cpu_read_op_us = 24;
+    cpu_pql_commit_extra_us = 30;
+    msg_header_bytes = 64;
+    reply_bytes = 64;
+    heartbeat_interval_us = 100_000;
+    election_timeout_min_us = 1_000_000;
+    election_timeout_max_us = 2_000_000;
+    lease_duration_us = 2_000_000;
+    lease_renew_us = 500_000;
+  }
+
+let entry_bytes params e =
+  params.msg_header_bytes
+  + match e.cmd with None -> 0 | Some c -> op_size c.op
+
+let batch_bytes params entries =
+  params.msg_header_bytes
+  + List.fold_left (fun acc e -> acc + entry_bytes params e) 0 entries

@@ -1,0 +1,33 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length v = v.len
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set";
+  v.data.(i) <- x
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    let cap = max 8 (2 * v.len) in
+    let data = Array.make cap x in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let truncate v n = if n < v.len then v.len <- max 0 n
+
+let last v = if v.len = 0 then None else Some v.data.(v.len - 1)
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let to_list v = List.init v.len (fun i -> v.data.(i))

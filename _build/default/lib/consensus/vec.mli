@@ -1,0 +1,15 @@
+(** Growable array (OCaml 5.1 predates [Dynarray]); used for replica logs. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val truncate : 'a t -> int -> unit
+(** [truncate v n] keeps the first [n] elements. *)
+
+val last : 'a t -> 'a option
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list

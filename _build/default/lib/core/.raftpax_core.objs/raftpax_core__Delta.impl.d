@@ -1,0 +1,1 @@
+lib/core/delta.ml: Fmt List State String

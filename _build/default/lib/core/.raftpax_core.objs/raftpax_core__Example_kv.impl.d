@@ -1,0 +1,1 @@
+lib/core/example_kv.ml: Action Delta Fmt Fun Label List Spec State Value

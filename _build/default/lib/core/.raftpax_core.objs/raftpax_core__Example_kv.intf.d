@@ -1,0 +1,1 @@
+lib/core/example_kv.mli: Delta Spec State

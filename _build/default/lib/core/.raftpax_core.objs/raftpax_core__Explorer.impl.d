@@ -1,0 +1,1 @@
+lib/core/explorer.ml: Fmt List Map Queue Spec State

@@ -1,0 +1,1 @@
+lib/core/explorer.mli: Format Spec State

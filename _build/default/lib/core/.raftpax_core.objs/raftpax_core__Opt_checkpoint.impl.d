@@ -1,0 +1,1 @@
+lib/core/opt_checkpoint.ml: Delta Fmt List Proto_config Spec_multipaxos State Value

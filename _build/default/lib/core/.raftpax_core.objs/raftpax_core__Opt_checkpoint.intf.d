@@ -1,0 +1,1 @@
+lib/core/opt_checkpoint.mli: Delta Proto_config State

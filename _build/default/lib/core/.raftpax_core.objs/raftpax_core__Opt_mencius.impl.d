@@ -1,0 +1,1 @@
+lib/core/opt_mencius.ml: Delta Label List Proto_config Spec_multipaxos State Value

@@ -1,0 +1,1 @@
+lib/core/opt_mencius.mli: Delta Proto_config State Value

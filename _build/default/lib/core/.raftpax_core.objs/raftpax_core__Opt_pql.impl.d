@@ -1,0 +1,1 @@
+lib/core/opt_pql.ml: Delta Fmt Label List Proto_config Spec_multipaxos State Value

@@ -1,0 +1,1 @@
+lib/core/opt_pql.mli: Delta Proto_config State Value

@@ -1,0 +1,1 @@
+lib/core/port.ml: Action Delta Fmt List Option Refinement Spec State

@@ -1,0 +1,1 @@
+lib/core/refinement.ml: Explorer Fmt Hashtbl List Map Option Queue Set Spec State String

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Action Fmt List Spec String

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Action Fmt List State String

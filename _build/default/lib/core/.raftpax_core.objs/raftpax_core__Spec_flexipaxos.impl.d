@@ -1,0 +1,1 @@
+lib/core/spec_flexipaxos.ml: Fmt List Proto_config Spec_multipaxos Value

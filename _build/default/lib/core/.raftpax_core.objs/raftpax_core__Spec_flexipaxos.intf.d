@@ -1,0 +1,1 @@
+lib/core/spec_flexipaxos.mli: Proto_config Spec State Value

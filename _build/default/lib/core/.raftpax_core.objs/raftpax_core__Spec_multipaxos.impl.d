@@ -1,0 +1,1 @@
+lib/core/spec_multipaxos.ml: Action Fmt List Option Proto_config Spec State Value

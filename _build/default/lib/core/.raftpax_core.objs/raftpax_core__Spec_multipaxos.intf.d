@@ -1,0 +1,1 @@
+lib/core/spec_multipaxos.mli: Proto_config Spec State Value

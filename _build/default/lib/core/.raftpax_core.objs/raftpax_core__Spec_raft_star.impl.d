@@ -1,0 +1,1 @@
+lib/core/spec_raft_star.ml: Action Fmt Fun List Option Proto_config Scanf Spec Spec_multipaxos State Value

@@ -1,0 +1,1 @@
+lib/core/spec_raft_star.mli: Proto_config Spec State

@@ -1,0 +1,1 @@
+lib/core/spec_raft_vanilla.ml: Action Fmt List Option Proto_config Spec Spec_multipaxos State Value

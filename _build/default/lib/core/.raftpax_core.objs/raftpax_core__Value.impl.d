@@ -1,0 +1,1 @@
+lib/core/value.ml: Fmt List Stdlib String

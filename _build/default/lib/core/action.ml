@@ -1,0 +1,24 @@
+type t = {
+  name : string;
+  descr : string;
+  enum : State.t -> (string * State.t) list;
+}
+
+let make ?(descr = "") name enum = { name; descr; enum }
+
+let simple ?descr name step =
+  make ?descr name (fun s ->
+      match step s with Some s' -> [ ("", s') ] | None -> [])
+
+let rename name a = { a with name }
+
+let guard p a =
+  {
+    a with
+    enum =
+      (fun s -> List.filter (fun (label, s') -> p label s s') (a.enum s));
+  }
+
+let pp ppf a =
+  if a.descr = "" then Fmt.string ppf a.name
+  else Fmt.pf ppf "%s  (* %s *)" a.name a.descr

@@ -1,0 +1,27 @@
+(** A TLA-style subaction: a named, possibly parameterised next-state
+    relation.
+
+    Enabling conditions and next-state assignments are folded into [enum],
+    which enumerates every successor state reachable from a given state by
+    this subaction, together with a label recording the parameter
+    instantiation (e.g. ["a=1,b=2"]).  An action that is not enabled in a
+    state simply enumerates no successors. *)
+
+type t = {
+  name : string;
+  descr : string;  (** one-line human description, used when printing specs *)
+  enum : State.t -> (string * State.t) list;
+}
+
+val make : ?descr:string -> string -> (State.t -> (string * State.t) list) -> t
+
+val simple : ?descr:string -> string -> (State.t -> State.t option) -> t
+(** An unparameterised action: at most one successor, labelled [""]. *)
+
+val rename : string -> t -> t
+
+val guard : (string -> State.t -> State.t -> bool) -> t -> t
+(** [guard p a] restricts [a] to the successors [(label, s')] for which
+    [p label s s'] holds. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,123 @@
+module V = Value
+
+let keys = 3
+let values = 2
+
+let key_ids = List.init keys Fun.id
+let value_ids = List.init values (fun v -> v + 1)
+
+(* ---- Figure 4a: the key-value store A ---- *)
+
+let table_get s k = V.get (State.get s "table") (V.int k)
+let table_put s k v = State.set s "table" (V.put (State.get s "table") (V.int k) v)
+
+let kv_store =
+  let put =
+    Action.make ~descr:"table'[k] = {v}" "Put" (fun s ->
+        List.concat_map
+          (fun k ->
+            List.map
+              (fun v ->
+                ( Fmt.str "k=%d,v=%d" k v,
+                  table_put s k (V.set [ V.int v ]) ))
+              value_ids)
+          key_ids)
+  in
+  let get =
+    Action.make ~descr:"output' = table[k]" "Get" (fun s ->
+        List.map
+          (fun k -> (Fmt.str "k=%d" k, State.set s "output" (table_get s k)))
+          key_ids)
+  in
+  Spec.make ~name:"KVStore" ~vars:[ "table"; "output" ]
+    ~init:
+      [
+        State.of_list
+          [
+            ("table", V.fn (List.map (fun k -> (V.int k, V.set [])) key_ids));
+            ("output", V.set []);
+          ];
+      ]
+    [ put; get ]
+
+(* ---- Figure 4b: the log-structured protocol B ---- *)
+
+let log_get s i = V.get (State.get s "logs") (V.int i)
+let log_put s i v = State.set s "logs" (V.put (State.get s "logs") (V.int i) v)
+
+let log_store =
+  let write =
+    Action.make ~descr:"contiguous log append" "Write" (fun s ->
+        List.concat_map
+          (fun i ->
+            let contiguous =
+              i = 0 || not (V.equal (log_get s (i - 1)) (V.set []))
+            in
+            if not contiguous then []
+            else
+              List.map
+                (fun v ->
+                  ( Fmt.str "i=%d,v=%d" i v,
+                    log_put s i (V.set [ V.int v ]) ))
+                value_ids)
+          key_ids)
+  in
+  let read =
+    Action.make ~descr:"output' = logs[i]" "Read" (fun s ->
+        List.map
+          (fun i -> (Fmt.str "i=%d" i, State.set s "output" (log_get s i)))
+          key_ids)
+  in
+  Spec.make ~name:"LogStore" ~vars:[ "logs"; "output" ]
+    ~init:
+      [
+        State.of_list
+          [
+            ("logs", V.fn (List.map (fun i -> (V.int i, V.set [])) key_ids));
+            ("output", V.set []);
+          ];
+      ]
+    [ write; read ]
+
+(* ---- the refinement mapping: log position i = table key i ---- *)
+
+let log_to_kv s =
+  State.of_list
+    [ ("table", State.get s "logs"); ("output", State.get s "output") ]
+
+(* Note: merely permuting the keys would NOT be broken — the KV store is
+   symmetric under key permutation and the checker accepts it.  This map
+   instead ties [output] to [logs[0]], so a Write to position 0 changes
+   two mapped variables at once, which no single KV subaction can do. *)
+let broken_map s =
+  State.of_list
+    [ ("table", State.get s "logs"); ("output", log_get s 0) ]
+
+(* ---- Figure 4c: the size-counter optimization Δ ---- *)
+
+let size_delta =
+  Delta.make ~name:"SizeCounter" ~delta_vars:[ "size" ]
+    ~delta_init:(State.of_list [ ("size", V.int 0) ])
+    [
+      Delta.modified ~base:"Put" ~reads:[ "table" ]
+        ~guard:(fun ~a_view ~d_state:_ ~label ->
+          (* Figure 4c: only first writes are counted (table[k] = {}). *)
+          let k = Label.get_int label "k" in
+          V.equal (table_get a_view k) (V.set []))
+        (fun ~a_view:_ ~a_view':_ ~d_state ~label:_ ->
+          State.set d_state "size"
+            (V.int (V.to_int (State.get d_state "size") + 1)));
+    ]
+
+let implies = function
+  | "Write" -> [ "Put" ]
+  | "Read" -> [ "Get" ]
+  | _ -> []
+
+let label_map ~b_action:_ ~a_action:_ label =
+  (* f_args: B's log index i is A's key k. *)
+  match Label.get_opt label "i" with
+  | Some i -> (
+      "k=" ^ i
+      ^ match Label.get_opt label "v" with Some v -> ",v=" ^ v | None -> "")
+  | None -> label

@@ -1,0 +1,39 @@
+(** The paper's Figure-4 running example, used throughout Section 4:
+
+    - {b A}: a key-value store with [Put(k, v)] and [Get(k)];
+    - {b B}: a protocol that stores values in an append-only log (a [Write]
+      must extend the log contiguously), refining A under the mapping that
+      sends log position [i] to hash-table key [i];
+    - {b AΔ}: the non-mutating optimization that adds a [size] counter to
+      Put (Figure 4c);
+    - {b BΔ}: derived automatically by {!Port.port} — Figure 4d.
+
+    Domains are finite ([keys], [values]) so every claim is checked
+    exhaustively by the explorer. *)
+
+val keys : int
+val values : int
+
+val kv_store : Spec.t
+(** Figure 4a: protocol A. *)
+
+val log_store : Spec.t
+(** Figure 4b: protocol B. *)
+
+val log_to_kv : State.t -> State.t
+(** The refinement mapping [f] from B's state to A's. *)
+
+val broken_map : State.t -> State.t
+(** A deliberately wrong mapping (ties [output] to the first log slot),
+    used to check that the refinement checker rejects bad mappings. *)
+
+val size_delta : Delta.t
+(** Figure 4c's optimization Δ: a [size] counter incremented by [Put],
+    guarded so only first writes count (Figure 4c requires
+    [table[k] = {}]). *)
+
+val implies : string -> string list
+(** The action correspondence: [Write ⇒ Put], [Read ⇒ Get]. *)
+
+val label_map : b_action:string -> a_action:string -> string -> string
+(** The parameter mapping [f_args]: B's [i] parameter is A's [k]. *)

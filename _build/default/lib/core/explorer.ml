@@ -1,0 +1,128 @@
+module Smap = Map.Make (State)
+
+type step = { action : string; label : string; state : State.t }
+
+type stats = {
+  states : int;
+  transitions : int;
+  depth : int;
+  complete : bool;
+}
+
+type result =
+  | Pass of stats
+  | Violation of { invariant : string; trace : step list; stats : stats }
+  | Deadlock of { trace : step list; stats : stats }
+
+(* Predecessor map entry: how we first reached a state. *)
+type crumb = Root | Via of State.t * string * string
+
+let rebuild_trace crumbs last =
+  let rec go acc s =
+    match Smap.find s crumbs with
+    | Root -> { action = "Init"; label = ""; state = s } :: acc
+    | Via (prev, action, label) -> go ({ action; label; state = s } :: acc) prev
+  in
+  go [] last
+
+let violated invariants s =
+  List.find_opt (fun (_, p) -> not (p s)) invariants
+
+let check ?(max_states = 1_000_000) ?(max_depth = max_int)
+    ?(check_deadlock = false) ~invariants (spec : Spec.t) =
+  let crumbs = ref Smap.empty in
+  let queue = Queue.create () in
+  let states = ref 0 in
+  let transitions = ref 0 in
+  let depth_reached = ref 0 in
+  let complete = ref true in
+  let stats () =
+    {
+      states = !states;
+      transitions = !transitions;
+      depth = !depth_reached;
+      complete = !complete;
+    }
+  in
+  let exception Found of result in
+  let visit s crumb depth =
+    if not (Smap.mem s !crumbs) then begin
+      if !states >= max_states then complete := false
+      else begin
+        crumbs := Smap.add s crumb !crumbs;
+        incr states;
+        if depth > !depth_reached then depth_reached := depth;
+        (match violated invariants s with
+        | Some (name, _) ->
+            raise
+              (Found
+                 (Violation
+                    {
+                      invariant = name;
+                      trace = rebuild_trace !crumbs s;
+                      stats = stats ();
+                    }))
+        | None -> ());
+        Queue.add (s, depth) queue
+      end
+    end
+  in
+  try
+    List.iter (fun s -> visit s Root 0) spec.init;
+    while not (Queue.is_empty queue) do
+      let s, depth = Queue.pop queue in
+      if depth >= max_depth then complete := false
+      else begin
+        let succs = Spec.successors spec s in
+        transitions := !transitions + List.length succs;
+        if check_deadlock && succs = [] then
+          raise
+            (Found (Deadlock { trace = rebuild_trace !crumbs s; stats = stats () }));
+        List.iter
+          (fun (action, label, s') ->
+            if not (Spec.well_formed_transition spec s') then
+              invalid_arg
+                (Fmt.str "Explorer: action %s of %s produced ill-formed state"
+                   action spec.name);
+            visit s' (Via (s, action, label)) (depth + 1))
+          succs
+      end
+    done;
+    Pass (stats ())
+  with Found r -> r
+
+let reachable ?(max_states = 1_000_000) ?(max_depth = max_int) (spec : Spec.t)
+    =
+  let acc = ref [] in
+  let record s =
+    acc := s :: !acc;
+    true
+  in
+  let result =
+    check ~max_states ~max_depth ~invariants:[ ("collect", record) ] spec
+  in
+  let stats =
+    match result with
+    | Pass s -> s
+    | Violation { stats; _ } | Deadlock { stats; _ } -> stats
+  in
+  (List.rev !acc, stats)
+
+let pp_step ppf { action; label; state } =
+  if label = "" then Fmt.pf ppf "@[<v2>%s:@,%a@]" action State.pp state
+  else Fmt.pf ppf "@[<v2>%s(%s):@,%a@]" action label State.pp state
+
+let pp_trace ppf steps =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_step) steps
+
+let pp_stats ppf { states; transitions; depth; complete } =
+  Fmt.pf ppf "%d states, %d transitions, depth %d%s" states transitions depth
+    (if complete then "" else " (bounded)")
+
+let pp_result ppf = function
+  | Pass stats -> Fmt.pf ppf "pass: %a" pp_stats stats
+  | Violation { invariant; trace; stats } ->
+      Fmt.pf ppf "@[<v>invariant %s violated (%a):@,%a@]" invariant pp_stats
+        stats pp_trace trace
+  | Deadlock { trace; stats } ->
+      Fmt.pf ppf "@[<v>deadlock (%a):@,%a@]" pp_stats stats pp_trace trace

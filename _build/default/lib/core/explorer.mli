@@ -1,0 +1,44 @@
+(** Bounded breadth-first model checker, in the style of TLC.
+
+    Explores the reachable state space of a {!Spec.t} from its initial
+    states up to configurable bounds, checking a set of named invariants on
+    every reached state.  On a violation it reconstructs the shortest
+    counterexample trace. *)
+
+type step = { action : string; label : string; state : State.t }
+
+type stats = {
+  states : int;  (** distinct states reached *)
+  transitions : int;  (** transitions examined *)
+  depth : int;  (** BFS depth reached *)
+  complete : bool;  (** false when a bound cut exploration short *)
+}
+
+type result =
+  | Pass of stats
+  | Violation of {
+      invariant : string;
+      trace : step list;  (** initial state first; its action is ["Init"] *)
+      stats : stats;
+    }
+  | Deadlock of { trace : step list; stats : stats }
+
+val check :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?check_deadlock:bool ->
+  invariants:(string * (State.t -> bool)) list ->
+  Spec.t ->
+  result
+(** Defaults: [max_states = 1_000_000], [max_depth = max_int],
+    [check_deadlock = false].  Deadlock means a reachable state with no
+    enabled action, which most of the paper's specs permit legitimately
+    (e.g. all messages consumed), hence the default. *)
+
+val reachable :
+  ?max_states:int -> ?max_depth:int -> Spec.t -> State.t list * stats
+(** All reachable states, for spot-checking properties that are not
+    per-state invariants. *)
+
+val pp_trace : Format.formatter -> step list -> unit
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,25 @@
+let parse label =
+  if label = "" then []
+  else
+    String.split_on_char ',' label
+    |> List.filter_map (fun kv ->
+           match String.index_opt kv '=' with
+           | Some eq ->
+               Some
+                 ( String.sub kv 0 eq,
+                   String.sub kv (eq + 1) (String.length kv - eq - 1) )
+           | None -> None)
+
+let get label key =
+  match List.assoc_opt key (parse label) with
+  | Some v -> v
+  | None -> raise Not_found
+
+let get_int label key = int_of_string (get label key)
+let get_opt label key = List.assoc_opt key (parse label)
+
+let keep keys label =
+  parse label
+  |> List.filter (fun (k, _) -> List.mem k keys)
+  |> List.map (fun (k, v) -> k ^ "=" ^ v)
+  |> String.concat ","

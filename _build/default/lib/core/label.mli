@@ -1,0 +1,17 @@
+(** Action labels encode parameter instantiations as ["k1=v1,k2=v2,..."].
+    This module parses them, so optimization clauses can read parameters
+    and porting can implement the paper's parameter mapping [f_args]
+    (Section 4.3) by re-writing labels between protocols. *)
+
+val parse : string -> (string * string) list
+val get : string -> string -> string
+(** [get label key]; raises [Not_found]. *)
+
+val get_int : string -> string -> int
+val get_opt : string -> string -> string option
+
+val keep : string list -> string -> string
+(** [keep keys label] drops every parameter not named in [keys], preserving
+    order — the usual shape of [f_args] between a protocol and its
+    refinement (e.g. Raft*'s ["a=1,i1=0,i=0,v=2"] maps to Paxos's
+    ["a=1,i=0,v=2"]). *)

@@ -1,0 +1,127 @@
+module V = Value
+module C = Proto_config
+
+let apply_index d a = V.to_int (V.get (State.get d "applyIndexC") (V.int a))
+let checkpoint_at d a = V.to_int (V.get (State.get d "checkpointAt") (V.int a))
+
+let set_per_acceptor d var a v =
+  State.set d var (V.put (State.get d var) (V.int a) v)
+
+let log_entry_of_view a_view a i =
+  V.get (V.get (State.get a_view "logs") (V.int a)) (V.int i)
+
+let delta_init cfg =
+  let accs = C.acceptor_ids cfg in
+  let per_acceptor v = V.fn (List.map (fun a -> (V.int a, v)) accs) in
+  State.of_list
+    [
+      ("applyIndexC", per_acceptor (V.int (-1)));
+      ("checkpointAt", per_acceptor (V.int (-1)));
+      ("checkpointVal", per_acceptor (V.fn []));
+    ]
+
+(* A replica applies the next instance once it is chosen — the checkpoint
+   optimization's only interaction with the base protocol is this read of
+   chosen-ness. *)
+let apply_in_order cfg =
+  Delta.added ~descr:"apply the next chosen instance in order" "ApplyInOrder"
+    (fun ~a_view ~d_state ->
+      List.filter_map
+        (fun a ->
+          let i = apply_index d_state a + 1 in
+          if i > cfg.C.max_index then None
+          else
+            match V.to_tuple (log_entry_of_view a_view a i) with
+            | [ b; v ] when V.to_int b >= 0 ->
+                (* chosen-ness (at any ballot — the local entry may have
+                   been re-accepted at a later one) is evaluated on the
+                   base votes, which the view carries *)
+                let s = State.merge a_view d_state in
+                if
+                  List.exists (V.equal v)
+                    (Spec_multipaxos.chosen_values cfg s ~idx:i)
+                then
+                  Some
+                    ( Fmt.str "a=%d,i=%d" a i,
+                      set_per_acceptor d_state "applyIndexC" a (V.int i) )
+                else None
+            | _ -> None)
+        (C.acceptor_ids cfg))
+
+let take_checkpoint cfg =
+  Delta.added ~descr:"snapshot the applied prefix and its last index"
+    "TakeCheckpoint" (fun ~a_view ~d_state ->
+      List.filter_map
+        (fun a ->
+          let applied = apply_index d_state a in
+          if applied <= checkpoint_at d_state a then None
+          else begin
+            (* "checkpoint both system state and last applied instance id"
+               — the state here is the applied prefix of values *)
+            let prefix =
+              V.fn
+                (List.filter_map
+                   (fun i ->
+                     if i <= applied then
+                       match V.to_tuple (log_entry_of_view a_view a i) with
+                       | [ _; v ] -> Some (V.int i, v)
+                       | _ -> None
+                     else None)
+                   (C.indexes cfg))
+            in
+            let d = set_per_acceptor d_state "checkpointAt" a (V.int applied) in
+            let d = set_per_acceptor d "checkpointVal" a prefix in
+            Some (Fmt.str "a=%d,upto=%d" a applied, d)
+          end)
+        (C.acceptor_ids cfg))
+
+let delta cfg =
+  Delta.make ~name:"Checkpoint"
+    ~delta_vars:[ "applyIndexC"; "checkpointAt"; "checkpointVal" ]
+    ~delta_init:(delta_init cfg)
+    [ apply_in_order cfg; take_checkpoint cfg ]
+
+(* ---- invariants (on the optimized Paxos state) ---- *)
+
+let inv_checkpoint_behind_apply cfg s =
+  List.for_all
+    (fun a -> checkpoint_at s a <= apply_index s a)
+    (C.acceptor_ids cfg)
+
+let inv_applied_chosen cfg s =
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun i ->
+          i > apply_index s a
+          ||
+          match V.to_tuple (log_entry_of_view s a i) with
+          | [ b; v ] when V.to_int b >= 0 ->
+              List.exists (V.equal v)
+                (Spec_multipaxos.chosen_values cfg s ~idx:i)
+          | _ -> false)
+        (C.indexes cfg))
+    (C.acceptor_ids cfg)
+
+let inv_checkpoint_stable cfg s =
+  List.for_all
+    (fun a ->
+      let upto = checkpoint_at s a in
+      let snap = V.get (State.get s "checkpointVal") (V.int a) in
+      List.for_all
+        (fun i ->
+          i > upto
+          ||
+          (* the snapshotted value is among the chosen values at i *)
+          match V.get_opt snap (V.int i) with
+          | Some v -> List.exists (V.equal v) (Spec_multipaxos.chosen_values cfg s ~idx:i)
+          | None -> false)
+        (C.indexes cfg))
+    (C.acceptor_ids cfg)
+
+let invariants cfg =
+  [
+    ("CheckpointBehindApply", inv_checkpoint_behind_apply cfg);
+    ("AppliedChosen", inv_applied_chosen cfg);
+    ("CheckpointStable", inv_checkpoint_stable cfg);
+  ]

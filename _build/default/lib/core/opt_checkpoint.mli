@@ -1,0 +1,32 @@
+(** The checkpointing optimization the paper uses as its motivating example
+    for automatic porting (Section 2.2): a replica applies chosen instances
+    in order and periodically checkpoints "system state + last applied
+    instance id".  Under the refinement mapping, the instance id is the log
+    index, so the ported Raft* optimization checkpoints the last applied
+    log index — "without considering the precise semantics", exactly as the
+    paper promises.
+
+    Delta state (all new variables — trivially non-mutating):
+    - [applyIndexC]  : acceptor -> last applied instance (in-order);
+    - [checkpointAt] : acceptor -> instance id of the latest checkpoint;
+    - [checkpointVal]: acceptor -> the checkpointed prefix (the "system
+      state": the values of instances up to [checkpointAt]).
+
+    Added subactions: [ApplyInOrder] (advance over chosen instances) and
+    [TakeCheckpoint].  No base subaction is modified. *)
+
+val delta : Proto_config.t -> Delta.t
+
+val apply_index : State.t -> int -> int
+val checkpoint_at : State.t -> int -> int
+
+val inv_checkpoint_behind_apply : Proto_config.t -> State.t -> bool
+val inv_applied_chosen : Proto_config.t -> State.t -> bool
+(** Everything applied is chosen (reads base votes + delta vars, so it
+    works on the optimized Paxos state). *)
+
+val inv_checkpoint_stable : Proto_config.t -> State.t -> bool
+(** The checkpointed prefix equals the chosen values it claims to
+    snapshot. *)
+
+val invariants : Proto_config.t -> (string * (State.t -> bool)) list

@@ -1,0 +1,174 @@
+module V = Value
+module C = Proto_config
+
+let default_leader = 0
+let noop_value = V.int 1
+
+(* ---- delta-state accessors ---- *)
+
+let default_proposals d = State.get d "defaultProposals"
+
+let add_default_proposal d i b v =
+  State.set d "defaultProposals"
+    (V.set_add (V.tuple [ V.int i; V.int b; v ]) (default_proposals d))
+
+let proposed_by_default ?value d i =
+  V.set_exists
+    (fun p ->
+      match V.to_tuple p with
+      | [ i'; _; v' ] -> (
+          V.to_int i' = i
+          && match value with Some v -> V.equal v v' | None -> true)
+      | _ -> false)
+    (default_proposals d)
+
+let is_default_proposal d i b v =
+  V.set_mem (V.tuple [ V.int i; V.int b; v ]) (default_proposals d)
+
+let skip_tag d ~acc ~idx =
+  V.to_bool (V.get (V.get (State.get d "skipTags") (V.int acc)) (V.int idx))
+
+let set_skip_tag d acc idx =
+  let tags = State.get d "skipTags" in
+  let row = V.get tags (V.int acc) in
+  State.set d "skipTags" (V.put tags (V.int acc) (V.put row (V.int idx) V.tt))
+
+let executable d ~acc =
+  List.filter_map
+    (fun e ->
+      match V.to_tuple e with
+      | [ i; v ] -> Some (V.to_int i, v)
+      | _ -> None)
+    (V.to_set (V.get (State.get d "executable") (V.int acc)))
+
+let add_executable d acc i v =
+  let ex = State.get d "executable" in
+  let row = V.get ex (V.int acc) in
+  State.set d "executable"
+    (V.put ex (V.int acc) (V.set_add (V.tuple [ V.int i; v ]) row))
+
+(* ---- the delta ---- *)
+
+let delta_init cfg =
+  let accs = C.acceptor_ids cfg in
+  let per_acceptor v = V.fn (List.map (fun a -> (V.int a, v)) accs) in
+  let per_index v = V.fn (List.map (fun i -> (V.int i, v)) (C.indexes cfg)) in
+  State.of_list
+    [
+      ("defaultProposals", V.set []);
+      ("skipTags", per_acceptor (per_index V.ff));
+      ("executable", per_acceptor (V.set []));
+    ]
+
+(* Coordination guard on Propose: only the default leader may propose real
+   values; nobody (the default leader included) reverses a decision it has
+   already made for an instance. *)
+let propose_clause cfg =
+  ignore cfg;
+  Delta.modified ~base:"Propose" ~reads:[ "highestBallot" ]
+    ~guard:(fun ~a_view:_ ~d_state ~label ->
+      let a = Label.get_int label "a" in
+      let i = Label.get_int label "i" in
+      let v = V.int (Label.get_int label "v") in
+      if a <> default_leader then V.equal v noop_value
+      else if V.equal v noop_value then
+        (* Skip only turns not already used for a real value. *)
+        not
+          (V.set_exists
+             (fun p ->
+               match V.to_tuple p with
+               | [ i'; _; v' ] ->
+                   V.to_int i' = i && not (V.equal v' noop_value)
+               | _ -> false)
+             (default_proposals d_state))
+      else not (proposed_by_default ~value:noop_value d_state i))
+    (fun ~a_view ~a_view':_ ~d_state ~label ->
+      let a = Label.get_int label "a" in
+      if a <> default_leader then d_state
+      else
+        let i = Label.get_int label "i" in
+        let v = V.int (Label.get_int label "v") in
+        let b =
+          V.to_int (V.get (State.get a_view "highestBallot") (V.int a))
+        in
+        add_default_proposal d_state i b v)
+
+(* The skip-learning rule (B.5's Phase2b change): any log entry a server
+   newly holds that is a default-leader no-op proposal becomes a tagged,
+   executable skip.  Written as a pre/post diff so it applies unchanged to
+   every subaction that makes servers accept entries — in Paxos that is
+   [Accept] and [BecomeLeader]; after porting, Raft*'s batched
+   [AcceptEntries] and its election, the multi-action case the paper warns
+   hand-porting misses. *)
+let learn_skips cfg ~a_view ~a_view' ~d_state =
+  List.fold_left
+    (fun d acc ->
+      List.fold_left
+        (fun d i ->
+          let entry s =
+            V.get (V.get (State.get s "logs") (V.int acc)) (V.int i)
+          in
+          let e' = entry a_view' in
+          if V.equal (entry a_view) e' then d
+          else
+            match V.to_tuple e' with
+            | [ b; v ]
+              when V.equal v noop_value
+                   && is_default_proposal d i (V.to_int b) v ->
+                add_executable (set_skip_tag d acc i) acc i v
+            | _ -> d)
+        d (C.indexes cfg))
+    d_state (C.acceptor_ids cfg)
+
+let accept_clause cfg =
+  Delta.modified ~base:"Accept" ~reads:[ "logs" ]
+    (fun ~a_view ~a_view' ~d_state ~label:_ ->
+      learn_skips cfg ~a_view ~a_view' ~d_state)
+
+let become_leader_clause cfg =
+  Delta.modified ~base:"BecomeLeader" ~reads:[ "logs" ]
+    (fun ~a_view ~a_view' ~d_state ~label:_ ->
+      learn_skips cfg ~a_view ~a_view' ~d_state)
+
+let delta cfg =
+  Delta.make ~name:"Mencius"
+    ~delta_vars:[ "defaultProposals"; "skipTags"; "executable" ]
+    ~delta_init:(delta_init cfg)
+    [ propose_clause cfg; accept_clause cfg; become_leader_clause cfg ]
+
+(* ---- invariants (on the optimized Paxos state) ---- *)
+
+let log_val s acc i =
+  match
+    V.to_tuple (V.get (V.get (State.get s "logs") (V.int acc)) (V.int i))
+  with
+  | [ _; v ] -> v
+  | _ -> V.nil
+
+let inv_skip_sound cfg s =
+  List.for_all
+    (fun acc ->
+      List.for_all
+        (fun i ->
+          (not (skip_tag s ~acc ~idx:i))
+          || (V.equal (log_val s acc i) noop_value
+             && proposed_by_default ~value:noop_value s i))
+        (C.indexes cfg))
+    (C.acceptor_ids cfg)
+
+let inv_executable_safe cfg s =
+  List.for_all
+    (fun acc ->
+      List.for_all
+        (fun (i, v) ->
+          V.equal v noop_value
+          && List.for_all (V.equal noop_value)
+               (Spec_multipaxos.chosen_values cfg s ~idx:i))
+        (executable s ~acc))
+    (C.acceptor_ids cfg)
+
+let invariants cfg =
+  [
+    ("SkipSound", inv_skip_sound cfg);
+    ("ExecutableSafe", inv_executable_safe cfg);
+  ]

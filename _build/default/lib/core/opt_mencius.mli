@@ -1,0 +1,55 @@
+(** Coordinated Paxos — the per-instance-group core of Mencius (Mao et
+    al.), the paper's Appendix B.5 — expressed as a {b non-mutating
+    optimization delta} over {!Spec_multipaxos}.
+
+    One coordinated-Paxos group has a single {e default leader} who alone
+    may propose real values; every other server may propose only no-op
+    ("skip my turn").  The payoff is the skip rule: as soon as a server
+    {e accepts} a no-op proposed by the default leader it may mark the
+    instance executable without waiting for the commit quorum — only the
+    default leader could have proposed a real value there, and it has
+    forfeited its turn.  Full Mencius is the round-robin composition of
+    such groups, one per replica (built at runtime in [lib/consensus]; the
+    spec checks one group, exactly as the paper's B.5 does).
+
+    Delta state:
+    - [defaultProposals]: the (index, ballot, value) proposals made by the
+      default leader.  The paper's B.5 instead widens the base
+      [proposedValues] tuples with a [default] flag — a base-variable
+      mutation that contradicts its own non-mutating claim; tracking the
+      same information in a parallel delta variable is equivalent and
+      genuinely non-mutating (see DESIGN.md "Deviations").
+    - [skipTags]: per server, per index — learned "this slot is a skip";
+    - [executable]: per server, the (index, value) pairs executable ahead
+      of commit.
+
+    Modified subactions: [Propose] (coordination guard + default-proposal
+    tracking), [Accept] (learn skips: B.5's Phase2b change), and
+    [BecomeLeader] (adopt skip tags along with safe entries: B.5's
+    Phase1b/Phase1Succeed changes).  When this delta is ported to Raft*,
+    the [Accept] clause lands on [AcceptEntries] — which batches several
+    Paxos accepts — and the [BecomeLeader] clause on Raft*'s election;
+    this is the paper's warning case where a hand port that only patches
+    one of the implied actions would be wrong. *)
+
+val default_leader : int
+(** Server 0 is the group's default leader. *)
+
+val noop_value : Value.t
+(** Value id 1 is designated as the group's no-op (the delta only
+    interprets it; the base protocol treats it as an ordinary value). *)
+
+val delta : Proto_config.t -> Delta.t
+
+val skip_tag : State.t -> acc:int -> idx:int -> bool
+val executable : State.t -> acc:int -> (int * Value.t) list
+
+val inv_skip_sound : Proto_config.t -> State.t -> bool
+(** A skip tag implies the tagged entry is a default-leader no-op. *)
+
+val inv_executable_safe : Proto_config.t -> State.t -> bool
+(** Executable-before-commit is safe: if any server marked (i, noop)
+    executable, no value other than noop is ever chosen at i.  Evaluated
+    on the optimized Paxos state (base votes + delta vars). *)
+
+val invariants : Proto_config.t -> (string * (State.t -> bool)) list

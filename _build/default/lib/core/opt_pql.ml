@@ -1,0 +1,194 @@
+module V = Value
+module C = Proto_config
+
+type params = { lease_duration : int; max_timer : int }
+
+let default_params = { lease_duration = 1; max_timer = 1 }
+
+let is_read v = V.to_int v mod 2 = 0
+
+(* ---- delta-state accessors ---- *)
+
+let timer d = V.to_int (State.get d "timer")
+
+let lease_deadline d p q =
+  V.to_int (V.get (V.get (State.get d "leases") (V.int p)) (V.int q))
+
+let set_lease d p q deadline =
+  let leases = State.get d "leases" in
+  let row = V.get leases (V.int p) in
+  State.set d "leases"
+    (V.put leases (V.int p) (V.put row (V.int q) (V.int deadline)))
+
+let apply_index d a = V.to_int (V.get (State.get d "applyIndex") (V.int a))
+
+let set_apply_index d a i =
+  State.set d "applyIndex" (V.put (State.get d "applyIndex") (V.int a) (V.int i))
+
+let holds_lease d ~grantor ~holder = lease_deadline d grantor holder >= timer d
+
+let lease_is_active cfg s p =
+  List.exists
+    (fun q -> List.for_all (fun a -> holds_lease s ~grantor:a ~holder:p) q)
+    (C.quorums cfg)
+
+let granted_lease_holders cfg s q =
+  List.filter
+    (fun p -> List.exists (fun a -> holds_lease s ~grantor:a ~holder:p) q)
+    (C.acceptor_ids cfg)
+
+let active_lease_holders cfg s =
+  List.filter (lease_is_active cfg s) (C.acceptor_ids cfg)
+
+(* [s] carries both the base "votes" and the delta lease state — true of
+   the optimized Paxos state and of the optimized Raft* state alike. *)
+let can_commit_at cfg s ~idx ~bal v =
+  List.exists
+    (fun q ->
+      List.for_all (fun a -> Spec_multipaxos.voted_for s ~acc:a ~idx ~bal v) q
+      && List.for_all
+           (fun p -> Spec_multipaxos.voted_for s ~acc:p ~idx ~bal v)
+           (granted_lease_holders cfg s q))
+    (C.quorums cfg)
+
+(* ---- the delta ---- *)
+
+let delta_init cfg =
+  let accs = C.acceptor_ids cfg in
+  let per_acceptor v = V.fn (List.map (fun a -> (V.int a, v)) accs) in
+  State.of_list
+    [
+      ("timer", V.int 0);
+      (* -1 = never granted; the paper's B.3 initialises deadlines to 0,
+         which (at timer 0) makes every replica an initial lease holder —
+         harmless for LeaseInv but clearly unintended. *)
+      ("leases", per_acceptor (per_acceptor (V.int (-1))));
+      ("applyIndex", per_acceptor (V.int (-1)));
+    ]
+
+let grant_lease cfg params =
+  Delta.added ~descr:"a replica grants (or renews) a lease to a peer"
+    "GrantLease" (fun ~a_view:_ ~d_state ->
+      List.concat_map
+        (fun p ->
+          List.filter_map
+            (fun q ->
+              let deadline = timer d_state + params.lease_duration in
+              if lease_deadline d_state p q = deadline then None
+              else
+                Some (Fmt.str "p=%d,q=%d" p q, set_lease d_state p q deadline))
+            (C.acceptor_ids cfg))
+        (C.acceptor_ids cfg))
+
+let update_timer params =
+  Delta.added ~descr:"the global lease clock advances" "UpdateTimer"
+    (fun ~a_view:_ ~d_state ->
+      let t = timer d_state in
+      if t >= params.max_timer then []
+      else [ (Fmt.str "t=%d" (t + 1), State.set d_state "timer" (V.int (t + 1))) ])
+
+let log_entry_of_view a_view a i =
+  V.get (V.get (State.get a_view "logs") (V.int a)) (V.int i)
+
+let apply cfg =
+  Delta.added
+    ~descr:"apply the next committable entry (waits for lease holders)"
+    "Apply" (fun ~a_view ~d_state ->
+      (* The commit test reads votes from the base view and leases from the
+         delta state; stitch them together for [can_commit_at]. *)
+      let s = State.merge a_view d_state in
+      List.filter_map
+        (fun a ->
+          let i = apply_index d_state a + 1 in
+          if i > cfg.C.max_index then None
+          else
+            match V.to_tuple (log_entry_of_view a_view a i) with
+            | [ b; v ] when V.to_int b >= 0 ->
+                if can_commit_at cfg s ~idx:i ~bal:(V.to_int b) v then
+                  Some (Fmt.str "a=%d,i=%d" a i, set_apply_index d_state a i)
+                else None
+            | _ -> None)
+        (C.acceptor_ids cfg))
+
+let read_at_local cfg =
+  Delta.added
+    ~descr:"serve a strongly-consistent read locally under a quorum lease"
+    "ReadAtLocal" (fun ~a_view ~d_state ->
+      let s = State.merge a_view d_state in
+      List.filter_map
+        (fun a ->
+          let tail =
+            V.to_int (V.get (State.get a_view "logTail") (V.int a))
+          in
+          if lease_is_active cfg s a && tail = apply_index d_state a then
+            (* Local reads change no state: a legal stuttering step. *)
+            Some (Fmt.str "a=%d" a, d_state)
+          else None)
+        (C.acceptor_ids cfg))
+
+let propose_clause cfg =
+  Delta.modified ~base:"Propose" ~reads:[]
+    ~guard:(fun ~a_view ~d_state ~label ->
+      let a = Label.get_int label "a" in
+      let v = V.int (Label.get_int label "v") in
+      let s = State.merge a_view d_state in
+      is_read v || not (lease_is_active cfg s a))
+    (fun ~a_view:_ ~a_view':_ ~d_state ~label:_ -> d_state)
+
+let delta ?(params = default_params) cfg =
+  Delta.make ~name:"PQL"
+    ~delta_vars:[ "timer"; "leases"; "applyIndex" ]
+    ~delta_init:(delta_init cfg)
+    [
+      grant_lease cfg params;
+      update_timer params;
+      apply cfg;
+      read_at_local cfg;
+      propose_clause cfg;
+    ]
+
+(* ---- invariants ---- *)
+
+let inv_lease cfg s =
+  List.for_all
+    (fun i ->
+      List.for_all
+        (fun b ->
+          List.for_all
+            (fun vid ->
+              let v = V.int vid in
+              if can_commit_at cfg s ~idx:i ~bal:b v then
+                Spec_multipaxos.chosen_at cfg s ~idx:i ~bal:b v
+                && List.for_all
+                     (fun p -> Spec_multipaxos.voted_for s ~acc:p ~idx:i ~bal:b v)
+                     (active_lease_holders cfg s)
+              else true)
+            (C.value_ids cfg))
+        (C.ballots cfg))
+    (C.indexes cfg)
+
+(* applyIndex only ever points at committable entries, so two replicas that
+   both applied index i applied the same value. *)
+let inv_applied_agreement cfg s =
+  List.for_all
+    (fun i ->
+      let applied =
+        List.filter_map
+          (fun a ->
+            if apply_index s a >= i then
+              match V.to_tuple (log_entry_of_view s a i) with
+              | [ _; v ] -> Some v
+              | _ -> None
+            else None)
+          (C.acceptor_ids cfg)
+      in
+      match applied with
+      | [] -> true
+      | v :: rest -> List.for_all (V.equal v) rest)
+    (C.indexes cfg)
+
+let invariants cfg =
+  [
+    ("LeaseInv", inv_lease cfg);
+    ("AppliedAgreement", inv_applied_agreement cfg);
+  ]

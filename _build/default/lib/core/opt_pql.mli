@@ -1,0 +1,53 @@
+(** Paxos Quorum Lease (Moraru et al.), the paper's Appendix B.3, expressed
+    as a {b non-mutating optimization delta} over {!Spec_multipaxos}.
+
+    New state: a global [timer] (the paper's simple-lease abstraction of
+    the distributed lease protocol), a [leases] matrix ([leases[p][q]] is
+    the deadline of the lease p granted to q), and [applyIndex] per
+    replica.
+
+    Added subactions: [GrantLease], [UpdateTimer], [Apply] (a replica may
+    apply an entry only once it is {e committable}: chosen by a quorum all
+    of whose granted lease holders have also voted), and [ReadAtLocal] (a
+    no-op transition enabled exactly when a local read is legal).
+
+    Modified subaction: [Propose] gains B.3's enabling clause
+    [v.type = "read" \/ ~LeaseIsActive(a)].  Value types follow B.3's
+    assumption: we designate odd value ids as writes and even ids as
+    reads.
+
+    [Port.apply (delta cfg) (Spec_multipaxos.spec cfg)] is the PQL spec;
+    [Port.port] of the same delta onto {!Spec_raft_star} is the paper's
+    Raft*-PQL (Appendix B.4), derived automatically. *)
+
+type params = {
+  lease_duration : int;
+  max_timer : int;  (** timer ranges over [0 .. max_timer] *)
+}
+
+val default_params : params
+(** duration 1, timer bound 1 — smallest instance where leases can be
+    granted, become active, and expire. *)
+
+val delta : ?params:params -> Proto_config.t -> Delta.t
+
+val is_read : Value.t -> bool
+(** B.3's value typing: even value ids are reads. *)
+
+val lease_is_active : Proto_config.t -> State.t -> int -> bool
+(** [lease_is_active cfg s p]: does [p] hold unexpired leases from a
+    quorum?  Reads only the delta variables. *)
+
+val can_commit_at :
+  Proto_config.t -> State.t -> idx:int -> bal:int -> Value.t -> bool
+(** B.3's [CanCommitAt]: chosen by a quorum whose granted lease holders
+    have all voted.  Reads base votes plus the delta lease state, so it
+    accepts either the optimized Paxos state or the optimized Raft* state
+    mapped through {!Spec_raft_star.to_paxos}. *)
+
+val inv_lease : Proto_config.t -> State.t -> bool
+(** B.3's [LeaseInv]: every committable entry is chosen and known to
+    (voted for by) every replica currently holding an active lease — the
+    property that makes local reads linearizable. *)
+
+val invariants : Proto_config.t -> (string * (State.t -> bool)) list

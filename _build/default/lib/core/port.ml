@@ -1,0 +1,178 @@
+let clauses_for (delta : Delta.t) bases =
+  List.filter_map
+    (function
+      | Delta.Modified { base; clause } when List.mem base bases ->
+          Some (base, clause)
+      | Delta.Modified _ | Delta.Added _ -> None)
+    delta.items
+
+(* Conjoin a list of extra clauses onto one base-transition.  [a_view] and
+   [a_view'] are the base-protocol images of the pre/post states; updates are
+   folded left-to-right over the delta state. *)
+let conjoin clauses ~a_view ~a_view' ~d_state ~label =
+  let enabled =
+    List.for_all
+      (fun (_, (c : Delta.clause)) -> c.extra_guard ~a_view ~d_state ~label)
+      clauses
+  in
+  if not enabled then None
+  else
+    Some
+      (List.fold_left
+         (fun d (_, (c : Delta.clause)) ->
+           let d' = c.extra_update ~a_view ~a_view' ~d_state:d ~label in
+           State.merge d d')
+         d_state clauses)
+
+let lift_added ~frame_vars ~delta_vars ~view_of name descr enum =
+  Action.make ~descr name (fun s ->
+      let frame = State.restrict s frame_vars in
+      let d_state = State.restrict s delta_vars in
+      let a_view = view_of frame in
+      List.map
+        (fun (label, d') -> (label, State.merge frame d'))
+        (enum ~a_view ~d_state))
+
+let apply (delta : Delta.t) (a : Spec.t) : Spec.t =
+  let a_vars = a.vars in
+  let d_vars = delta.delta_vars in
+  (match List.filter (fun v -> List.mem v a_vars) d_vars with
+  | [] -> ()
+  | clash ->
+      invalid_arg
+        (Fmt.str "Port.apply: delta vars clash with base vars: %a"
+           Fmt.(list ~sep:comma string)
+           clash));
+  let lifted_actions =
+    List.map
+      (fun (act : Action.t) ->
+        let clauses =
+          clauses_for delta [ act.name ]
+        in
+        Action.make ~descr:act.descr act.name (fun s ->
+            let a_view = State.restrict s a_vars in
+            let d_state = State.restrict s d_vars in
+            List.filter_map
+              (fun (label, a_view') ->
+                match clauses with
+                | [] -> Some (label, State.merge a_view' d_state)
+                | _ -> (
+                    match conjoin clauses ~a_view ~a_view' ~d_state ~label with
+                    | Some d' -> Some (label, State.merge a_view' d')
+                    | None -> None))
+              (act.enum a_view)))
+      a.actions
+  in
+  let added_actions =
+    List.filter_map
+      (function
+        | Delta.Added { name; descr; enum } ->
+            Some
+              (lift_added ~frame_vars:a_vars ~delta_vars:d_vars
+                 ~view_of:(fun frame -> frame)
+                 name descr enum)
+        | Delta.Modified _ -> None)
+      delta.items
+  in
+  Spec.make
+    ~name:(a.name ^ "+" ^ delta.name)
+    ~vars:(a_vars @ d_vars)
+    ~init:(List.map (fun s -> State.merge s delta.delta_init) a.init)
+    (lifted_actions @ added_actions)
+
+let port (delta : Delta.t) ~(low : Spec.t) ~map ~implies
+    ?(label_map = fun ~b_action:_ ~a_action:_ label -> label)
+    ?name () : Spec.t =
+  let b_vars = low.vars in
+  let d_vars = delta.delta_vars in
+  (match List.filter (fun v -> List.mem v b_vars) d_vars with
+  | [] -> ()
+  | clash ->
+      invalid_arg
+        (Fmt.str "Port.port: delta vars clash with low-level vars: %a"
+           Fmt.(list ~sep:comma string)
+           clash));
+  (* Case 2 and Case 3: carry over every B subaction; conjoin the translated
+     clauses of every modified A subaction it implies. *)
+  let ported_actions =
+    List.map
+      (fun (act : Action.t) ->
+        let clauses = clauses_for delta (implies act.name) in
+        Action.make ~descr:act.descr act.name (fun s ->
+            let b_view = State.restrict s b_vars in
+            let d_state = State.restrict s d_vars in
+            List.filter_map
+              (fun (label, b_view') ->
+                match clauses with
+                | [] -> Some (label, State.merge b_view' d_state)
+                | _ ->
+                    let a_view = map b_view in
+                    let a_view' = map b_view' in
+                    let translate (base, clause) =
+                      ( base,
+                        {
+                          clause with
+                          Delta.extra_guard =
+                            (fun ~a_view ~d_state ~label ->
+                              clause.Delta.extra_guard ~a_view ~d_state
+                                ~label:
+                                  (label_map ~b_action:act.name ~a_action:base
+                                     label));
+                          extra_update =
+                            (fun ~a_view ~a_view' ~d_state ~label ->
+                              clause.Delta.extra_update ~a_view ~a_view'
+                                ~d_state
+                                ~label:
+                                  (label_map ~b_action:act.name ~a_action:base
+                                     label));
+                        } )
+                    in
+                    let clauses = List.map translate clauses in
+                    (match
+                       conjoin clauses ~a_view ~a_view' ~d_state ~label
+                     with
+                    | Some d' -> Some (label, State.merge b_view' d')
+                    | None -> None))
+              (act.enum b_view)))
+      low.actions
+  in
+  (* Case 1: added subactions, with Var_A reads substituted by f(Var_B). *)
+  let added_actions =
+    List.filter_map
+      (function
+        | Delta.Added { name; descr; enum } ->
+            Some
+              (lift_added ~frame_vars:b_vars ~delta_vars:d_vars ~view_of:map
+                 name descr enum)
+        | Delta.Modified _ -> None)
+      delta.items
+  in
+  Spec.make
+    ~name:(Option.value name ~default:(low.name ^ "+" ^ delta.name))
+    ~vars:(b_vars @ d_vars)
+    ~init:(List.map (fun s -> State.merge s delta.delta_init) low.init)
+    (ported_actions @ added_actions)
+
+let check_non_mutating ?max_states ~(base : Spec.t) ~(delta : Delta.t) () =
+  let optimized = apply delta base in
+  Refinement.check ?max_states ~low:optimized ~high:base
+    ~map:(fun s -> State.restrict s base.vars)
+    ()
+
+let check_ported ?max_states ?max_hops ~(low : Spec.t) ~(high : Spec.t)
+    ~(delta : Delta.t) ~map ~implies ?label_map () =
+  let high_opt = apply delta high in
+  let low_opt = port delta ~low ~map ~implies ?label_map () in
+  let opt_map s =
+    State.merge (map (State.restrict s low.vars)) (State.restrict s delta.delta_vars)
+  in
+  let refines_high_opt =
+    Refinement.check ?max_states ?max_hops ~low:low_opt ~high:high_opt
+      ~map:opt_map ()
+  in
+  let refines_low =
+    Refinement.check ?max_states ?max_hops ~low:low_opt ~high:low
+      ~map:(fun s -> State.restrict s low.vars)
+      ()
+  in
+  (refines_high_opt, refines_low)

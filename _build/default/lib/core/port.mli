@@ -1,0 +1,59 @@
+(** The porting method of Section 4.3.
+
+    Given a base protocol [A], a non-mutating optimization [Δ] (so that
+    [A^Δ = apply Δ A]), a refining protocol [B ⇒ A] with state mapping
+    [f : Var_B -> Var_A], and the action correspondence [implies] (which B
+    subactions imply which A subactions — the paper's Figure 3), {!port}
+    derives [B^Δ]:
+
+    - {b Case 1}: each added subaction of [Δ] becomes an added subaction of
+      [B^Δ] with [Var_A] reads substituted by [f(Var_B)];
+    - {b Case 2}: each B subaction that implies only unchanged A subactions
+      (or stuttering) is carried over unchanged;
+    - {b Case 3}: each B subaction [b_j] that implies a modified A subaction
+      [a_i] gets the extra clauses of [a_i^Δ], with [Var_A = f(Var_B)] and
+      parameters translated by [label_map].
+
+    Because one B subaction may imply several A subactions (e.g. Raft*'s
+    [AppendEntries] implies both [Phase2a] and [Phase2b]), {e all} clauses
+    of {e all} implied modified subactions are conjoined — the exact hazard
+    the paper says hand-porting gets wrong. *)
+
+val apply : Delta.t -> Spec.t -> Spec.t
+(** [apply delta a] builds [A^Δ] over variables [Var_A ∪ Var_Δ]. *)
+
+val port :
+  Delta.t ->
+  low:Spec.t ->
+  map:(State.t -> State.t) ->
+  implies:(string -> string list) ->
+  ?label_map:(b_action:string -> a_action:string -> string -> string) ->
+  ?name:string ->
+  unit ->
+  Spec.t
+(** [port delta ~low ~map ~implies ()] builds [B^Δ].  [implies b] lists the
+    names of the A subactions that B subaction [b] may imply ([[]] for
+    pure-stutter subactions).  [label_map] is the parameter mapping
+    [f_args]; it defaults to the identity. *)
+
+val check_non_mutating :
+  ?max_states:int -> base:Spec.t -> delta:Delta.t -> unit -> Refinement.result
+(** Semantic verification that [apply delta base] refines [base] under the
+    identity-on-[Var_A] projection — the defining property of a
+    non-mutating optimization (Section 4.2). *)
+
+val check_ported :
+  ?max_states:int ->
+  ?max_hops:int ->
+  low:Spec.t ->
+  high:Spec.t ->
+  delta:Delta.t ->
+  map:(State.t -> State.t) ->
+  implies:(string -> string list) ->
+  ?label_map:(b_action:string -> a_action:string -> string -> string) ->
+  unit ->
+  Refinement.result * Refinement.result
+(** The two correctness obligations of Figure 5 for the generated [B^Δ]:
+    (1) [B^Δ] refines [A^Δ] (the optimization's invariants are preserved)
+    and (2) [B^Δ] refines [B] (the base protocol's invariants are
+    preserved). *)

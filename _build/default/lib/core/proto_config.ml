@@ -1,0 +1,28 @@
+type t = {
+  acceptors : int;
+  values : int;
+  max_ballot : int;
+  max_index : int;
+}
+
+let tiny = { acceptors = 3; values = 1; max_ballot = 1; max_index = 0 }
+let small = { acceptors = 3; values = 2; max_ballot = 1; max_index = 1 }
+
+let range lo hi = List.init (max 0 (hi - lo + 1)) (fun i -> lo + i)
+let acceptor_ids t = range 0 (t.acceptors - 1)
+let value_ids t = range 1 t.values
+let ballots t = range 0 t.max_ballot
+let indexes t = range 0 t.max_index
+let majority t = (t.acceptors / 2) + 1
+
+(* All sorted subsets of [ids] of size exactly [k]. *)
+let rec choose k ids =
+  if k = 0 then [ [] ]
+  else
+    match ids with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun sub -> x :: sub) (choose (k - 1) rest) @ choose k rest
+
+let quorums t = choose (majority t) (acceptor_ids t)
+let quorums_containing t a = List.filter (List.mem a) (quorums t)

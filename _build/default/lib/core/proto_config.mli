@@ -1,0 +1,37 @@
+(** Finite-instance parameters for the protocol specifications.
+
+    TLC-style model checking needs finite domains; these bounds pick how
+    many acceptors, distinct client values, ballots/terms and log positions
+    a spec instance ranges over.
+
+    Quorums are enumerated as the {e minimal majorities} (subsets of exactly
+    [(n / 2) + 1] acceptors).  Both the Paxos-side and Raft-side specs use
+    the same enumeration, so the refinement checker compares like with
+    like; any majority contains a minimal one, so chosen-ness predicates
+    are unaffected. *)
+
+type t = {
+  acceptors : int;  (** number of servers; ids are [0 .. acceptors-1] *)
+  values : int;  (** distinct proposable values; ids are [1 .. values] *)
+  max_ballot : int;  (** ballots/terms range over [0 .. max_ballot] *)
+  max_index : int;  (** log positions range over [0 .. max_index] *)
+}
+
+val tiny : t
+(** 3 acceptors, 1 value, ballots 0–1, a single log slot — the smallest
+    instance that still exercises quorum intersection. *)
+
+val small : t
+(** 3 acceptors, 2 values, ballots 0–1, two log slots. *)
+
+val acceptor_ids : t -> int list
+val value_ids : t -> int list
+val ballots : t -> int list
+val indexes : t -> int list
+
+val quorums : t -> int list list
+(** All minimal majorities, each sorted ascending. *)
+
+val quorums_containing : t -> int -> int list list
+val majority : t -> int
+(** [f + 1], i.e. [(acceptors / 2) + 1]. *)

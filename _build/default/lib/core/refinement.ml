@@ -1,0 +1,201 @@
+module Smap = Map.Make (State)
+
+type failure = {
+  kind : [ `Init | `Transition ];
+  b_state : State.t;
+  b_action : string;
+  b_label : string;
+  b_state' : State.t;
+  a_state : State.t;
+  a_state' : State.t;
+  b_trace : Explorer.step list;
+}
+
+type report = {
+  checked_states : int;
+  checked_transitions : int;
+  stuttering : int;
+  complete : bool;
+  action_map : (string * (string * int) list) list;
+}
+
+type result = Refines of report | Fails of failure * report
+
+type crumb = Root | Via of State.t * string * string
+
+let rebuild_trace crumbs last =
+  let rec go acc s =
+    match Smap.find s crumbs with
+    | Root -> { Explorer.action = "Init"; label = ""; state = s } :: acc
+    | Via (prev, action, label) ->
+        go ({ Explorer.action; label; state = s } :: acc) prev
+  in
+  go [] last
+
+module Sset = Set.Make (State)
+
+(* Which sequence of at most [max_hops] A actions (if any) drives
+   [a_state] to [a_state']?  Returns the action names of a shortest such
+   path.  [max_hops = 1] is the classic single-step obligation; larger
+   values implement the paper's batched-step stuttering (Appendix C). *)
+let implied_path (high : Spec.t) ~max_hops a_state a_state' =
+  let exception Hit of string list in
+  let visited = ref (Sset.singleton a_state) in
+  let frontier = Queue.create () in
+  Queue.add (a_state, []) frontier;
+  try
+    while not (Queue.is_empty frontier) do
+      let s, rev_path = Queue.pop frontier in
+      let hops = List.length rev_path in
+      if hops < max_hops then
+        List.iter
+          (fun (action, _, s') ->
+            if State.equal s' a_state' then raise (Hit (List.rev (action :: rev_path)));
+            if hops + 1 < max_hops && not (Sset.mem s' !visited) then begin
+              visited := Sset.add s' !visited;
+              Queue.add (s', action :: rev_path) frontier
+            end)
+          (Spec.successors high s)
+    done;
+    None
+  with Hit path -> Some path
+
+let discharge ~high ~max_hops a a' =
+  if State.equal a a' then Some [] else implied_path high ~max_hops a a'
+
+let check ?(max_states = 1_000_000) ?(max_depth = max_int) ?(max_hops = 1)
+    ~(low : Spec.t) ~(high : Spec.t) ~map () =
+  let crumbs = ref Smap.empty in
+  let queue = Queue.create () in
+  let states = ref 0 in
+  let transitions = ref 0 in
+  let stuttering = ref 0 in
+  let complete = ref true in
+  let action_map : (string, (string, int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let note_implication b_action a_action =
+    let tbl =
+      match Hashtbl.find_opt action_map b_action with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Hashtbl.create 4 in
+          Hashtbl.add action_map b_action tbl;
+          tbl
+    in
+    Hashtbl.replace tbl a_action
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl a_action))
+  in
+  let report () =
+    {
+      checked_states = !states;
+      checked_transitions = !transitions;
+      stuttering = !stuttering;
+      complete = !complete;
+      action_map =
+        Hashtbl.fold
+          (fun b tbl acc ->
+            (b, List.of_seq (Hashtbl.to_seq tbl) |> List.sort compare) :: acc)
+          action_map []
+        |> List.sort compare;
+    }
+  in
+  let exception Failed of failure in
+  let visit s crumb =
+    if not (Smap.mem s !crumbs) then
+      if !states >= max_states then complete := false
+      else begin
+        crumbs := Smap.add s crumb !crumbs;
+        incr states;
+        Queue.add (s, 0) queue
+      end
+  in
+  let high_inits = high.init in
+  try
+    List.iter
+      (fun s ->
+        let a = map s in
+        if not (List.exists (State.equal a) high_inits) then
+          raise
+            (Failed
+               {
+                 kind = `Init;
+                 b_state = s;
+                 b_action = "";
+                 b_label = "";
+                 b_state' = s;
+                 a_state = a;
+                 a_state' = a;
+                 b_trace = [ { Explorer.action = "Init"; label = ""; state = s } ];
+               });
+        visit s Root)
+      low.init;
+    while not (Queue.is_empty queue) do
+      let s, depth = Queue.pop queue in
+      if depth >= max_depth then complete := false
+      else
+        let a_state = map s in
+        List.iter
+          (fun (b_action, b_label, s') ->
+            incr transitions;
+            let a_state' = map s' in
+            if State.equal a_state a_state' then begin
+              incr stuttering;
+              note_implication b_action "(stutter)"
+            end
+            else begin
+              match implied_path high ~max_hops a_state a_state' with
+              | Some path -> note_implication b_action (String.concat "+" path)
+              | None ->
+                  raise
+                    (Failed
+                       {
+                         kind = `Transition;
+                         b_state = s;
+                         b_action;
+                         b_label;
+                         b_state' = s';
+                         a_state;
+                         a_state';
+                         b_trace = rebuild_trace !crumbs s;
+                       })
+            end;
+            visit s' (Via (s, b_action, b_label)))
+          (Spec.successors low s)
+    done;
+    Refines (report ())
+  with Failed f -> Fails (f, report ())
+
+let pp_report ppf r =
+  let pp_entry ppf (b, als) =
+    Fmt.pf ppf "%s => %a" b
+      Fmt.(list ~sep:comma (fun ppf (a, n) -> Fmt.pf ppf "%s(%d)" a n))
+      als
+  in
+  Fmt.pf ppf
+    "@[<v>%d states, %d transitions (%d stuttering)%s@,action map:@,  %a@]"
+    r.checked_states r.checked_transitions r.stuttering
+    (if r.complete then "" else " (bounded)")
+    Fmt.(list ~sep:(any "@,  ") pp_entry)
+    r.action_map
+
+let pp_result ppf = function
+  | Refines r -> Fmt.pf ppf "@[<v>refines:@,%a@]" pp_report r
+  | Fails (f, r) ->
+      let what =
+        match f.kind with
+        | `Init -> "initial state has no image in high-level init"
+        | `Transition -> "transition has no high-level counterpart"
+      in
+      Fmt.pf ppf
+        "@[<v>refinement FAILS: %s@,\
+         low action: %s(%s)@,\
+         low state:@,  %a@,\
+         low state':@,  %a@,\
+         mapped state:@,  %a@,\
+         mapped state':@,  %a@,\
+         low trace (%d steps)@,\
+         %a@]"
+        what f.b_action f.b_label State.pp f.b_state State.pp f.b_state'
+        State.pp f.a_state State.pp f.a_state'
+        (List.length f.b_trace) pp_report r

@@ -1,0 +1,42 @@
+type t = {
+  name : string;
+  vars : string list;
+  init : State.t list;
+  actions : Action.t list;
+}
+
+let make ~name ~vars ~init actions =
+  let vars = List.sort_uniq String.compare vars in
+  List.iter
+    (fun s ->
+      let bound = State.vars s in
+      if bound <> vars then
+        invalid_arg
+          (Fmt.str "Spec.make %s: init state binds [%a], declared [%a]" name
+             Fmt.(list ~sep:comma string)
+             bound
+             Fmt.(list ~sep:comma string)
+             vars))
+    init;
+  { name; vars; init; actions }
+
+let find_action spec name =
+  match List.find_opt (fun (a : Action.t) -> a.name = name) spec.actions with
+  | Some a -> a
+  | None -> raise Not_found
+
+let successors spec s =
+  List.concat_map
+    (fun (a : Action.t) ->
+      List.map (fun (label, s') -> (a.name, label, s')) (a.enum s))
+    spec.actions
+
+let well_formed_transition spec s = State.vars s = spec.vars
+
+let pp ppf spec =
+  Fmt.pf ppf "@[<v>spec %s@,vars: %a@,init states: %d@,actions:@,  %a@]"
+    spec.name
+    Fmt.(list ~sep:comma string)
+    spec.vars (List.length spec.init)
+    Fmt.(list ~sep:(any "@,  ") Action.pp)
+    spec.actions

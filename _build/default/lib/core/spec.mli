@@ -1,0 +1,26 @@
+(** An executable TLA-style specification: a set of state variables, a set
+    of initial states, and a next-state relation given as a disjunction of
+    subactions. *)
+
+type t = {
+  name : string;
+  vars : string list;  (** the declared state variables *)
+  init : State.t list;
+  actions : Action.t list;
+}
+
+val make :
+  name:string -> vars:string list -> init:State.t list -> Action.t list -> t
+(** Checks that every initial state binds exactly the declared variables. *)
+
+val find_action : t -> string -> Action.t
+(** Raises [Not_found]. *)
+
+val successors : t -> State.t -> (string * string * State.t) list
+(** All [(action, label, state')] transitions enabled in a state. *)
+
+val well_formed_transition : t -> State.t -> bool
+(** True iff the state binds exactly the declared variables; used as a
+    sanity check on action outputs during exploration. *)
+
+val pp : Format.formatter -> t -> unit

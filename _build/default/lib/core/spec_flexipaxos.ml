@@ -1,0 +1,46 @@
+module V = Value
+module C = Proto_config
+
+type t = { base : Proto_config.t; q1 : int; q2 : int }
+
+let make base ~q1 ~q2 =
+  if q1 <= 0 || q2 <= 0 || q1 > base.C.acceptors || q2 > base.C.acceptors then
+    invalid_arg "Spec_flexipaxos.make: quorum sizes out of range";
+  { base; q1; q2 }
+
+let intersecting t = t.q1 + t.q2 > t.base.C.acceptors
+
+let rec choose k ids =
+  if k = 0 then [ [] ]
+  else
+    match ids with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun sub -> x :: sub) (choose (k - 1) rest) @ choose k rest
+
+let phase1_quorums t = choose t.q1 (C.acceptor_ids t.base)
+let phase2_quorums t = choose t.q2 (C.acceptor_ids t.base)
+
+let spec t =
+  Spec_multipaxos.spec
+    ~name:(Fmt.str "FPaxos(q1=%d,q2=%d)" t.q1 t.q2)
+    ~phase1_quorums:(phase1_quorums t) t.base
+
+let chosen_at t s ~idx ~bal v =
+  Spec_multipaxos.chosen_at_q (phase2_quorums t) s ~idx ~bal v
+
+let inv_agreement t s =
+  List.for_all
+    (fun i ->
+      let chosen =
+        List.filter
+          (fun v ->
+            List.exists
+              (fun b -> chosen_at t s ~idx:i ~bal:b (V.int v))
+              (C.ballots t.base))
+          (C.value_ids t.base)
+      in
+      List.length chosen <= 1)
+    (C.indexes t.base)
+
+let invariants t = [ ("FlexAgreement", inv_agreement t) ]

@@ -1,0 +1,40 @@
+(** Flexible Paxos (Howard, Malkhi, Spiegelman), one of the paper's
+    Figure-6 non-mutating relatives of Paxos.
+
+    FPaxos relaxes the majority rule: Phase-1 quorums ([q1]) and Phase-2
+    quorums ([q2]) may differ in size, as long as every pair intersects
+    ([q1 + q2 > n]).  The paper observes that {e Paxos refines Flexible
+    Paxos but not the other way around}: a majority-quorum run is one of
+    FPaxos's allowed runs, while an FPaxos run using, say, a singleton
+    Phase-2 quorum is not a Paxos run.
+
+    This module instantiates {!Spec_multipaxos} with size-[q1] Phase-1
+    quorums and evaluates chosen-ness over size-[q2] quorums.  The tests
+    machine-check:
+    - safety (Agreement w.r.t. [q2]-chosen-ness) holds whenever
+      [q1 + q2 > acceptors];
+    - the explorer {e finds the agreement violation} when the intersection
+      requirement is dropped (the FPaxos impossibility direction);
+    - MultiPaxos refines FPaxos under the identity mapping, and the
+      converse direction fails. *)
+
+type t = {
+  base : Proto_config.t;
+  q1 : int;  (** Phase-1 quorum size *)
+  q2 : int;  (** Phase-2 quorum size *)
+}
+
+val make : Proto_config.t -> q1:int -> q2:int -> t
+val intersecting : t -> bool
+(** [q1 + q2 > acceptors]. *)
+
+val phase1_quorums : t -> int list list
+val phase2_quorums : t -> int list list
+
+val spec : t -> Spec.t
+
+val chosen_at : t -> State.t -> idx:int -> bal:int -> Value.t -> bool
+val inv_agreement : t -> State.t -> bool
+(** At most one value is [q2]-chosen per index. *)
+
+val invariants : t -> (string * (State.t -> bool)) list

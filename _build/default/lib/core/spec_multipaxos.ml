@@ -1,0 +1,349 @@
+module V = Value
+module C = Proto_config
+
+let entry bal v = V.tuple [ V.int bal; v ]
+let empty_entry = entry (-1) V.nil
+
+(* ---- typed accessors over the raw state ---- *)
+
+let acc_get s var a = V.get (State.get s var) (V.int a)
+let acc_put s var a v = State.set s var (V.put (State.get s var) (V.int a) v)
+let hb s a = V.to_int (acc_get s "highestBallot" a)
+let is_leader s a = V.to_bool (acc_get s "isLeader" a)
+let log_tail s a = V.to_int (acc_get s "logTail" a)
+let log_of s a = acc_get s "logs" a
+let log_at s a i = V.get (log_of s a) (V.int i)
+let votes_at s a i = V.get (acc_get s "votes" a) (V.int i)
+
+let set_log_at s a i e =
+  acc_put s "logs" a (V.put (log_of s a) (V.int i) e)
+
+let add_vote s a i bv =
+  let vi = V.set_add bv (votes_at s a i) in
+  acc_put s "votes" a (V.put (acc_get s "votes" a) (V.int i) vi)
+
+let bump_log_tail s a i =
+  if i > log_tail s a then acc_put s "logTail" a (V.int i) else s
+
+let voted_for s ~acc ~idx ~bal v =
+  V.set_mem (V.tuple [ V.int bal; v ]) (votes_at s acc idx)
+
+let chosen_at_q quorums s ~idx ~bal v =
+  List.exists
+    (fun q -> List.for_all (fun a -> voted_for s ~acc:a ~idx ~bal v) q)
+    quorums
+
+let chosen_at cfg s ~idx ~bal v = chosen_at_q (C.quorums cfg) s ~idx ~bal v
+
+let chosen_values cfg s ~idx =
+  List.filter
+    (fun v -> List.exists (fun b -> chosen_at cfg s ~idx ~bal:b v) (C.ballots cfg))
+    (List.map V.int (C.value_ids cfg))
+
+(* ---- the safe-entry computation shared with the Raft-side specs ---- *)
+
+(* TLA's GetHighestBallotEntry: among the (ballot, value) entries the 1b
+   messages carry at index [i], the one with the highest ballot.  Ties can
+   only disagree when OneValuePerBallot is broken, so any max works. *)
+let highest_ballot_entry logs_in_1b i =
+  List.fold_left
+    (fun best log ->
+      let e = V.get log (V.int i) in
+      let bal e = V.to_int (List.nth (V.to_tuple e) 0) in
+      if bal e > bal best then e else best)
+    empty_entry logs_in_1b
+
+(* ---- spec construction ---- *)
+
+let msg1a acc bal = V.record [ ("acc", V.int acc); ("bal", V.int bal) ]
+
+let msg1b acc bal log tail =
+  V.record
+    [ ("acc", V.int acc); ("bal", V.int bal); ("log", log); ("logTail", tail) ]
+
+let vars =
+  [
+    "highestBallot";
+    "isLeader";
+    "logTail";
+    "votes";
+    "proposedValues";
+    "logs";
+    "msgs1a";
+    "msgs1b";
+  ]
+
+let init cfg =
+  let accs = C.acceptor_ids cfg in
+  let per_acceptor v = V.fn (List.map (fun a -> (V.int a, v)) accs) in
+  let per_index v = V.fn (List.map (fun i -> (V.int i, v)) (C.indexes cfg)) in
+  State.of_list
+    [
+      ("highestBallot", per_acceptor (V.int 0));
+      ("isLeader", per_acceptor V.ff);
+      ("logTail", per_acceptor (V.int (-1)));
+      ("votes", per_acceptor (per_index (V.set [])));
+      ("proposedValues", V.set []);
+      ("logs", per_acceptor (per_index empty_entry));
+      ("msgs1a", V.set []);
+      ("msgs1b", V.set []);
+    ]
+
+let increase_highest_ballot cfg =
+  Action.make ~descr:"spontaneously adopt a higher ballot"
+    "IncreaseHighestBallot" (fun s ->
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b ->
+              if b > hb s a then
+                let s' = acc_put s "highestBallot" a (V.int b) in
+                let s' = acc_put s' "isLeader" a V.ff in
+                Some (Fmt.str "a=%d,b=%d" a b, s')
+              else None)
+            (C.ballots cfg))
+        (C.acceptor_ids cfg))
+
+let phase1a cfg =
+  Action.make ~descr:"broadcast prepare at the current ballot" "Phase1a"
+    (fun s ->
+      List.filter_map
+        (fun a ->
+          if is_leader s a then None
+          else
+            let m = msg1a a (hb s a) in
+            let msgs = State.get s "msgs1a" in
+            (* Re-sending is a legal (stuttering) step, as in the TLA. *)
+            Some (Fmt.str "a=%d" a, State.set s "msgs1a" (V.set_add m msgs)))
+        (C.acceptor_ids cfg))
+
+let phase1b cfg =
+  Action.make ~descr:"answer a prepare carrying a higher ballot" "Phase1b"
+    (fun s ->
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun m ->
+              let bal = V.to_int (V.field m "bal") in
+              if bal > hb s a then
+                let s' = acc_put s "highestBallot" a (V.int bal) in
+                let s' = acc_put s' "isLeader" a V.ff in
+                let reply = msg1b a bal (log_of s a) (V.int (log_tail s a)) in
+                let s' =
+                  State.set s' "msgs1b"
+                    (V.set_add reply (State.get s' "msgs1b"))
+                in
+                Some (Fmt.str "a=%d,b=%d" a bal, s')
+              else None)
+            (V.to_set (State.get s "msgs1a")))
+        (C.acceptor_ids cfg))
+
+(* Collect, for quorum [q], one 1b message per member at ballot [bal];
+   None when some member has not answered at that ballot. *)
+let quorum_replies s q bal =
+  let msgs = V.to_set (State.get s "msgs1b") in
+  let find a =
+    List.find_opt
+      (fun m ->
+        V.to_int (V.field m "acc") = a && V.to_int (V.field m "bal") = bal)
+      msgs
+  in
+  let rec collect = function
+    | [] -> Some []
+    | a :: rest -> (
+        match find a with
+        | Some m -> Option.map (fun ms -> m :: ms) (collect rest)
+        | None -> None)
+  in
+  collect q
+
+let become_leader ?phase1_quorums cfg =
+  let quorums_containing a =
+    match phase1_quorums with
+    | Some qs -> List.filter (List.mem a) qs
+    | None -> C.quorums_containing cfg a
+  in
+  Action.make
+    ~descr:"adopt safe entries from a quorum of 1b replies and lead"
+    "BecomeLeader" (fun s ->
+      List.concat_map
+        (fun a ->
+          if is_leader s a then []
+          else
+            let bal = hb s a in
+            List.filter_map
+              (fun q ->
+                match quorum_replies s q bal with
+                | None -> None
+                | Some msgs ->
+                    let logs_in_1b = List.map (fun m -> V.field m "log") msgs in
+                    let tails =
+                      List.map (fun m -> V.to_int (V.field m "logTail")) msgs
+                    in
+                    let i2 = List.fold_left max (-1) tails in
+                    let s' =
+                      List.fold_left
+                        (fun s' i ->
+                          if i <= i2 then
+                            set_log_at s' a i (highest_ballot_entry logs_in_1b i)
+                          else s')
+                        s (C.indexes cfg)
+                    in
+                    let s' = bump_log_tail s' a i2 in
+                    let s' = acc_put s' "isLeader" a V.tt in
+                    Some
+                      ( Fmt.str "a=%d,q=%a" a
+                          Fmt.(list ~sep:(any "") int)
+                          q,
+                        s' ))
+              (quorums_containing a))
+        (C.acceptor_ids cfg))
+
+(* The paper's B.1 Propose lacks any uniqueness guard, which lets a leader
+   propose two different values for the same (index, ballot) and breaks
+   OneValuePerBallot (our explorer finds the counterexample with >= 2
+   values).  Figure 1's pseudocode intends one value per instance per
+   ballot, so we add the guard; see DESIGN.md "Deviations". *)
+let no_conflicting_proposal s i b v =
+  V.set_for_all
+    (fun pv ->
+      match V.to_tuple pv with
+      | [ i'; b'; v' ] ->
+          not (V.to_int i' = i && V.to_int b' = b) || V.equal v' v
+      | _ -> true)
+    (State.get s "proposedValues")
+
+let propose cfg =
+  Action.make ~descr:"leader proposes a value for an instance" "Propose"
+    (fun s ->
+      List.concat_map
+        (fun a ->
+          if not (is_leader s a) then []
+          else
+            List.concat_map
+              (fun i ->
+                List.filter_map
+                  (fun v ->
+                    let v = V.int v in
+                    let cur = List.nth (V.to_tuple (log_at s a i)) 1 in
+                    if
+                      (V.equal cur v || V.equal cur V.nil)
+                      && no_conflicting_proposal s i (hb s a) v
+                    then
+                      let pv = V.tuple [ V.int i; V.int (hb s a); v ] in
+                      let pvs = State.get s "proposedValues" in
+                      (* Re-proposing is a legal (stuttering) step; deltas
+                         may still attach state changes to it. *)
+                      Some
+                        ( Fmt.str "a=%d,i=%d,v=%a" a i V.pp v,
+                          State.set s "proposedValues" (V.set_add pv pvs) )
+                    else None)
+                  (C.value_ids cfg))
+              (C.indexes cfg))
+        (C.acceptor_ids cfg))
+
+let accept cfg =
+  Action.make ~descr:"acceptor votes for a proposed value" "Accept" (fun s ->
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun pv ->
+              match V.to_tuple pv with
+              | [ i; b; v ] ->
+                  let i = V.to_int i and b = V.to_int b in
+                  if b >= hb s a then
+                    let deposed = b > hb s a in
+                    let s' = acc_put s "highestBallot" a (V.int b) in
+                    let s' = add_vote s' a i (V.tuple [ V.int b; v ]) in
+                    let s' = set_log_at s' a i (entry b v) in
+                    let s' = bump_log_tail s' a i in
+                    let s' =
+                      if deposed then acc_put s' "isLeader" a V.ff else s'
+                    in
+                    Some (Fmt.str "a=%d,i=%d,b=%d,v=%a" a i b V.pp v, s')
+                  else None
+              | _ -> None)
+            (V.to_set (State.get s "proposedValues")))
+        (C.acceptor_ids cfg))
+
+let spec ?name ?phase1_quorums cfg =
+  Spec.make
+    ~name:(Option.value name ~default:"MultiPaxos")
+    ~vars ~init:[ init cfg ]
+    [
+      increase_highest_ballot cfg;
+      phase1a cfg;
+      phase1b cfg;
+      become_leader ?phase1_quorums cfg;
+      propose cfg;
+      accept cfg;
+    ]
+
+(* ---- invariants ---- *)
+
+let inv_one_value_per_ballot cfg s =
+  List.for_all
+    (fun i ->
+      List.for_all
+        (fun b ->
+          let voted =
+            List.concat_map
+              (fun a ->
+                List.filter_map
+                  (fun bv ->
+                    match V.to_tuple bv with
+                    | [ b'; v ] when V.to_int b' = b -> Some v
+                    | _ -> None)
+                  (V.to_set (votes_at s a i)))
+              (C.acceptor_ids cfg)
+          in
+          match voted with
+          | [] -> true
+          | v :: rest -> List.for_all (V.equal v) rest)
+        (C.ballots cfg))
+    (C.indexes cfg)
+
+let inv_agreement cfg s =
+  List.for_all
+    (fun i -> List.length (chosen_values cfg s ~idx:i) <= 1)
+    (C.indexes cfg)
+
+(* SafeAt(i, b, v): for every smaller ballot c, no other value can be or
+   become chosen at c: some quorum where each member either voted for v at
+   c, or has moved past c without voting at c. *)
+let inv_logs_safe cfg s =
+  let did_not_vote_at a i c =
+    V.set_for_all
+      (fun bv -> V.to_int (List.nth (V.to_tuple bv) 0) <> c)
+      (votes_at s a i)
+  in
+  let cannot_vote_at a i c = hb s a > c && did_not_vote_at a i c in
+  let none_other_choosable i c v =
+    List.exists
+      (fun q ->
+        List.for_all
+          (fun a -> voted_for s ~acc:a ~idx:i ~bal:c v || cannot_vote_at a i c)
+          q)
+      (C.quorums cfg)
+  in
+  let safe_at i b v =
+    List.for_all
+      (fun c -> if c < b then none_other_choosable i c v else true)
+      (C.ballots cfg)
+  in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun i ->
+          match V.to_tuple (log_at s a i) with
+          | [ b; v ] when V.to_int b >= 0 -> safe_at i (V.to_int b) v
+          | _ -> true)
+        (C.indexes cfg))
+    (C.acceptor_ids cfg)
+
+let invariants cfg =
+  [
+    ("OneValuePerBallot", inv_one_value_per_ballot cfg);
+    ("Agreement", inv_agreement cfg);
+    ("LogsSafe", inv_logs_safe cfg);
+  ]

@@ -1,0 +1,58 @@
+(** Executable transcription of the paper's Appendix B.1 MultiPaxos TLA+
+    specification.
+
+    State variables (names as in the TLA+ module):
+    - [highestBallot] : acceptor -> ballot
+    - [isLeader]      : acceptor -> bool (TLA's phase1Succeeded)
+    - [logTail]       : acceptor -> index or -1
+    - [votes]         : acceptor -> index -> set of (ballot, value)
+    - [proposedValues]: set of (index, ballot, value)
+    - [logs]          : acceptor -> index -> (ballot or -1, value or NoVal)
+    - [msgs1a]        : set of {acc; bal}
+    - [msgs1b]        : set of {acc; bal; log; logTail}
+
+    Subactions: [IncreaseHighestBallot], [Phase1a], [Phase1b],
+    [BecomeLeader], [Propose], [Accept]. *)
+
+val spec : ?name:string -> ?phase1_quorums:int list list -> Proto_config.t -> Spec.t
+(** [phase1_quorums] overrides the leader-election quorum enumeration
+    (defaults to the minimal majorities) — the hook {!Spec_flexipaxos}
+    uses to model Flexible Paxos's relaxed Phase-1 quorums. *)
+
+(** {1 State inspection helpers} (shared with the Raft-side specs and
+    invariants) *)
+
+val entry : int -> Value.t -> Value.t
+(** [(ballot, value)] pair. *)
+
+val empty_entry : Value.t
+(** [(-1, NoVal)]. *)
+
+val highest_ballot_entry : Value.t list -> int -> Value.t
+(** TLA's [GetHighestBallotEntry]: among the logs carried by 1b messages,
+    the entry at the given index with the highest ballot ([empty_entry]
+    when none carries a value there). *)
+
+val voted_for : State.t -> acc:int -> idx:int -> bal:int -> Value.t -> bool
+val chosen_at : Proto_config.t -> State.t -> idx:int -> bal:int -> Value.t -> bool
+
+val chosen_at_q :
+  int list list -> State.t -> idx:int -> bal:int -> Value.t -> bool
+(** Like {!chosen_at}, over an explicit (Phase-2) quorum system. *)
+
+val chosen_values : Proto_config.t -> State.t -> idx:int -> Value.t list
+(** Values chosen at an index under any ballot. *)
+
+(** {1 Invariants} *)
+
+val inv_one_value_per_ballot : Proto_config.t -> State.t -> bool
+(** Two acceptors never vote for different values at the same (index,
+    ballot). *)
+
+val inv_agreement : Proto_config.t -> State.t -> bool
+(** At most one value is chosen per index. *)
+
+val inv_logs_safe : Proto_config.t -> State.t -> bool
+(** Every accepted log entry is SafeAt its ballot (TLA's [LogsSafe]). *)
+
+val invariants : Proto_config.t -> (string * (State.t -> bool)) list

@@ -1,0 +1,452 @@
+module V = Value
+module C = Proto_config
+module MP = Spec_multipaxos
+
+(* ---- typed accessors ---- *)
+
+let acc_get s var a = V.get (State.get s var) (V.int a)
+let acc_put s var a v = State.set s var (V.put (State.get s var) (V.int a) v)
+let hb s a = V.to_int (acc_get s "highestBallot" a)
+let is_leader s a = V.to_bool (acc_get s "isLeader" a)
+let log_tail s a = V.to_int (acc_get s "logTail" a)
+let last_index s a = V.to_int (acc_get s "lastIndex" a)
+let raftlog_at s a i = V.get (acc_get s "raftlogs" a) (V.int i)
+let log_ballot_at s a i = V.to_int (V.get (acc_get s "logBallot" a) (V.int i))
+let term_at s a i = V.to_int (List.nth (V.to_tuple (raftlog_at s a i)) 0)
+let val_at s a i = List.nth (V.to_tuple (raftlog_at s a i)) 1
+let votes_at s a i = V.get (acc_get s "votes" a) (V.int i)
+
+let set_raftlog_at s a i e =
+  acc_put s "raftlogs" a (V.put (acc_get s "raftlogs" a) (V.int i) e)
+
+let set_log_ballot_at s a i b =
+  acc_put s "logBallot" a (V.put (acc_get s "logBallot" a) (V.int i) (V.int b))
+
+let add_vote s a i bv =
+  let vi = V.set_add bv (votes_at s a i) in
+  acc_put s "votes" a (V.put (acc_get s "votes" a) (V.int i) vi)
+
+let bump s var a i =
+  if i > V.to_int (acc_get s var a) then acc_put s var a (V.int i) else s
+
+(* The derived Paxos-view log of acceptor [a]. *)
+let derived_log cfg s a =
+  V.fn
+    (List.map
+       (fun i -> (V.int i, MP.entry (log_ballot_at s a i) (val_at s a i)))
+       (C.indexes cfg))
+
+let last_term s a =
+  let li = last_index s a in
+  if li = -1 then -1 else term_at s a li
+
+(* ---- spec ---- *)
+
+let vars =
+  [
+    "highestBallot";
+    "isLeader";
+    "logTail";
+    "lastIndex";
+    "votes";
+    "raftlogs";
+    "logBallot";
+    "proposedValues";
+    "proposedEntries";
+    "r1amsgs";
+    "r1bmsgs";
+  ]
+
+let init cfg =
+  let accs = C.acceptor_ids cfg in
+  let per_acceptor v = V.fn (List.map (fun a -> (V.int a, v)) accs) in
+  let per_index v = V.fn (List.map (fun i -> (V.int i, v)) (C.indexes cfg)) in
+  State.of_list
+    [
+      ("highestBallot", per_acceptor (V.int 0));
+      ("isLeader", per_acceptor V.ff);
+      ("logTail", per_acceptor (V.int (-1)));
+      ("lastIndex", per_acceptor (V.int (-1)));
+      ("votes", per_acceptor (per_index (V.set [])));
+      ("raftlogs", per_acceptor (per_index MP.empty_entry));
+      ("logBallot", per_acceptor (per_index (V.int (-1))));
+      ("proposedValues", V.set []);
+      ("proposedEntries", V.set []);
+      ("r1amsgs", V.set []);
+      ("r1bmsgs", V.set []);
+    ]
+
+let increase_highest_ballot cfg =
+  Action.make ~descr:"spontaneously adopt a higher term"
+    "IncreaseHighestBallot" (fun s ->
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b ->
+              if b > hb s a then
+                let s' = acc_put s "highestBallot" a (V.int b) in
+                let s' = acc_put s' "isLeader" a V.ff in
+                Some (Fmt.str "a=%d,b=%d" a b, s')
+              else None)
+            (C.ballots cfg))
+        (C.acceptor_ids cfg))
+
+let r1amsg s a =
+  V.record
+    [
+      ("acc", V.int a);
+      ("bal", V.int (hb s a));
+      ("lastTerm", V.int (last_term s a));
+      ("lastIndex", V.int (last_index s a));
+    ]
+
+let phase1a cfg =
+  Action.make ~descr:"broadcast RequestVote at the current term" "Phase1a"
+    (fun s ->
+      List.filter_map
+        (fun a ->
+          if is_leader s a then None
+          else
+            let m = r1amsg s a in
+            let msgs = State.get s "r1amsgs" in
+            (* Re-sending is a legal (stuttering) step, as in the TLA. *)
+            Some (Fmt.str "a=%d" a, State.set s "r1amsgs" (V.set_add m msgs)))
+        (C.acceptor_ids cfg))
+
+let up_to_date s a m =
+  let m_last_term = V.to_int (V.field m "lastTerm") in
+  let m_last_index = V.to_int (V.field m "lastIndex") in
+  let li = last_index s a in
+  li = -1
+  || term_at s a li < m_last_term
+  || (term_at s a li = m_last_term && li <= m_last_index)
+
+let phase1b cfg =
+  Action.make
+    ~descr:"grant a vote to an up-to-date candidate, attaching the log"
+    "Phase1b" (fun s ->
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun m ->
+              let bal = V.to_int (V.field m "bal") in
+              if bal > hb s a && up_to_date s a m then
+                let s' = acc_put s "highestBallot" a (V.int bal) in
+                let s' = acc_put s' "isLeader" a V.ff in
+                let reply =
+                  V.record
+                    [
+                      ("acc", V.int a);
+                      ("bal", V.int bal);
+                      ("log", derived_log cfg s a);
+                      ("logTail", V.int (log_tail s a));
+                    ]
+                in
+                let s' =
+                  State.set s' "r1bmsgs"
+                    (V.set_add reply (State.get s' "r1bmsgs"))
+                in
+                Some (Fmt.str "a=%d,b=%d" a bal, s')
+              else None)
+            (V.to_set (State.get s "r1amsgs")))
+        (C.acceptor_ids cfg))
+
+let quorum_replies s q bal =
+  let msgs = V.to_set (State.get s "r1bmsgs") in
+  let find a =
+    List.find_opt
+      (fun m ->
+        V.to_int (V.field m "acc") = a && V.to_int (V.field m "bal") = bal)
+      msgs
+  in
+  let rec collect = function
+    | [] -> Some []
+    | a :: rest -> (
+        match find a with
+        | Some m -> Option.map (fun ms -> m :: ms) (collect rest)
+        | None -> None)
+  in
+  collect q
+
+(* Raft*'s election: own entries up to lastIndex are kept; the slots after
+   lastIndex are filled with the safe entries collected from the quorum's
+   extra entries.  The adopted entry keeps the safe entry's ballot as both
+   its ballot field and its term (see the .mli for why). *)
+let become_leader cfg =
+  Action.make ~descr:"collect votes and adopt safe extra entries"
+    "BecomeLeader" (fun s ->
+      List.concat_map
+        (fun a ->
+          if is_leader s a then []
+          else
+            let bal = hb s a in
+            List.filter_map
+              (fun q ->
+                match quorum_replies s q bal with
+                | None -> None
+                | Some msgs ->
+                    let logs_in_1b = List.map (fun m -> V.field m "log") msgs in
+                    let tails =
+                      List.map (fun m -> V.to_int (V.field m "logTail")) msgs
+                    in
+                    let i2 = List.fold_left max (-1) tails in
+                    let li = last_index s a in
+                    let s' =
+                      List.fold_left
+                        (fun s' i ->
+                          if i > li && i <= i2 then begin
+                            let e = MP.highest_ballot_entry logs_in_1b i in
+                            match V.to_tuple e with
+                            | [ b; v ] ->
+                                let b = V.to_int b in
+                                let s' = set_raftlog_at s' a i (MP.entry b v) in
+                                set_log_ballot_at s' a i b
+                            | _ -> s'
+                          end
+                          else s')
+                        s (C.indexes cfg)
+                    in
+                    let s' = bump s' "logTail" a i2 in
+                    let s' = acc_put s' "isLeader" a V.tt in
+                    Some
+                      ( Fmt.str "a=%d,q=%a" a Fmt.(list ~sep:(any "") int) q,
+                        s' ))
+              (C.quorums_containing cfg a))
+        (C.acceptor_ids cfg))
+
+(* Values the leader proposes when appending value [v] at index [i]: its
+   whole log prefix re-proposed at its current term, plus the new value. *)
+let proposal_values s a i v =
+  List.init (i + 1) (fun j -> if j = i then v else val_at s a j)
+
+let no_conflicting_proposal s i b v =
+  V.set_for_all
+    (fun pv ->
+      match V.to_tuple pv with
+      | [ i'; b'; v' ] ->
+          not (V.to_int i' = i && V.to_int b' = b) || V.equal v' v
+      | _ -> true)
+    (State.get s "proposedValues")
+
+let propose_entries cfg =
+  Action.make
+    ~descr:"leader appends a client value and broadcasts AppendEntries"
+    "ProposeEntries" (fun s ->
+      List.concat_map
+        (fun a ->
+          if not (is_leader s a) then []
+          else
+            let i = log_tail s a + 1 in
+            if i > cfg.C.max_index then []
+            else
+              List.concat_map
+                (fun v ->
+                  let v = V.int v in
+                  let values = proposal_values s a i v in
+                  let conflict_free =
+                    List.for_all2
+                      (fun j vj -> no_conflicting_proposal s j (hb s a) vj)
+                      (List.init (i + 1) Fun.id)
+                      values
+                  in
+                  if not conflict_free then []
+                  else
+                    (* i1 = 0: full-log append; i1 = i: incremental append
+                       exercising the prev-entry match. *)
+                    List.filter_map
+                      (fun i1 ->
+                        let prev = i1 - 1 in
+                        let prev_term =
+                          if prev >= 0 then term_at s a prev else -1
+                        in
+                        let entries =
+                          V.fn
+                            (List.filter_map
+                               (fun j ->
+                                 if j >= i1 && j <= i then
+                                   Some
+                                     ( V.int j,
+                                       if j = i then MP.entry (hb s a) v
+                                       else raftlog_at s a j )
+                                 else None)
+                               (C.indexes cfg))
+                        in
+                        let pe =
+                          V.record
+                            [
+                              ("term", V.int (hb s a));
+                              ("prevLogTerm", V.int prev_term);
+                              ("prevLogIndex", V.int prev);
+                              ("lIndex", V.int i);
+                              ("leaderId", V.int a);
+                              ("entries", entries);
+                            ]
+                        in
+                        let pes = State.get s "proposedEntries" in
+                        (* Re-proposing is a legal (stuttering) step. *)
+                        let s' =
+                          State.set s "proposedEntries" (V.set_add pe pes)
+                        in
+                        let s' =
+                          State.set s' "proposedValues"
+                            (List.fold_left2
+                               (fun pvs j vj ->
+                                 V.set_add
+                                   (V.tuple [ V.int j; V.int (hb s a); vj ])
+                                   pvs)
+                               (State.get s' "proposedValues")
+                               (List.init (i + 1) Fun.id)
+                               values)
+                        in
+                        Some (Fmt.str "a=%d,i1=%d,i=%d,v=%a" a i1 i V.pp v, s'))
+                      (List.sort_uniq compare [ 0; i ]))
+                (C.value_ids cfg))
+        (C.acceptor_ids cfg))
+
+let accept_entries cfg =
+  Action.make
+    ~descr:
+      "acceptor replicates an AppendEntries batch, rewriting entry ballots"
+    "AcceptEntries" (fun s ->
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun pe ->
+              let term = V.to_int (V.field pe "term") in
+              let prev = V.to_int (V.field pe "prevLogIndex") in
+              let prev_term = V.to_int (V.field pe "prevLogTerm") in
+              let l_index = V.to_int (V.field pe "lIndex") in
+              let entries = V.field pe "entries" in
+              if
+                term >= hb s a
+                && l_index >= last_index s a (* Raft*: never shorten a log *)
+                && (prev < 0 || term_at s a prev = prev_term)
+              then begin
+                let deposed = term > hb s a in
+                let s' = acc_put s "highestBallot" a (V.int term) in
+                (* Replicate entries prev+1 .. lIndex; each replicated entry
+                   is re-accepted at the leader's term, so its ballot field
+                   is rewritten and a matching vote is cast. *)
+                let s' =
+                  List.fold_left
+                    (fun s' j ->
+                      if j > prev && j <= l_index then
+                        let e = V.get entries (V.int j) in
+                        let v = List.nth (V.to_tuple e) 1 in
+                        let s' = set_raftlog_at s' a j e in
+                        let s' = set_log_ballot_at s' a j term in
+                        add_vote s' a j (V.tuple [ V.int term; v ])
+                      else s')
+                    s' (C.indexes cfg)
+                in
+                let s' = bump s' "lastIndex" a l_index in
+                let s' = bump s' "logTail" a l_index in
+                let s' = if deposed then acc_put s' "isLeader" a V.ff else s' in
+                Some (Fmt.str "a=%d,t=%d,l=%d" a term l_index, s')
+              end
+              else None)
+            (V.to_set (State.get s "proposedEntries")))
+        (C.acceptor_ids cfg))
+
+let spec cfg =
+  Spec.make ~name:"RaftStar" ~vars ~init:[ init cfg ]
+    [
+      increase_highest_ballot cfg;
+      phase1a cfg;
+      phase1b cfg;
+      become_leader cfg;
+      propose_entries cfg;
+      accept_entries cfg;
+    ]
+
+(* ---- the Figure-3 refinement mapping ---- *)
+
+let to_paxos cfg s =
+  let accs = C.acceptor_ids cfg in
+  let logs =
+    V.fn (List.map (fun a -> (V.int a, derived_log cfg s a)) accs)
+  in
+  let msgs1a =
+    V.set
+      (List.map
+         (fun m ->
+           V.record [ ("acc", V.field m "acc"); ("bal", V.field m "bal") ])
+         (V.to_set (State.get s "r1amsgs")))
+  in
+  State.of_list
+    [
+      ("highestBallot", State.get s "highestBallot");
+      ("isLeader", State.get s "isLeader");
+      ("logTail", State.get s "logTail");
+      ("votes", State.get s "votes");
+      ("proposedValues", State.get s "proposedValues");
+      ("logs", logs);
+      ("msgs1a", msgs1a);
+      ("msgs1b", State.get s "r1bmsgs");
+    ]
+
+(* ---- invariants ---- *)
+
+let inv_log_matching cfg s =
+  List.for_all
+    (fun x ->
+      List.for_all
+        (fun y ->
+          List.for_all
+            (fun i ->
+              let tx = term_at s x i and ty = term_at s y i in
+              if tx >= 0 && tx = ty then
+                List.for_all
+                  (fun j ->
+                    j > i || V.equal (raftlog_at s x j) (raftlog_at s y j))
+                  (C.indexes cfg)
+              else true)
+            (C.indexes cfg))
+        (C.acceptor_ids cfg))
+    (C.acceptor_ids cfg)
+
+(* A committed (index, ballot, value) must appear in the log of any leader
+   electable at a strictly higher ballot.  Same-ballot re-elections from
+   stale vote replies are possible in this message-passing formulation
+   (vote replies are not addressed to a candidate, as in the paper's TLA);
+   they are harmless because the proposal-uniqueness guard pins the ballot's
+   value, so — like Raft's own completeness property — the quantification
+   is over higher terms only. *)
+let inv_leader_completeness cfg s =
+  let committed =
+    List.concat_map
+      (fun i ->
+        List.concat_map
+          (fun b ->
+            List.filter_map
+              (fun v ->
+                let v = V.int v in
+                (* [MP.chosen_at] only reads "votes", which Raft* shares. *)
+                if MP.chosen_at cfg s ~idx:i ~bal:b v then Some (i, b, v)
+                else None)
+              (C.value_ids cfg))
+          (C.ballots cfg))
+      (C.indexes cfg)
+  in
+  committed = []
+  ||
+  let bl = become_leader cfg in
+  List.for_all
+    (fun (label, s') ->
+      (* The elected leader is named in the label as "a=<id>,...". *)
+      let leader = Scanf.sscanf label "a=%d" Fun.id in
+      List.for_all
+        (fun (i, b, v) ->
+          hb s' leader <= b || V.equal (val_at s' leader i) v)
+        committed)
+    (bl.Action.enum s)
+
+let invariants cfg =
+  [
+    ("LogMatching", inv_log_matching cfg);
+    ("LeaderCompleteness", inv_leader_completeness cfg);
+    ( "Mapped/OneValuePerBallot",
+      fun s -> MP.inv_one_value_per_ballot cfg (to_paxos cfg s) );
+    ("Mapped/Agreement", fun s -> MP.inv_agreement cfg (to_paxos cfg s));
+    ("Mapped/LogsSafe", fun s -> MP.inv_logs_safe cfg (to_paxos cfg s));
+  ]

@@ -1,0 +1,60 @@
+(** Executable transcription of the paper's Appendix B.2 Raft* TLA+
+    specification.
+
+    Raft* is Raft plus the paper's two changes (Section 3): a per-entry
+    ballot field rewritten on every append, and vote replies that carry the
+    replier's extra entries so the new leader can adopt safe values; an
+    acceptor rejects appends that would shorten its log.
+
+    State variables:
+    - [highestBallot], [isLeader], [logTail], [votes], [proposedValues]:
+      as in {!Spec_multipaxos} (same names — the refinement mapping is the
+      identity on them);
+    - [lastIndex]  : acceptor -> own Raft log end (or -1);
+    - [raftlogs]   : acceptor -> index -> (term, value) — the Raft log;
+    - [logBallot]  : acceptor -> index -> ballot — Raft*'s ballot field;
+    - [proposedEntries] : set of append messages;
+    - [r1amsgs], [r1bmsgs] : RequestVote / RequestVoteOK messages.
+
+    The Paxos view of a log entry is [(logBallot[a][i], raftlogs[a][i].val)]
+    (the paper's derived [logs]); {!to_paxos} is the Figure-3 refinement
+    mapping.
+
+    Deviations from the paper's TLA+ text, each needed to make the spec
+    check (documented in DESIGN.md):
+    - [Phase1b]'s up-to-date test uses [lastIndex[a] /= -1] where the paper
+      prints [= -1] twice (an obvious typo);
+    - [ProposeEntries] guards proposal uniqueness per (index, ballot), like
+      our fixed MultiPaxos [Propose];
+    - [ProposeEntries] also records the {e new} value in [proposedValues]
+      (the paper's comprehension only picks values already in [raftlogs]);
+    - [BecomeLeader] stores the safe entry's ballot as the adopted entry's
+      term (the paper's TLA stores [-1], which breaks prev-term matching
+      and log matching; the pseudocode stores [currentTerm], which breaks
+      the single-step mapping to Paxos [BecomeLeader]);
+    - [AcceptEntries] rewrites ballots and adds votes for the replicated
+      range [prev+1 .. lIndex] (following the Figure-2 pseudocode; the TLA
+      rewrites ballots from 0 but adds no matching votes, which breaks the
+      mapped Accept steps). *)
+
+val spec : Proto_config.t -> Spec.t
+
+val to_paxos : Proto_config.t -> State.t -> State.t
+(** The refinement mapping of Figure 3 / Appendix C: identity on the shared
+    variables, derived [(ballot, value)] view of the logs, projection of
+    the RequestVote messages onto prepare messages, and dropping
+    [lastIndex] and [proposedEntries]. *)
+
+(** {1 Invariants} *)
+
+val inv_log_matching : Proto_config.t -> State.t -> bool
+(** Raft's Log Matching property on [raftlogs]: same (index, term) implies
+    identical prefixes. *)
+
+val inv_leader_completeness : Proto_config.t -> State.t -> bool
+(** Entries replicated as identical [(term, value)] on a quorum survive
+    into the log of any leader electable from this state. *)
+
+val invariants : Proto_config.t -> (string * (State.t -> bool)) list
+(** The Raft*-specific invariants plus the MultiPaxos invariants evaluated
+    on the mapped state. *)

@@ -1,0 +1,392 @@
+module V = Value
+module C = Proto_config
+module MP = Spec_multipaxos
+
+let mid = { C.acceptors = 3; values = 2; max_ballot = 2; max_index = 1 }
+
+(* ---- typed accessors (same layout as Spec_raft_star) ---- *)
+
+let acc_get s var a = V.get (State.get s var) (V.int a)
+let acc_put s var a v = State.set s var (V.put (State.get s var) (V.int a) v)
+let hb s a = V.to_int (acc_get s "highestBallot" a)
+let is_leader s a = V.to_bool (acc_get s "isLeader" a)
+let last_index s a = V.to_int (acc_get s "lastIndex" a)
+let raftlog_at s a i = V.get (acc_get s "raftlogs" a) (V.int i)
+let term_at s a i = V.to_int (List.nth (V.to_tuple (raftlog_at s a i)) 0)
+
+let set_raftlog_at s a i e =
+  acc_put s "raftlogs" a (V.put (acc_get s "raftlogs" a) (V.int i) e)
+
+let last_term s a =
+  let li = last_index s a in
+  if li = -1 then -1 else term_at s a li
+
+let vars =
+  [
+    "highestBallot";
+    "isLeader";
+    "lastIndex";
+    "raftlogs";
+    "proposedEntries";
+    "r1amsgs";
+    "r1bmsgs";
+  ]
+
+let init cfg =
+  let accs = C.acceptor_ids cfg in
+  let per_acceptor v = V.fn (List.map (fun a -> (V.int a, v)) accs) in
+  let per_index v = V.fn (List.map (fun i -> (V.int i, v)) (C.indexes cfg)) in
+  State.of_list
+    [
+      ("highestBallot", per_acceptor (V.int 0));
+      ("isLeader", per_acceptor V.ff);
+      ("lastIndex", per_acceptor (V.int (-1)));
+      ("raftlogs", per_acceptor (per_index MP.empty_entry));
+      ("proposedEntries", V.set []);
+      ("r1amsgs", V.set []);
+      ("r1bmsgs", V.set []);
+    ]
+
+let increase_term cfg =
+  Action.make ~descr:"spontaneously adopt a higher term" "IncreaseTerm"
+    (fun s ->
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b ->
+              if b > hb s a then
+                let s' = acc_put s "highestBallot" a (V.int b) in
+                let s' = acc_put s' "isLeader" a V.ff in
+                Some (Fmt.str "a=%d,b=%d" a b, s')
+              else None)
+            (C.ballots cfg))
+        (C.acceptor_ids cfg))
+
+let request_vote cfg =
+  Action.make ~descr:"broadcast RequestVote at the current term" "RequestVote"
+    (fun s ->
+      List.filter_map
+        (fun a ->
+          if is_leader s a then None
+          else
+            let m =
+              V.record
+                [
+                  ("acc", V.int a);
+                  ("bal", V.int (hb s a));
+                  ("lastTerm", V.int (last_term s a));
+                  ("lastIndex", V.int (last_index s a));
+                ]
+            in
+            let msgs = State.get s "r1amsgs" in
+            if V.set_mem m msgs then None
+            else
+              Some (Fmt.str "a=%d" a, State.set s "r1amsgs" (V.set_add m msgs)))
+        (C.acceptor_ids cfg))
+
+let up_to_date s a m =
+  let m_last_term = V.to_int (V.field m "lastTerm") in
+  let m_last_index = V.to_int (V.field m "lastIndex") in
+  let li = last_index s a in
+  li = -1
+  || term_at s a li < m_last_term
+  || (term_at s a li = m_last_term && li <= m_last_index)
+
+let raft_log cfg s a =
+  V.fn
+    (List.map (fun i -> (V.int i, raftlog_at s a i)) (C.indexes cfg))
+
+let handle_vote cfg =
+  Action.make ~descr:"grant a vote to an up-to-date candidate" "HandleVote"
+    (fun s ->
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun m ->
+              let bal = V.to_int (V.field m "bal") in
+              if bal > hb s a && up_to_date s a m then
+                let s' = acc_put s "highestBallot" a (V.int bal) in
+                let s' = acc_put s' "isLeader" a V.ff in
+                let reply =
+                  V.record
+                    [
+                      ("acc", V.int a);
+                      ("bal", V.int bal);
+                      ("log", raft_log cfg s a);
+                      ("logTail", V.int (last_index s a));
+                    ]
+                in
+                let s' =
+                  State.set s' "r1bmsgs"
+                    (V.set_add reply (State.get s' "r1bmsgs"))
+                in
+                Some (Fmt.str "a=%d,b=%d" a bal, s')
+              else None)
+            (V.to_set (State.get s "r1amsgs")))
+        (C.acceptor_ids cfg))
+
+let quorum_replies s q bal =
+  let msgs = V.to_set (State.get s "r1bmsgs") in
+  let find a =
+    List.find_opt
+      (fun m ->
+        V.to_int (V.field m "acc") = a && V.to_int (V.field m "bal") = bal)
+      msgs
+  in
+  let rec collect = function
+    | [] -> Some []
+    | a :: rest -> (
+        match find a with
+        | Some m -> Option.map (fun ms -> m :: ms) (collect rest)
+        | None -> None)
+  in
+  collect q
+
+(* Vanilla: the elected leader keeps exactly its own log. *)
+let become_leader cfg =
+  Action.make ~descr:"collect a quorum of votes; keep own log" "BecomeLeader"
+    (fun s ->
+      List.concat_map
+        (fun a ->
+          if is_leader s a then []
+          else
+            let bal = hb s a in
+            List.filter_map
+              (fun q ->
+                match quorum_replies s q bal with
+                | None -> None
+                | Some _ ->
+                    Some
+                      ( Fmt.str "a=%d,q=%a" a Fmt.(list ~sep:(any "") int) q,
+                        acc_put s "isLeader" a V.tt ))
+              (C.quorums_containing cfg a))
+        (C.acceptor_ids cfg))
+
+(* One value per (term, index) across all append messages — the stand-in
+   for Raft's one-leader-per-term (see the .mli). *)
+let no_conflicting_proposal s term i v =
+  V.set_for_all
+    (fun pe ->
+      V.to_int (V.field pe "term") <> term
+      ||
+      match V.get_opt (V.field pe "entries") (V.int i) with
+      | Some e ->
+          V.to_int (List.nth (V.to_tuple e) 0) <> term
+          || V.equal (List.nth (V.to_tuple e) 1) v
+      | None -> true)
+    (State.get s "proposedEntries")
+
+let propose_entries cfg =
+  Action.make ~descr:"leader appends a client value and broadcasts it"
+    "ProposeEntries" (fun s ->
+      List.concat_map
+        (fun a ->
+          if not (is_leader s a) then []
+          else
+            let i = last_index s a + 1 in
+            if i > cfg.C.max_index then []
+            else
+              List.concat_map
+                (fun v ->
+                  let v = V.int v in
+                  if not (no_conflicting_proposal s (hb s a) i v) then []
+                  else
+                    List.filter_map
+                      (fun i1 ->
+                        let prev = i1 - 1 in
+                        let prev_term =
+                          if prev >= 0 then term_at s a prev else -1
+                        in
+                        let entries =
+                          V.fn
+                            (List.filter_map
+                               (fun j ->
+                                 if j >= i1 && j <= i then
+                                   Some
+                                     ( V.int j,
+                                       if j = i then MP.entry (hb s a) v
+                                       else raftlog_at s a j )
+                                 else None)
+                               (C.indexes cfg))
+                        in
+                        let pe =
+                          V.record
+                            [
+                              ("term", V.int (hb s a));
+                              ("prevLogTerm", V.int prev_term);
+                              ("prevLogIndex", V.int prev);
+                              ("lIndex", V.int i);
+                              ("leaderId", V.int a);
+                              ("entries", entries);
+                            ]
+                        in
+                        let pes = State.get s "proposedEntries" in
+                        if V.set_mem pe pes then None
+                        else
+                          Some
+                            ( Fmt.str "a=%d,i1=%d,i=%d,v=%a" a i1 i V.pp v,
+                              State.set s "proposedEntries" (V.set_add pe pes)
+                            ))
+                      (List.sort_uniq compare [ 0; i ]))
+                (C.value_ids cfg))
+        (C.acceptor_ids cfg))
+
+(* Vanilla log reconciliation: append missing entries; on the first
+   conflicting entry, erase it and everything after it, then take the
+   leader's entries.  A consistent tail longer than the leader's batch is
+   kept. *)
+let accept_entries cfg =
+  Action.make ~descr:"acceptor reconciles its log with the leader's batch"
+    "AcceptEntries" (fun s ->
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun pe ->
+              let term = V.to_int (V.field pe "term") in
+              let prev = V.to_int (V.field pe "prevLogIndex") in
+              let prev_term = V.to_int (V.field pe "prevLogTerm") in
+              let l_index = V.to_int (V.field pe "lIndex") in
+              let entries = V.field pe "entries" in
+              if
+                term >= hb s a
+                && (prev < 0
+                   || (prev <= last_index s a && term_at s a prev = prev_term))
+              then begin
+                let deposed = term > hb s a in
+                let s' = acc_put s "highestBallot" a (V.int term) in
+                (* Find the first index in prev+1 .. lIndex where the local
+                   entry conflicts with (or is missing vs) the batch. *)
+                let range = List.init (l_index - prev) (fun k -> prev + 1 + k) in
+                let conflict =
+                  List.find_opt
+                    (fun j ->
+                      j > last_index s a
+                      || term_at s a j
+                         <> V.to_int
+                              (List.nth (V.to_tuple (V.get entries (V.int j))) 0))
+                    range
+                in
+                match conflict with
+                | None ->
+                    (* Log already contains the batch; nothing to write. *)
+                    let s' =
+                      if deposed then acc_put s' "isLeader" a V.ff else s'
+                    in
+                    Some (Fmt.str "a=%d,t=%d,l=%d,noop" a term l_index, s')
+                | Some j0 ->
+                    let erase = j0 <= last_index s a in
+                    let s' =
+                      List.fold_left
+                        (fun s' j ->
+                          if j >= j0 && j <= l_index then
+                            set_raftlog_at s' a j (V.get entries (V.int j))
+                          else if erase && j > l_index then
+                            (* the erase step: drop the conflicting tail *)
+                            set_raftlog_at s' a j MP.empty_entry
+                          else s')
+                        s' (C.indexes cfg)
+                    in
+                    let s' =
+                      acc_put s' "lastIndex" a
+                        (V.int
+                           (if erase then l_index
+                            else max l_index (last_index s a)))
+                    in
+                    let s' =
+                      if deposed then acc_put s' "isLeader" a V.ff else s'
+                    in
+                    Some (Fmt.str "a=%d,t=%d,l=%d" a term l_index, s')
+              end
+              else None)
+            (V.to_set (State.get s "proposedEntries")))
+        (C.acceptor_ids cfg))
+
+let spec cfg =
+  Spec.make ~name:"Raft" ~vars ~init:[ init cfg ]
+    [
+      increase_term cfg;
+      request_vote cfg;
+      handle_vote cfg;
+      become_leader cfg;
+      propose_entries cfg;
+      accept_entries cfg;
+    ]
+
+(* ---- the attempted Figure-3 mapping ---- *)
+
+let to_paxos cfg s =
+  let accs = C.acceptor_ids cfg in
+  let logs =
+    V.fn (List.map (fun a -> (V.int a, raft_log cfg s a)) accs)
+  in
+  (* Votes and proposals derived from the only state vanilla Raft keeps:
+     the current logs and the in-flight append messages. *)
+  let votes =
+    V.fn
+      (List.map
+         (fun a ->
+           ( V.int a,
+             V.fn
+               (List.map
+                  (fun i ->
+                    let e = raftlog_at s a i in
+                    let vs =
+                      if V.to_int (List.nth (V.to_tuple e) 0) >= 0 then [ e ]
+                      else []
+                    in
+                    (V.int i, V.set vs))
+                  (C.indexes cfg)) ))
+         accs)
+  in
+  let proposed =
+    V.set
+      (List.concat_map
+         (fun pe ->
+           let term = V.field pe "term" in
+           List.filter_map
+             (fun (i, e) ->
+               match V.to_tuple e with
+               | [ _; v ] when not (V.equal v V.nil) ->
+                   Some (V.tuple [ i; term; v ])
+               | _ -> None)
+             (V.to_map (V.field pe "entries")))
+         (V.to_set (State.get s "proposedEntries")))
+  in
+  let msgs1a =
+    V.set
+      (List.map
+         (fun m ->
+           V.record [ ("acc", V.field m "acc"); ("bal", V.field m "bal") ])
+         (V.to_set (State.get s "r1amsgs")))
+  in
+  State.of_list
+    [
+      ("highestBallot", State.get s "highestBallot");
+      ("isLeader", State.get s "isLeader");
+      ("logTail", State.get s "lastIndex");
+      ("votes", votes);
+      ("proposedValues", proposed);
+      ("logs", logs);
+      ("msgs1a", msgs1a);
+      ("msgs1b", State.get s "r1bmsgs");
+    ]
+
+let inv_log_matching cfg s =
+  List.for_all
+    (fun x ->
+      List.for_all
+        (fun y ->
+          List.for_all
+            (fun i ->
+              let tx = term_at s x i and ty = term_at s y i in
+              if tx >= 0 && tx = ty then
+                List.for_all
+                  (fun j ->
+                    j > i || V.equal (raftlog_at s x j) (raftlog_at s y j))
+                  (C.indexes cfg)
+              else true)
+            (C.indexes cfg))
+        (C.acceptor_ids cfg))
+    (C.acceptor_ids cfg)
+
+let invariants cfg = [ ("LogMatching", inv_log_matching cfg) ]

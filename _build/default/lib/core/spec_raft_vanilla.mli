@@ -1,0 +1,37 @@
+(** Vanilla Raft, as a state-machine spec in the same message-passing style
+    as {!Spec_raft_star} — used for the paper's Section 3 negative result:
+    Raft itself does {e not} refine MultiPaxos under the Figure-3 mapping.
+
+    The two vanilla behaviours that break the mapping (the paper's "two
+    reasons"):
+    - an acceptor whose log conflicts with the leader's {b erases} the
+      conflicting suffix — mapped to Paxos, an accepted value disappears,
+      which no Paxos action allows;
+    - a leader replicates previously-uncommitted entries {b without
+      rewriting their term}, so the per-entry "ballot" (term) of an
+      accepted value is not refreshed the way Paxos's Accept refreshes it,
+      and elected leaders keep their own log instead of adopting quorum-safe
+      values.
+
+    So that the message sets stay mappable, vote replies still carry the
+    replier's log (as in Raft star), but [BecomeLeader] {b ignores} it — the
+    protocol difference under test is the log handling, not the message
+    format.  A proposal-uniqueness guard (one value per (term, index))
+    stands in for Raft's one-leader-per-term property, which this
+    unaddressed-votes formulation cannot express; without it even
+    LogMatching would fail for the wrong reason. *)
+
+val spec : Proto_config.t -> Spec.t
+
+val to_paxos : Proto_config.t -> State.t -> State.t
+(** The natural analogue of the Figure-3 mapping, with [entry.term] playing
+    the accepted-ballot role (the only candidate vanilla Raft offers). *)
+
+val mid : Proto_config.t
+(** 3 acceptors, 2 values, ballots 0–2, two log slots: the smallest
+    instance on which the erase behaviour is reachable (it needs two
+    different elected terms proposing different values). *)
+
+val inv_log_matching : Proto_config.t -> State.t -> bool
+
+val invariants : Proto_config.t -> (string * (State.t -> bool)) list

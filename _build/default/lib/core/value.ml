@@ -1,0 +1,178 @@
+type t =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Tuple of t list
+  | Set of t list
+  | Map of (t * t) list
+  | Rec of (string * t) list
+
+let type_rank = function
+  | Int _ -> 0
+  | Bool _ -> 1
+  | Str _ -> 2
+  | Tuple _ -> 3
+  | Set _ -> 4
+  | Map _ -> 5
+  | Rec _ -> 6
+
+let rec compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Str x, Str y -> String.compare x y
+  | Tuple x, Tuple y -> compare_list x y
+  | Set x, Set y -> compare_list x y
+  | Map x, Map y -> compare_pairs x y
+  | Rec x, Rec y -> compare_fields x y
+  | _ -> Stdlib.compare (type_rank a) (type_rank b)
+
+and compare_list x y =
+  match (x, y) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | a :: x', b :: y' ->
+      let c = compare a b in
+      if c <> 0 then c else compare_list x' y'
+
+and compare_pairs x y =
+  match (x, y) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | (ka, va) :: x', (kb, vb) :: y' ->
+      let c = compare ka kb in
+      if c <> 0 then c
+      else
+        let c = compare va vb in
+        if c <> 0 then c else compare_pairs x' y'
+
+and compare_fields x y =
+  match (x, y) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | (ka, va) :: x', (kb, vb) :: y' ->
+      let c = String.compare ka kb in
+      if c <> 0 then c
+      else
+        let c = compare va vb in
+        if c <> 0 then c else compare_fields x' y'
+
+let equal a b = compare a b = 0
+
+let rec pp ppf v =
+  match v with
+  | Int n -> Fmt.int ppf n
+  | Bool b -> Fmt.bool ppf b
+  | Str s -> Fmt.string ppf s
+  | Tuple vs -> Fmt.pf ppf "@[<h><%a>@]" Fmt.(list ~sep:comma pp) vs
+  | Set vs -> Fmt.pf ppf "@[<h>{%a}@]" Fmt.(list ~sep:comma pp) vs
+  | Map kvs -> Fmt.pf ppf "@[<h>[%a]@]" Fmt.(list ~sep:comma pp_binding) kvs
+  | Rec fs -> Fmt.pf ppf "@[<h>(%a)@]" Fmt.(list ~sep:comma pp_field) fs
+
+and pp_binding ppf (k, v) = Fmt.pf ppf "%a->%a" pp k pp v
+and pp_field ppf (k, v) = Fmt.pf ppf "%s:%a" k pp v
+
+let to_string v = Fmt.str "%a" pp v
+
+let int n = Int n
+let bool b = Bool b
+let str s = Str s
+let tuple vs = Tuple vs
+
+let set vs = Set (List.sort_uniq compare vs)
+
+let map_of kvs =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) kvs in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if equal a b then invalid_arg "Value.map_of: duplicate key"
+        else check rest
+    | _ -> ()
+  in
+  check sorted;
+  Map sorted
+
+let record fs =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) fs in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then invalid_arg "Value.record: duplicate field"
+        else check rest
+    | _ -> ()
+  in
+  check sorted;
+  Rec sorted
+
+let type_error what v =
+  invalid_arg (Fmt.str "Value: expected %s, got %a" what pp v)
+
+let to_int = function Int n -> n | v -> type_error "int" v
+let to_bool = function Bool b -> b | v -> type_error "bool" v
+let to_str = function Str s -> s | v -> type_error "str" v
+let to_tuple = function Tuple vs -> vs | v -> type_error "tuple" v
+let to_set = function Set vs -> vs | v -> type_error "set" v
+let to_map = function Map kvs -> kvs | v -> type_error "map" v
+let to_rec = function Rec fs -> fs | v -> type_error "record" v
+
+let set_mem x s = List.exists (equal x) (to_set s)
+let set_add x s = set (x :: to_set s)
+let set_union s1 s2 = set (to_set s1 @ to_set s2)
+let set_card s = List.length (to_set s)
+let set_subset s1 s2 = List.for_all (fun x -> set_mem x s2) (to_set s1)
+let set_filter f s = Set (List.filter f (to_set s))
+let set_exists f s = List.exists f (to_set s)
+let set_for_all f s = List.for_all f (to_set s)
+
+let subsets s =
+  let elts = to_set s in
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let subs = go rest in
+        subs @ List.map (fun sub -> x :: sub) subs
+  in
+  List.map set (go elts)
+
+let get m k =
+  let rec find = function
+    | [] -> raise Not_found
+    | (k', v) :: rest -> (
+        match compare k k' with
+        | 0 -> v
+        | c when c < 0 -> raise Not_found
+        | _ -> find rest)
+  in
+  find (to_map m)
+
+let get_opt m k = try Some (get m k) with Not_found -> None
+
+let put m k v =
+  let rec insert = function
+    | [] -> [ (k, v) ]
+    | ((k', _) as kv) :: rest -> (
+        match compare k k' with
+        | 0 -> (k, v) :: rest
+        | c when c < 0 -> (k, v) :: kv :: rest
+        | _ -> kv :: insert rest)
+  in
+  Map (insert (to_map m))
+
+let keys m = List.map fst (to_map m)
+let fn = map_of
+
+let field r name =
+  match List.assoc_opt name (to_rec r) with
+  | Some v -> v
+  | None -> raise Not_found
+
+let with_field r name v =
+  let fs = to_rec r in
+  record ((name, v) :: List.remove_assoc name fs)
+
+let nil = Str "NoVal"
+let noop = Str "Noop"
+let tt = Bool true
+let ff = Bool false

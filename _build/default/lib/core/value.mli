@@ -1,0 +1,101 @@
+(** The universe of values manipulated by executable TLA-style
+    specifications.
+
+    Values are immutable and kept in a canonical form: sets are sorted and
+    deduplicated, finite maps are sorted by key.  This makes structural
+    comparison a total order on the whole universe, which the explorer uses
+    to deduplicate states. *)
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Tuple of t list
+  | Set of t list  (** canonical: strictly ascending *)
+  | Map of (t * t) list  (** finite map, canonical: keys strictly ascending *)
+  | Rec of (string * t) list  (** record, canonical: fields strictly ascending *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Constructors} *)
+
+val int : int -> t
+val bool : bool -> t
+val str : string -> t
+val tuple : t list -> t
+
+val set : t list -> t
+(** Builds a canonical set (sorts, dedups). *)
+
+val map_of : (t * t) list -> t
+(** Builds a canonical finite map; raises [Invalid_argument] on duplicate
+    keys. *)
+
+val record : (string * t) list -> t
+(** Builds a canonical record; raises [Invalid_argument] on duplicate
+    fields. *)
+
+(** {1 Destructors} — raise [Invalid_argument] on a type mismatch, which in a
+    specification indicates a bug in the spec itself. *)
+
+val to_int : t -> int
+val to_bool : t -> bool
+val to_str : t -> string
+val to_tuple : t -> t list
+val to_set : t -> t list
+val to_map : t -> (t * t) list
+val to_rec : t -> (string * t) list
+
+(** {1 Set operations} *)
+
+val set_mem : t -> t -> bool
+(** [set_mem x s] tests membership of [x] in set [s]. *)
+
+val set_add : t -> t -> t
+val set_union : t -> t -> t
+val set_card : t -> int
+val set_subset : t -> t -> bool
+(** [set_subset s1 s2] is true iff every element of [s1] is in [s2]. *)
+
+val set_filter : (t -> bool) -> t -> t
+val set_exists : (t -> bool) -> t -> bool
+val set_for_all : (t -> bool) -> t -> bool
+val subsets : t -> t list
+(** All subsets of a set, as set values.  Exponential: only use on the small
+    finite instances the explorer works with. *)
+
+(** {1 Finite-map operations} *)
+
+val get : t -> t -> t
+(** [get m k] looks up key [k]; raises [Not_found] if absent. *)
+
+val get_opt : t -> t -> t option
+val put : t -> t -> t -> t
+(** [put m k v] is [m] with [k] bound to [v] (replacing any previous
+    binding). *)
+
+val keys : t -> t list
+val fn : (t * t) list -> t
+(** Alias of {!map_of} for building TLA-style functions. *)
+
+(** {1 Record operations} *)
+
+val field : t -> string -> t
+(** [field r name]: record field access; raises [Not_found] if absent. *)
+
+val with_field : t -> string -> t -> t
+
+(** {1 Common constants} *)
+
+val nil : t
+(** Distinguished "no value" marker ([Str "NoVal"]), used where the paper's
+    specs use [NoVal]. *)
+
+val noop : t
+(** Distinguished no-op command marker ([Str "Noop"]), used by Mencius. *)
+
+val tt : t
+val ff : t

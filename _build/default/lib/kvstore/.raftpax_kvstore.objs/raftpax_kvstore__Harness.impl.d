@@ -1,0 +1,1 @@
+lib/kvstore/harness.ml: Array Int64 Lin_check List Option Raftpax_consensus Raftpax_sim Workload

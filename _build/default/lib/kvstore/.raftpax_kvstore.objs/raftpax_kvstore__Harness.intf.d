@@ -1,0 +1,1 @@
+lib/kvstore/harness.mli: Raftpax_sim Workload

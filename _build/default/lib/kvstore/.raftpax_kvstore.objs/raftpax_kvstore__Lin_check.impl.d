@@ -1,0 +1,1 @@
+lib/kvstore/lin_check.ml: Fmt Hashtbl List Option Raftpax_consensus

@@ -1,0 +1,1 @@
+lib/kvstore/lin_check.mli: Format Raftpax_consensus

@@ -1,0 +1,1 @@
+lib/kvstore/workload.ml: Raftpax_consensus Raftpax_sim

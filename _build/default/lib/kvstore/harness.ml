@@ -1,0 +1,201 @@
+module Sim = Raftpax_sim
+module Engine = Sim.Engine
+module Net = Sim.Net
+module Topology = Sim.Topology
+module Stats = Sim.Stats
+module C = Raftpax_consensus
+module Types = C.Types
+
+type protocol = Raft | Raft_star | Raft_ll | Raft_pql | Mencius | Multipaxos
+
+let protocol_name = function
+  | Raft -> "Raft"
+  | Raft_star -> "Raft*"
+  | Raft_ll -> "Raft*-LL"
+  | Raft_pql -> "Raft*-PQL"
+  | Mencius -> "Raft*-Mencius"
+  | Multipaxos -> "MultiPaxos"
+
+type config = {
+  protocol : protocol;
+  leader_site : Topology.site;
+  workload : Workload.spec;
+  duration_s : int;
+  warmup_s : int;
+  cooldown_s : int;
+  seed : int64;
+}
+
+let config ?(leader_site = Topology.Oregon) ?(duration_s = 10) ?(warmup_s = 2)
+    ?(cooldown_s = 2) ?(seed = 1L) protocol workload =
+  { protocol; leader_site; workload; duration_s; warmup_s; cooldown_s; seed }
+
+type result = {
+  throughput_ops : float;
+  read_leader : Stats.t;
+  read_follower : Stats.t;
+  write_leader : Stats.t;
+  write_follower : Stats.t;
+  retries : int;
+  consistency_violations : int;
+  messages : int;
+  bytes_by_node : int array;
+}
+
+(* A protocol instance reduced to what the clients need. *)
+type instance = {
+  submit : node:int -> Types.op -> (Types.reply -> unit) -> unit;
+  committed_ops : node:int -> Types.op list;
+}
+
+let make_instance protocol net leader =
+  match protocol with
+  | Raft | Raft_star | Raft_ll | Raft_pql ->
+      let cfg =
+        match protocol with
+        | Raft -> C.Raft.raft ~leader ()
+        | Raft_star -> C.Raft.raft_star ~leader ()
+        | Raft_ll -> C.Raft.raft_ll ~leader ()
+        | Raft_pql -> C.Raft.raft_pql ~leader ()
+        | _ -> assert false
+      in
+      let t = C.Raft.create cfg net in
+      C.Raft.start t;
+      {
+        submit = (fun ~node op k -> C.Raft.submit t ~node op k);
+        committed_ops =
+          (fun ~node ->
+            let commit = C.Raft.commit_index t ~node in
+            C.Raft.log_entries t ~node
+            |> List.filteri (fun i _ -> i <= commit)
+            |> List.filter_map (fun (e : Types.entry) ->
+                   Option.map (fun (c : Types.cmd) -> c.op) e.cmd));
+      }
+  | Mencius ->
+      let t = C.Mencius.create C.Mencius.default_config net in
+      C.Mencius.start t;
+      {
+        submit = (fun ~node op k -> C.Mencius.submit t ~node op k);
+        committed_ops = (fun ~node -> C.Mencius.committed_ops t ~node);
+      }
+  | Multipaxos ->
+      let t = C.Multipaxos.create ~leader C.Multipaxos.default_config net in
+      C.Multipaxos.start t;
+      {
+        submit = (fun ~node op k -> C.Multipaxos.submit t ~node op k);
+        committed_ops = (fun ~node -> C.Multipaxos.committed_ops t ~node);
+      }
+
+let retry_timeout_us = 20_000_000
+
+let run cfg =
+  let engine = Engine.create ~seed:cfg.seed () in
+  let nodes =
+    List.mapi (fun i site -> { Net.id = i; site }) Topology.sites
+  in
+  let net = Net.create engine ~nodes in
+  let regions = List.length Topology.sites in
+  let leader = Topology.site_index cfg.leader_site in
+  let inst = make_instance cfg.protocol net leader in
+  let wl = Workload.create ~seed:cfg.seed ~regions cfg.workload in
+  let read_leader = Stats.create ()
+  and read_follower = Stats.create ()
+  and write_leader = Stats.create ()
+  and write_follower = Stats.create () in
+  let retries = ref 0 in
+  let events = ref [] in
+  let end_us = cfg.duration_s * 1_000_000 in
+  (* Closed-loop clients: one outstanding op each, retry on timeout. *)
+  let rec client_loop region () =
+    if Engine.now engine < end_us then begin
+      let op = Workload.next_op wl ~region in
+      attempt region op
+    end
+  and attempt region op =
+    let started = Engine.now engine in
+    let finished = ref false in
+    let timeout =
+      Engine.schedule_cancellable engine ~delay:retry_timeout_us (fun () ->
+          if not !finished then begin
+            finished := true;
+            incr retries;
+            if Engine.now engine < end_us then attempt region op
+          end)
+    in
+    inst.submit ~node:region op (fun reply ->
+        if not !finished then begin
+          finished := true;
+          Engine.cancel timeout;
+          let now = Engine.now engine in
+          let latency = now - started in
+          let at_leader = region = leader in
+          (match op with
+          | Types.Get { key } ->
+              Stats.record
+                (if at_leader then read_leader else read_follower)
+                ~latency_us:latency ~at_us:now;
+              events :=
+                Lin_check.Read
+                  { key; started_us = started; returned = reply.Types.value }
+                :: !events
+          | Types.Put { write_id; key; _ } ->
+              Stats.record
+                (if at_leader then write_leader else write_follower)
+                ~latency_us:latency ~at_us:now;
+              events :=
+                Lin_check.Write_complete { write_id; key; at_us = now }
+                :: !events);
+          client_loop region ()
+        end)
+  in
+  for region = 0 to regions - 1 do
+    for _ = 1 to cfg.workload.Workload.clients_per_region do
+      (* Stagger client start to avoid a synchronized burst. *)
+      let jitter = Sim.Rng.int (Engine.rng engine) 100_000 in
+      Engine.schedule engine ~delay:jitter (client_loop region)
+    done
+  done;
+  Engine.run engine ~until:end_us;
+  (* ---- consistency check against the committed order ---- *)
+  let committed_order = inst.committed_ops ~node:leader in
+  let violations =
+    if committed_order = [] then 0
+    else (Lin_check.check ~committed_order !events).Lin_check.violations |> List.length
+  in
+  let from_us = cfg.warmup_s * 1_000_000 in
+  let until_us = (cfg.duration_s - cfg.cooldown_s) * 1_000_000 in
+  let all =
+    Stats.merge [ read_leader; read_follower; write_leader; write_follower ]
+  in
+  {
+    throughput_ops = Stats.throughput_ops all ~from_us ~until_us;
+    read_leader;
+    read_follower;
+    write_leader;
+    write_follower;
+    retries = !retries;
+    consistency_violations = violations;
+    messages = Net.sent_count net;
+    bytes_by_node = Array.init regions (fun n -> Net.bytes_sent net n);
+  }
+
+let median_throughput ?(trials = 3) cfg =
+  let xs =
+    List.init trials (fun i ->
+        (run { cfg with seed = Int64.add cfg.seed (Int64.of_int i) })
+          .throughput_ops)
+    |> List.sort compare
+  in
+  List.nth xs (trials / 2)
+
+let peak_throughput ?(clients = [ 50; 200; 800; 2000 ]) cfg =
+  List.fold_left
+    (fun best c ->
+      let cfg =
+        {
+          cfg with
+          workload = { cfg.workload with Workload.clients_per_region = c };
+        }
+      in
+      max best (median_throughput ~trials:1 cfg))
+    0.0 clients

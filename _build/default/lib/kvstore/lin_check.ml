@@ -1,0 +1,91 @@
+module Types = Raftpax_consensus.Types
+
+type event =
+  | Write_complete of { write_id : int; key : int; at_us : int }
+  | Read of { key : int; started_us : int; returned : int option }
+
+type violation = {
+  v_key : int;
+  v_returned : int option;
+  v_expected_after : int;
+  v_started_us : int;
+}
+
+type result = { reads_checked : int; violations : violation list }
+
+let check ~committed_order events =
+  (* position of each committed write in its key's order *)
+  let position : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let by_position : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  List.iteri
+    (fun pos op ->
+      match op with
+      | Types.Put { key; write_id; _ } ->
+          Hashtbl.replace position (key, write_id) pos;
+          Hashtbl.replace by_position (key, pos) write_id
+      | Types.Get _ -> ())
+    committed_order;
+  (* acknowledged writes per key, with completion times *)
+  let acknowledged : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (function
+      | Write_complete { write_id; key; at_us } ->
+          let cell =
+            match Hashtbl.find_opt acknowledged key with
+            | Some cell -> cell
+            | None ->
+                let cell = ref [] in
+                Hashtbl.replace acknowledged key cell;
+                cell
+          in
+          cell := (write_id, at_us) :: !cell
+      | Read _ -> ())
+    events;
+  let reads_checked = ref 0 in
+  let violations = ref [] in
+  List.iter
+    (function
+      | Write_complete _ -> ()
+      | Read { key; started_us; returned } ->
+          incr reads_checked;
+          (* the freshest acknowledged-and-committed write before the read *)
+          let floor_pos = ref (-1) in
+          (match Hashtbl.find_opt acknowledged key with
+          | None -> ()
+          | Some cell ->
+              List.iter
+                (fun (write_id, done_us) ->
+                  if done_us <= started_us then
+                    match Hashtbl.find_opt position (key, write_id) with
+                    | Some pos when pos > !floor_pos -> floor_pos := pos
+                    | _ -> ())
+                !cell);
+          let ret_pos =
+            match returned with
+            | None -> -1
+            | Some id -> (
+                match Hashtbl.find_opt position (key, id) with
+                | Some pos -> pos
+                | None -> -2 (* returned a value that was never committed *))
+          in
+          if ret_pos = -2 || ret_pos < !floor_pos then
+            violations :=
+              {
+                v_key = key;
+                v_returned = returned;
+                v_expected_after =
+                  Option.value ~default:(-1)
+                    (Hashtbl.find_opt by_position (key, !floor_pos));
+                v_started_us = started_us;
+              }
+              :: !violations)
+    events;
+  { reads_checked = !reads_checked; violations = List.rev !violations }
+
+let pp_violation ppf v =
+  Fmt.pf ppf
+    "read of key %d at t=%dus returned %a but write %d was already \
+     acknowledged"
+    v.v_key v.v_started_us
+    Fmt.(option ~none:(any "nothing") int)
+    v.v_returned v.v_expected_after

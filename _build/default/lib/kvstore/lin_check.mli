@@ -1,0 +1,33 @@
+(** Per-key linearizability checking for read results.
+
+    The oracle is the committed operation order (one protocol-supplied
+    list; all replicas apply the same order).  For each key, writes get
+    positions in that order.  A read that started at time [t] must return
+    a write at least as new as every write whose {e completion} the system
+    acknowledged before [t] (an acknowledged write is committed, so its
+    position lower-bounds what any linearizable read may see), and the
+    returned id must be a committed write of that key (or none, if the key
+    was never written).
+
+    This is a sound partial check: it cannot produce false alarms, and it
+    catches the failure modes that matter here — stale lease reads,
+    reads served from an un-replicated log, lost committed writes. *)
+
+type event =
+  | Write_complete of { write_id : int; key : int; at_us : int }
+      (** the client's completion callback fired at [at_us] *)
+  | Read of { key : int; started_us : int; returned : int option }
+
+type violation = {
+  v_key : int;
+  v_returned : int option;
+  v_expected_after : int;  (** write_id the read should have seen *)
+  v_started_us : int;
+}
+
+type result = { reads_checked : int; violations : violation list }
+
+val check :
+  committed_order:Raftpax_consensus.Types.op list -> event list -> result
+
+val pp_violation : Format.formatter -> violation -> unit

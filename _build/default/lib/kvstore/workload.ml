@@ -1,0 +1,52 @@
+module Rng = Raftpax_sim.Rng
+module Types = Raftpax_consensus.Types
+
+type spec = {
+  read_fraction : float;
+  conflict_rate : float;
+  value_size : int;
+  records : int;
+  clients_per_region : int;
+}
+
+let default =
+  {
+    read_fraction = 0.9;
+    conflict_rate = 0.05;
+    value_size = 8;
+    records = 100_000;
+    clients_per_region = 50;
+  }
+
+type t = {
+  spec : spec;
+  regions : int;
+  rng : Rng.t;
+  mutable next_write_id : int;
+}
+
+let hot_key = Raftpax_consensus.Mencius.hot_key
+
+let create ~seed ~regions spec =
+  { spec; regions; rng = Rng.create seed; next_write_id = 1 }
+
+let spec t = t.spec
+
+let pick_key t ~region =
+  if Rng.bool t.rng t.spec.conflict_rate then hot_key
+  else begin
+    (* Keys 1 .. records, pre-partitioned evenly among the regions. *)
+    let per_region = t.spec.records / t.regions in
+    1 + (region * per_region) + Rng.int t.rng (max 1 per_region)
+  end
+
+let next_op t ~region =
+  let key = pick_key t ~region in
+  if Rng.bool t.rng t.spec.read_fraction then Types.Get { key }
+  else begin
+    let write_id = t.next_write_id in
+    t.next_write_id <- write_id + 1;
+    Types.Put { key; size = t.spec.value_size; write_id }
+  end
+
+let writes_issued t = t.next_write_id - 1

@@ -1,0 +1,31 @@
+(** The paper's YCSB-like workload (Section 5): closed-loop clients issue
+    get/put back-to-back against 100K records.  With probability
+    [conflict_rate] a client touches the popular record (the Mencius hot
+    key); otherwise it draws uniformly from its own region's partition of
+    the key space. *)
+
+type spec = {
+  read_fraction : float;
+  conflict_rate : float;
+  value_size : int;  (** put payload bytes (paper: 8 B and 4 KB) *)
+  records : int;  (** total key-space size (paper: 100K) *)
+  clients_per_region : int;
+}
+
+val default : spec
+(** 90% reads, 5% conflict, 8-byte values, 100K records, 50 clients per
+    region — the Fig. 9 defaults. *)
+
+type t
+
+val create : seed:int64 -> regions:int -> spec -> t
+val spec : t -> spec
+
+val next_op : t -> region:int -> Raftpax_consensus.Types.op
+(** Draws the next operation for a client in [region], assigning a fresh
+    globally-unique write id to puts. *)
+
+val hot_key : int
+(** Equal to {!Raftpax_consensus.Mencius.hot_key}. *)
+
+val writes_issued : t -> int

@@ -1,0 +1,23 @@
+type t = {
+  engine : Engine.t;
+  mutable free_at : int;
+  mutable consumed : int;
+}
+
+let create engine = { engine; free_at = 0; consumed = 0 }
+
+let exec t ~cost_us f =
+  let now = Engine.now t.engine in
+  let start = max now t.free_at in
+  let finish = start + cost_us in
+  t.free_at <- finish;
+  t.consumed <- t.consumed + cost_us;
+  Engine.schedule t.engine ~delay:(finish - now) f
+
+let busy_until t = t.free_at
+let busy_us t = t.consumed
+
+let utilisation t ~from_us ~until_us =
+  let span = until_us - from_us in
+  if span <= 0 then 0.0
+  else min 1.0 (float_of_int t.consumed /. float_of_int span)

@@ -1,0 +1,23 @@
+(** Per-node CPU service model.
+
+    Each node owns a single-server FIFO queue: work items occupy the CPU
+    for a configured cost, so a node saturates at [1 / cost] items per
+    second — this is what bounds leader throughput in the CPU-bound
+    experiments (Fig. 9c, Fig. 10a).  Batching is modelled by charging one
+    item for a batch where the protocol batches. *)
+
+type t
+
+val create : Engine.t -> t
+
+val exec : t -> cost_us:int -> (unit -> unit) -> unit
+(** Enqueue work: [f] runs once the CPU has spent [cost_us] on it, after
+    all previously queued work. *)
+
+val busy_until : t -> int
+val busy_us : t -> int
+(** Total µs of CPU consumed so far. *)
+
+val utilisation : t -> from_us:int -> until_us:int -> float
+(** Approximate utilisation over a window (consumed CPU / wall time,
+    clamped to 1). *)

@@ -1,0 +1,112 @@
+type event = { time : int; seq : int; run : unit -> unit; mutable dead : bool }
+
+(* Binary min-heap on (time, seq). *)
+module Heap = struct
+  type t = { mutable a : event array; mutable len : int }
+
+  let dummy = { time = 0; seq = 0; run = ignore; dead = true }
+  let create () = { a = Array.make 256 dummy; len = 0 }
+
+  let less x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+  let push h e =
+    if h.len = Array.length h.a then begin
+      let a' = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 a' 0 h.len;
+      h.a <- a'
+    end;
+    h.a.(h.len) <- e;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      less h.a.(!i) h.a.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.len <- h.len - 1;
+      h.a.(0) <- h.a.(h.len);
+      h.a.(h.len) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && less h.a.(l) h.a.(!smallest) then smallest := l;
+        if r < h.len && less h.a.(r) h.a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.a.(!smallest) in
+          h.a.(!smallest) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+type t = {
+  heap : Heap.t;
+  mutable clock : int;
+  mutable next_seq : int;
+  rng : Rng.t;
+}
+
+type timer = event
+
+let create ?(seed = 42L) () =
+  { heap = Heap.create (); clock = 0; next_seq = 0; rng = Rng.create seed }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_cancellable t ~delay run =
+  assert (delay >= 0);
+  let e = { time = t.clock + delay; seq = t.next_seq; run; dead = false } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.heap e;
+  e
+
+let schedule t ~delay run = ignore (schedule_cancellable t ~delay run)
+let cancel e = e.dead <- true
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Heap.pop t.heap with
+    | None -> continue := false
+    | Some e when e.time > until ->
+        (* Put it back conceptually: since we popped it, re-push. *)
+        Heap.push t.heap e;
+        continue := false
+    | Some e ->
+        t.clock <- e.time;
+        if not e.dead then e.run ()
+  done;
+  if t.clock < until then t.clock <- until
+
+let run_all t =
+  let continue = ref true in
+  while !continue do
+    match Heap.pop t.heap with
+    | None -> continue := false
+    | Some e ->
+        t.clock <- e.time;
+        if not e.dead then e.run ()
+  done
+
+let pending t = t.heap.Heap.len
+let ms x = x * 1000
+let us_to_ms us = float_of_int us /. 1000.0

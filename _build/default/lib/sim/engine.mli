@@ -1,0 +1,36 @@
+(** Discrete-event simulation core: a virtual clock and a time-ordered
+    event heap.  Time is in integer microseconds.
+
+    Events scheduled for the same instant fire in scheduling order
+    (FIFO), which keeps runs deterministic. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+val now : t -> int
+(** Current virtual time, microseconds. *)
+
+val rng : t -> Rng.t
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** Enqueue a callback [delay] µs from now ([delay >= 0]). *)
+
+type timer
+val schedule_cancellable : t -> delay:int -> (unit -> unit) -> timer
+val cancel : timer -> unit
+(** Cancelling an already-fired timer is a no-op. *)
+
+val run : t -> until:int -> unit
+(** Process events in time order until the clock would pass [until] (µs)
+    or no events remain. *)
+
+val run_all : t -> unit
+(** Drain every event (use only when the event set is known finite). *)
+
+val pending : t -> int
+(** Number of queued events (including cancelled-but-unpopped timers). *)
+
+(** {1 Milliseconds helpers} — the protocol code thinks in ms. *)
+
+val ms : int -> int
+val us_to_ms : int -> float

@@ -1,0 +1,86 @@
+type node = { id : int; site : Topology.site }
+
+type t = {
+  engine : Engine.t;
+  nodes : node list;
+  sites : Topology.site array;
+  drop_probability : float;
+  jitter_us : int;
+  rng : Rng.t;
+  mutable partition : (int -> int -> bool) option;
+  down : bool array;
+  (* FIFO NIC model: the time at which each node's uplink frees up. *)
+  uplink_free_at : int array;
+  (* TCP-like per-link ordering: the last scheduled arrival per (src,dst);
+     a later message never overtakes an earlier one on the same link. *)
+  link_last_arrival : int array array;
+  bytes_out : int array;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let create ?(drop_probability = 0.0) ?(jitter_us = 200) engine ~nodes =
+  let n = List.length nodes in
+  let sites = Array.make n Topology.Oregon in
+  List.iter (fun node -> sites.(node.id) <- node.site) nodes;
+  {
+    engine;
+    nodes;
+    sites;
+    drop_probability;
+    jitter_us;
+    rng = Rng.split (Engine.rng engine);
+    partition = None;
+    down = Array.make n false;
+    uplink_free_at = Array.make n 0;
+    link_last_arrival = Array.make_matrix n n 0;
+    bytes_out = Array.make n 0;
+    sent = 0;
+    dropped = 0;
+  }
+
+let engine t = t.engine
+let nodes t = t.nodes
+let node_site t id = t.sites.(id)
+let set_partition t p = t.partition <- p
+let set_node_down t id b = t.down.(id) <- b
+let node_down t id = t.down.(id)
+
+let cut t src dst =
+  match t.partition with Some p -> p src dst | None -> false
+
+let send t ~src ~dst ~size deliver =
+  if t.down.(src) then ()
+  else begin
+    t.sent <- t.sent + 1;
+    t.bytes_out.(src) <- t.bytes_out.(src) + size;
+    let now = Engine.now t.engine in
+    (* Serialisation: the sender's NIC is FIFO; a message waits for the
+       uplink then occupies it for size/bandwidth. *)
+    let bw = Topology.bandwidth_bytes_per_sec t.sites.(src) in
+    let tx_us = size * 1_000_000 / bw in
+    let start = max now t.uplink_free_at.(src) in
+    let departure = start + tx_us in
+    t.uplink_free_at.(src) <- departure;
+    let propagation = Topology.one_way_us t.sites.(src) t.sites.(dst) in
+    let jitter = if t.jitter_us = 0 then 0 else Rng.int t.rng t.jitter_us in
+    let arrival =
+      max (departure + propagation + jitter) t.link_last_arrival.(src).(dst)
+    in
+    t.link_last_arrival.(src).(dst) <- arrival;
+    if
+      Rng.bool t.rng t.drop_probability
+      || cut t src dst
+    then t.dropped <- t.dropped + 1
+    else
+      Engine.schedule t.engine ~delay:(arrival - now) (fun () ->
+          (* Faults are evaluated at delivery time as well, so a node that
+             crashes (or a link that is cut) mid-flight loses the message. *)
+          if t.down.(dst) || t.down.(src) || cut t src dst then
+            t.dropped <- t.dropped + 1
+          else deliver ())
+  end
+
+let sent_count t = t.sent
+let dropped_count t = t.dropped
+let bytes_sent t id = t.bytes_out.(id)

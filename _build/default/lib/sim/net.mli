@@ -1,0 +1,51 @@
+(** Message transport over the simulated WAN.
+
+    Delivery time combines: a serialisation delay on the sender's NIC
+    (size / bandwidth, FIFO per sender — this is what saturates a leader's
+    uplink in the 4 KB experiments), the one-way propagation latency of the
+    site pair, and a small jitter.  Delivery is FIFO per (src, dst) link —
+    the TCP-stream assumption real implementations (etcd) make.  Messages
+    can be dropped by probability or cut by a partition predicate.
+
+    The transport is payload-agnostic: the caller passes a closure that
+    delivers the typed message, so the network needs no knowledge of
+    protocol message types. *)
+
+type t
+
+type node = {
+  id : int;
+  site : Topology.site;
+}
+
+val create :
+  ?drop_probability:float ->
+  ?jitter_us:int ->
+  Engine.t ->
+  nodes:node list ->
+  t
+
+val engine : t -> Engine.t
+val nodes : t -> node list
+val node_site : t -> int -> Topology.site
+
+val set_partition : t -> (int -> int -> bool) option -> unit
+(** [set_partition t (Some cut)]: messages from [a] to [b] are silently
+    dropped whenever [cut a b] is true.  [None] heals. *)
+
+val set_node_down : t -> int -> bool -> unit
+(** A down node neither sends nor receives. *)
+
+val node_down : t -> int -> bool
+
+val send : t -> src:int -> dst:int -> size:int -> (unit -> unit) -> unit
+(** [send t ~src ~dst ~size deliver] transmits a message of [size] bytes;
+    [deliver] runs at the destination's delivery time unless the message is
+    dropped.  Sending to self delivers after {!Topology.local_us}. *)
+
+(** {1 Introspection for tests and benches} *)
+
+val sent_count : t -> int
+val dropped_count : t -> int
+val bytes_sent : t -> int -> int
+(** Total bytes a node has put on the wire. *)

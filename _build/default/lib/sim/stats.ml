@@ -1,0 +1,81 @@
+type t = {
+  mutable latencies : int array;  (** sample latencies, µs *)
+  mutable times : int array;  (** completion times, µs *)
+  mutable len : int;
+}
+
+let create () = { latencies = Array.make 1024 0; times = Array.make 1024 0; len = 0 }
+
+let record t ~latency_us ~at_us =
+  if t.len = Array.length t.latencies then begin
+    let grow a = Array.append a (Array.make (Array.length a) 0) in
+    t.latencies <- grow t.latencies;
+    t.times <- grow t.times
+  end;
+  t.latencies.(t.len) <- latency_us;
+  t.times.(t.len) <- at_us;
+  t.len <- t.len + 1
+
+let count t = t.len
+
+let window t ~from_us ~until_us =
+  let out = create () in
+  for i = 0 to t.len - 1 do
+    if t.times.(i) >= from_us && t.times.(i) < until_us then
+      record out ~latency_us:t.latencies.(i) ~at_us:t.times.(i)
+  done;
+  out
+
+let throughput_ops t ~from_us ~until_us =
+  let w = window t ~from_us ~until_us in
+  let span = float_of_int (until_us - from_us) /. 1_000_000.0 in
+  if span <= 0.0 then 0.0 else float_of_int w.len /. span
+
+let percentile_us t p =
+  if t.len = 0 then 0
+  else begin
+    let a = Array.sub t.latencies 0 t.len in
+    Array.sort compare a;
+    let idx = int_of_float (p *. float_of_int (t.len - 1)) in
+    a.(max 0 (min (t.len - 1) idx))
+  end
+
+let mean_us t =
+  if t.len = 0 then 0.0
+  else begin
+    let sum = ref 0 in
+    for i = 0 to t.len - 1 do
+      sum := !sum + t.latencies.(i)
+    done;
+    float_of_int !sum /. float_of_int t.len
+  end
+
+let min_us t =
+  let m = ref max_int in
+  for i = 0 to t.len - 1 do
+    if t.latencies.(i) < !m then m := t.latencies.(i)
+  done;
+  if t.len = 0 then 0 else !m
+
+let max_us t =
+  let m = ref 0 in
+  for i = 0 to t.len - 1 do
+    if t.latencies.(i) > !m then m := t.latencies.(i)
+  done;
+  !m
+
+let merge ts =
+  let out = create () in
+  List.iter
+    (fun t ->
+      for i = 0 to t.len - 1 do
+        record out ~latency_us:t.latencies.(i) ~at_us:t.times.(i)
+      done)
+    ts;
+  out
+
+let pp_summary ppf t =
+  Fmt.pf ppf "n=%d p50=%.1fms p90=%.1fms p99=%.1fms" t.len
+    (float_of_int (percentile_us t 0.50) /. 1000.0)
+    (float_of_int (percentile_us t 0.90) /. 1000.0)
+    (float_of_int (percentile_us t 0.99) /. 1000.0)

@@ -1,0 +1,31 @@
+(** Latency and throughput accounting for experiments.
+
+    Latency samples are kept raw (µs) and summarised by percentile;
+    throughput is computed from the count of samples inside the
+    measurement window, which lets the harness trim warm-up and cool-down
+    as the paper does (50 s runs, 10 s trims). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> latency_us:int -> at_us:int -> unit
+val count : t -> int
+
+val window : t -> from_us:int -> until_us:int -> t
+(** Samples whose completion time falls in the window. *)
+
+val throughput_ops : t -> from_us:int -> until_us:int -> float
+(** Completed operations per second inside the window. *)
+
+val percentile_us : t -> float -> int
+(** [percentile_us t 0.90]; 0 when empty. *)
+
+val mean_us : t -> float
+val min_us : t -> int
+val max_us : t -> int
+
+val merge : t list -> t
+
+val pp_summary : Format.formatter -> t -> unit
+(** "p50/p90/p99 in ms" one-liner. *)

@@ -1,0 +1,65 @@
+type site = Oregon | Ohio | Ireland | Canada | Seoul
+
+let sites = [ Oregon; Ohio; Ireland; Canada; Seoul ]
+
+let site_index = function
+  | Oregon -> 0
+  | Ohio -> 1
+  | Ireland -> 2
+  | Canada -> 3
+  | Seoul -> 4
+
+let site_of_index = function
+  | 0 -> Oregon
+  | 1 -> Ohio
+  | 2 -> Ireland
+  | 3 -> Canada
+  | 4 -> Seoul
+  | i -> invalid_arg (Printf.sprintf "Topology.site_of_index %d" i)
+
+let site_name = function
+  | Oregon -> "Oregon"
+  | Ohio -> "Ohio"
+  | Ireland -> "Ireland"
+  | Canada -> "Canada"
+  | Seoul -> "Seoul"
+
+(* Measured-style AWS inter-region RTTs (ms), chosen to span the paper's
+   25–292 ms range with Oregon best-connected and Seoul worst. *)
+let rtt_table =
+  (* Oregon Ohio Ireland Canada Seoul *)
+  [|
+    [| 0; 50; 130; 60; 125 |];
+    (* Oregon *)
+    [| 50; 0; 75; 25; 180 |];
+    (* Ohio *)
+    [| 130; 75; 0; 70; 292 |];
+    (* Ireland *)
+    [| 60; 25; 70; 0; 190 |];
+    (* Canada *)
+    [| 125; 180; 292; 190; 0 |];
+    (* Seoul *)
+  |]
+
+let rtt_ms a b = rtt_table.(site_index a).(site_index b)
+let local_us = 300
+let one_way_us a b = if a = b then local_us else rtt_ms a b * 1000 / 2
+
+(* 750 Mbit/s nominal; effective WAN throughput discounted, with Oregon the
+   best-provisioned site and Seoul ~30% below it (Section 5.2 observes a
+   30% gap between Raft-Oregon and Raft-Seoul when network-bound). *)
+let bandwidth_bytes_per_sec = function
+  | Oregon -> 93_750_000
+  | Ohio -> 87_500_000
+  | Ireland -> 81_250_000
+  | Canada -> 87_500_000
+  | Seoul -> 65_625_000
+
+let nearest_majority_rtt_ms site =
+  let others =
+    sites
+    |> List.filter (fun s -> s <> site)
+    |> List.map (rtt_ms site)
+    |> List.sort compare
+  in
+  match others with _ :: second :: _ -> second | _ -> 0

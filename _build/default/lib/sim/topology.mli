@@ -1,0 +1,28 @@
+(** The evaluation's geography: five AWS regions with the paper's WAN
+    characteristics (Section 5: round-trips from 25 ms to 292 ms; m4.xlarge
+    instances with 750 Mbit/s NICs, Oregon with the best network). *)
+
+type site = Oregon | Ohio | Ireland | Canada | Seoul
+
+val sites : site list
+val site_index : site -> int
+val site_of_index : int -> site
+val site_name : site -> string
+
+val rtt_ms : site -> site -> int
+(** Round-trip time between sites in milliseconds (0 within a site). *)
+
+val one_way_us : site -> site -> int
+(** One-way latency in microseconds (rtt / 2); local delivery within a
+    site costs {!local_us}. *)
+
+val local_us : int
+(** Client-to-colocated-server latency (one way). *)
+
+val bandwidth_bytes_per_sec : site -> int
+(** Effective NIC bandwidth of a server at this site. *)
+
+val nearest_majority_rtt_ms : site -> int
+(** RTT needed to assemble a majority (3 of 5) from this site: the 2nd
+    smallest RTT to the other sites — what a leader at this site pays per
+    commit round. *)

@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Int64 List Mencius QCheck QCheck_alcotest Raft Raftpax_consensus Raftpax_sim Types

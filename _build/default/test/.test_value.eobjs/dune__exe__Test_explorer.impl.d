@@ -1,0 +1,1 @@
+test/test_explorer.ml: Action Alcotest Explorer Fmt List Raftpax_core Scenario Spec State Value

@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Fmt Harness List Raftpax_consensus Raftpax_kvstore Raftpax_sim Workload

@@ -1,0 +1,1 @@
+test/test_lin_check.ml: Alcotest Fmt Lin_check List Raftpax_consensus Raftpax_kvstore String

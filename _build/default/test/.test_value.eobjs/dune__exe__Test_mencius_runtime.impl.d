@@ -1,0 +1,1 @@
+test/test_mencius_runtime.ml: Alcotest Array Fmt Harness Int64 List Mencius Option QCheck QCheck_alcotest Raftpax_consensus Raftpax_kvstore Raftpax_sim Types Workload

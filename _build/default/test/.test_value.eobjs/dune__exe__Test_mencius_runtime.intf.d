@@ -1,0 +1,1 @@
+test/test_mencius_runtime.mli:

@@ -1,0 +1,1 @@
+test/test_multipaxos_runtime.ml: Alcotest Fmt List Multipaxos Raftpax_consensus Raftpax_sim Types

@@ -1,0 +1,1 @@
+test/test_opt_checkpoint.ml: Action Alcotest Explorer List Opt_checkpoint Port Proto_config Raftpax_core Refinement Scenario Spec Spec_multipaxos Spec_raft_star State String Value

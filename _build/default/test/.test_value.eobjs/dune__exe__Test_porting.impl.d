@@ -1,0 +1,1 @@
+test/test_porting.ml: Action Alcotest Delta Example_kv Label List Opt_mencius Opt_pql Port Proto_config Raftpax_core Refinement Scenario Spec Spec_multipaxos Spec_raft_star State String Value

@@ -1,0 +1,1 @@
+test/test_raft_runtime.ml: Alcotest Array Fmt Harness Int64 List Option QCheck QCheck_alcotest Raft Raftpax_consensus Raftpax_kvstore Raftpax_sim Types Workload

@@ -1,0 +1,1 @@
+test/test_refinement.ml: Action Alcotest Example_kv Fun List Proto_config Raftpax_core Refinement Scenario Spec Spec_multipaxos Spec_raft_star Spec_raft_vanilla State String Value

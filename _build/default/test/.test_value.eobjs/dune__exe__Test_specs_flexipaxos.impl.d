@@ -1,0 +1,1 @@
+test/test_specs_flexipaxos.ml: Alcotest Explorer Fun List Proto_config Raftpax_core Refinement Spec_flexipaxos Spec_multipaxos Value

@@ -1,0 +1,1 @@
+test/test_specs_mencius.ml: Action Alcotest Explorer Fmt Label List Opt_mencius Port Proto_config Raftpax_core Scenario Spec Spec_multipaxos String Value

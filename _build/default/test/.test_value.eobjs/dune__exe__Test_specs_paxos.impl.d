@@ -1,0 +1,1 @@
+test/test_specs_paxos.ml: Action Alcotest Explorer Fmt List Proto_config Raftpax_core Scenario Spec Spec_multipaxos State Value

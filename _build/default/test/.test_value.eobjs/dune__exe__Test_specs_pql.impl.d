@@ -1,0 +1,1 @@
+test/test_specs_pql.ml: Action Alcotest Explorer List Opt_pql Port Proto_config Raftpax_core Scenario Spec Spec_multipaxos Value

@@ -1,0 +1,1 @@
+test/test_specs_raft.ml: Action Alcotest Explorer Fmt List Proto_config Raftpax_core Scenario Spec Spec_multipaxos Spec_raft_star State String Value

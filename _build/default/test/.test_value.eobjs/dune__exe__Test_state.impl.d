@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest List QCheck QCheck_alcotest Raftpax_core State Value

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest List QCheck QCheck_alcotest Raftpax_consensus Vec

@@ -1,0 +1,115 @@
+open Raftpax_core
+module V = Value
+
+(* A bounded counter: increment by 1 or 2, never past [limit]. *)
+let counter_spec limit =
+  let incr_by k =
+    Action.make (Fmt.str "Incr%d" k) (fun s ->
+        let x = V.to_int (State.get s "x") in
+        if x + k <= limit then
+          [ (Fmt.str "x=%d" (x + k), State.set s "x" (V.int (x + k))) ]
+        else [])
+  in
+  Spec.make ~name:"counter" ~vars:[ "x" ]
+    ~init:[ State.of_list [ ("x", V.int 0) ] ]
+    [ incr_by 1; incr_by 2 ]
+
+let test_exhaustive () =
+  match
+    Explorer.check ~invariants:[ ("le", fun s -> V.to_int (State.get s "x") <= 10) ]
+      (counter_spec 10)
+  with
+  | Explorer.Pass stats ->
+      Alcotest.(check int) "11 states" 11 stats.states;
+      Alcotest.(check bool) "complete" true stats.complete
+  | r -> Alcotest.failf "expected pass, got %a" Explorer.pp_result r
+
+let test_violation_shortest_trace () =
+  (* x never reaches 7 — false, and the shortest path uses Incr2. *)
+  match
+    Explorer.check
+      ~invariants:[ ("never7", fun s -> V.to_int (State.get s "x") <> 7) ]
+      (counter_spec 10)
+  with
+  | Explorer.Violation { invariant; trace; _ } ->
+      Alcotest.(check string) "which invariant" "never7" invariant;
+      (* init + 4 steps: 0 -2-> 2 -2-> 4 -2-> 6 -1-> 7 is depth 4 *)
+      Alcotest.(check int) "shortest trace" 5 (List.length trace)
+  | r -> Alcotest.failf "expected violation, got %a" Explorer.pp_result r
+
+let test_max_states_bounds () =
+  match Explorer.check ~max_states:3 ~invariants:[] (counter_spec 100) with
+  | Explorer.Pass stats ->
+      Alcotest.(check int) "bounded states" 3 stats.states;
+      Alcotest.(check bool) "incomplete" false stats.complete
+  | r -> Alcotest.failf "expected bounded pass, got %a" Explorer.pp_result r
+
+let test_deadlock_detection () =
+  match
+    Explorer.check ~check_deadlock:true ~invariants:[] (counter_spec 3)
+  with
+  | Explorer.Deadlock { trace; _ } ->
+      (* the counter sticks at 2 (can't add 2) ... actually at 3 or 2 *)
+      let final = (List.nth trace (List.length trace - 1)).Explorer.state in
+      let x = V.to_int (State.get final "x") in
+      Alcotest.(check bool) "stuck near limit" true (x = 2 || x = 3)
+  | r -> Alcotest.failf "expected deadlock, got %a" Explorer.pp_result r
+
+let test_deadlock_ignored_by_default () =
+  match Explorer.check ~invariants:[] (counter_spec 3) with
+  | Explorer.Pass _ -> ()
+  | r -> Alcotest.failf "expected pass, got %a" Explorer.pp_result r
+
+let test_reachable () =
+  let states, stats = Explorer.reachable (counter_spec 5) in
+  Alcotest.(check int) "6 states" 6 (List.length states);
+  Alcotest.(check int) "stats agree" 6 stats.states
+
+let test_ill_formed_action_rejected () =
+  let bad =
+    Spec.make ~name:"bad" ~vars:[ "x" ]
+      ~init:[ State.of_list [ ("x", V.int 0) ] ]
+      [
+        Action.simple "Oops" (fun s ->
+            Some (State.set s "rogue" (V.int 1)));
+      ]
+  in
+  Alcotest.check_raises "ill-formed state detected"
+    (Invalid_argument "Explorer: action Oops of bad produced ill-formed state")
+    (fun () -> ignore (Explorer.check ~invariants:[] bad))
+
+let test_scenario_driving () =
+  let spec = counter_spec 10 in
+  let s =
+    Scenario.run spec (List.hd spec.Spec.init)
+      [ ("Incr2", ""); ("Incr2", ""); ("Incr1", "") ]
+  in
+  Alcotest.(check int) "reached 5" 5 (V.to_int (State.get s "x"))
+
+let test_scenario_bad_pick () =
+  let spec = counter_spec 2 in
+  let s = Scenario.run spec (List.hd spec.Spec.init) [ ("Incr2", "") ] in
+  (* Incr2 is disabled at x=2 *)
+  match Scenario.step spec s ~action:"Incr2" ~label:"" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on disabled action"
+
+let () =
+  Alcotest.run "explorer"
+    [
+      ( "check",
+        [
+          Alcotest.test_case "exhaustive pass" `Quick test_exhaustive;
+          Alcotest.test_case "shortest violation" `Quick test_violation_shortest_trace;
+          Alcotest.test_case "max_states" `Quick test_max_states_bounds;
+          Alcotest.test_case "deadlock found" `Quick test_deadlock_detection;
+          Alcotest.test_case "deadlock off by default" `Quick test_deadlock_ignored_by_default;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "ill-formed action" `Quick test_ill_formed_action_rejected;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "driving" `Quick test_scenario_driving;
+          Alcotest.test_case "bad pick" `Quick test_scenario_bad_pick;
+        ] );
+    ]

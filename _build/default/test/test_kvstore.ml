@@ -1,0 +1,136 @@
+module Sim = Raftpax_sim
+open Raftpax_kvstore
+module Types = Raftpax_consensus.Types
+
+let spec_with ?(read_fraction = 0.9) ?(conflict_rate = 0.05) () =
+  { Workload.default with read_fraction; conflict_rate; records = 1000 }
+
+let draw n spec =
+  let wl = Workload.create ~seed:9L ~regions:5 spec in
+  List.init n (fun i -> Workload.next_op wl ~region:(i mod 5))
+
+let test_read_fraction () =
+  let ops = draw 5000 (spec_with ~read_fraction:0.7 ()) in
+  let reads = List.length (List.filter Types.is_read ops) in
+  let frac = float_of_int reads /. 5000.0 in
+  Alcotest.(check bool) (Fmt.str "≈0.7 (%.2f)" frac) true
+    (frac > 0.65 && frac < 0.75)
+
+let test_conflict_rate () =
+  let ops = draw 5000 (spec_with ~conflict_rate:0.3 ()) in
+  let hot =
+    List.length (List.filter (fun op -> Types.key_of op = Workload.hot_key) ops)
+  in
+  let frac = float_of_int hot /. 5000.0 in
+  Alcotest.(check bool) (Fmt.str "≈0.3 (%.2f)" frac) true
+    (frac > 0.25 && frac < 0.35)
+
+let test_region_partitioning () =
+  let spec = spec_with ~conflict_rate:0.0 () in
+  let wl = Workload.create ~seed:4L ~regions:5 spec in
+  let per_region = spec.Workload.records / 5 in
+  for region = 0 to 4 do
+    for _ = 1 to 200 do
+      let key = Types.key_of (Workload.next_op wl ~region) in
+      let lo = 1 + (region * per_region) and hi = (region + 1) * per_region in
+      Alcotest.(check bool)
+        (Fmt.str "key %d in region %d partition" key region)
+        true
+        (key >= lo && key <= hi)
+    done
+  done
+
+let test_write_ids_unique () =
+  let ops = draw 2000 (spec_with ~read_fraction:0.0 ()) in
+  let ids =
+    List.filter_map
+      (function Types.Put { write_id; _ } -> Some write_id | Types.Get _ -> None)
+      ops
+  in
+  Alcotest.(check int) "all unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_value_size_respected () =
+  let spec = { (spec_with ~read_fraction:0.0 ()) with Workload.value_size = 4096 } in
+  let ops = draw 100 spec in
+  List.iter
+    (function
+      | Types.Put { size; _ } -> Alcotest.(check int) "4KB" 4096 size
+      | Types.Get _ -> ())
+    ops
+
+(* ---- harness ---- *)
+
+let quick_cfg proto =
+  Harness.config ~duration_s:4 ~warmup_s:1 ~cooldown_s:1 proto
+    {
+      Workload.default with
+      Workload.clients_per_region = 5;
+      records = 500;
+    }
+
+let test_harness_runs_all_protocols () =
+  List.iter
+    (fun proto ->
+      let r = Harness.run (quick_cfg proto) in
+      Alcotest.(check bool)
+        (Harness.protocol_name proto ^ " made progress")
+        true
+        (r.Harness.throughput_ops > 10.0);
+      Alcotest.(check int)
+        (Harness.protocol_name proto ^ " consistent")
+        0 r.Harness.consistency_violations)
+    [
+      Harness.Raft;
+      Harness.Raft_star;
+      Harness.Raft_ll;
+      Harness.Raft_pql;
+      Harness.Mencius;
+      Harness.Multipaxos;
+    ]
+
+let test_harness_deterministic () =
+  let r1 = Harness.run (quick_cfg Harness.Raft_star) in
+  let r2 = Harness.run (quick_cfg Harness.Raft_star) in
+  Alcotest.(check (float 0.0001)) "same seed, same throughput"
+    r1.Harness.throughput_ops r2.Harness.throughput_ops
+
+let test_harness_seed_changes_run () =
+  let cfg = quick_cfg Harness.Raft_star in
+  let r1 = Harness.run cfg in
+  let r2 = Harness.run { cfg with Harness.seed = 77L } in
+  Alcotest.(check bool) "different seeds differ" true
+    (r1.Harness.throughput_ops <> r2.Harness.throughput_ops)
+
+let test_pql_beats_raft_on_reads () =
+  let r_raft = Harness.run (quick_cfg Harness.Raft) in
+  let r_pql = Harness.run (quick_cfg Harness.Raft_pql) in
+  let p90 t = Sim.Stats.percentile_us t 0.90 in
+  Alcotest.(check bool) "follower reads much faster under PQL" true
+    (p90 r_pql.Harness.read_follower * 10 < p90 r_raft.Harness.read_follower)
+
+let test_median_throughput () =
+  let cfg = quick_cfg Harness.Raft_star in
+  let m = Harness.median_throughput ~trials:3 cfg in
+  Alcotest.(check bool) "median positive" true (m > 10.0)
+
+let () =
+  Alcotest.run "kvstore"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "read fraction" `Quick test_read_fraction;
+          Alcotest.test_case "conflict rate" `Quick test_conflict_rate;
+          Alcotest.test_case "region partition" `Quick test_region_partitioning;
+          Alcotest.test_case "unique write ids" `Quick test_write_ids_unique;
+          Alcotest.test_case "value size" `Quick test_value_size_respected;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "all protocols" `Slow test_harness_runs_all_protocols;
+          Alcotest.test_case "deterministic" `Quick test_harness_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_harness_seed_changes_run;
+          Alcotest.test_case "pql read advantage" `Slow test_pql_beats_raft_on_reads;
+          Alcotest.test_case "median" `Slow test_median_throughput;
+        ] );
+    ]

@@ -1,0 +1,90 @@
+open Raftpax_kvstore
+module Types = Raftpax_consensus.Types
+
+let put key write_id = Types.Put { key; size = 8; write_id }
+
+let order = [ put 1 10; put 2 20; put 1 11; put 1 12 ]
+
+let wc write_id key at_us = Lin_check.Write_complete { write_id; key; at_us }
+let rd key started_us returned = Lin_check.Read { key; started_us; returned }
+
+let check events = Lin_check.check ~committed_order:order events
+
+let test_fresh_read_ok () =
+  let r = check [ wc 10 1 100; rd 1 200 (Some 10) ] in
+  Alcotest.(check int) "checked" 1 r.Lin_check.reads_checked;
+  Alcotest.(check int) "no violations" 0 (List.length r.Lin_check.violations)
+
+let test_newer_than_required_ok () =
+  (* returning a newer (committed) write than the acknowledged floor is
+     fine — the read linearizes later *)
+  let r = check [ wc 10 1 100; rd 1 200 (Some 12) ] in
+  Alcotest.(check int) "no violations" 0 (List.length r.Lin_check.violations)
+
+let test_stale_read_flagged () =
+  let r = check [ wc 10 1 100; wc 11 1 150; rd 1 200 (Some 10) ] in
+  Alcotest.(check int) "stale flagged" 1 (List.length r.Lin_check.violations);
+  let v = List.hd r.Lin_check.violations in
+  Alcotest.(check int) "expected write" 11 v.Lin_check.v_expected_after
+
+let test_phantom_value_flagged () =
+  (* a value that was never committed *)
+  let r = check [ rd 1 50 (Some 999) ] in
+  Alcotest.(check int) "phantom flagged" 1 (List.length r.Lin_check.violations)
+
+let test_none_after_write_flagged () =
+  let r = check [ wc 10 1 100; rd 1 200 None ] in
+  Alcotest.(check int) "missing write flagged" 1 (List.length r.Lin_check.violations)
+
+let test_none_before_any_write_ok () =
+  let r = check [ rd 7 50 None ] in
+  Alcotest.(check int) "empty key ok" 0 (List.length r.Lin_check.violations)
+
+let test_concurrent_write_not_required () =
+  (* write completes after the read started: the read may miss it *)
+  let r = check [ wc 10 1 300; rd 1 200 None ] in
+  Alcotest.(check int) "concurrent ok" 0 (List.length r.Lin_check.violations)
+
+let test_per_key_isolation () =
+  (* a write on key 2 does not constrain reads of key 1 *)
+  let r = check [ wc 20 2 100; rd 1 200 None ] in
+  Alcotest.(check int) "keys independent" 0 (List.length r.Lin_check.violations)
+
+let test_order_beats_completion_time () =
+  (* completion times can invert the log order across origins; the log
+     order is authoritative: seeing write 12 (later in log) is fine even
+     if write 11 completed later in wall time *)
+  let r = check [ wc 12 1 100; wc 11 1 150; rd 1 200 (Some 12) ] in
+  Alcotest.(check int) "log order respected" 0 (List.length r.Lin_check.violations)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_pp_violation () =
+  let r = check [ wc 10 1 100; rd 1 200 (Some 10); wc 11 1 150; rd 1 300 (Some 10) ] in
+  List.iter
+    (fun v ->
+      let s = Fmt.str "%a" Lin_check.pp_violation v in
+      Alcotest.(check bool) "message mentions the key" true
+        (contains s "key 1"))
+    r.Lin_check.violations
+
+let () =
+  Alcotest.run "lin_check"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "fresh read" `Quick test_fresh_read_ok;
+          Alcotest.test_case "newer ok" `Quick test_newer_than_required_ok;
+          Alcotest.test_case "stale flagged" `Quick test_stale_read_flagged;
+          Alcotest.test_case "phantom flagged" `Quick test_phantom_value_flagged;
+          Alcotest.test_case "missing flagged" `Quick test_none_after_write_flagged;
+          Alcotest.test_case "empty key" `Quick test_none_before_any_write_ok;
+          Alcotest.test_case "concurrent" `Quick test_concurrent_write_not_required;
+          Alcotest.test_case "per key" `Quick test_per_key_isolation;
+          Alcotest.test_case "order wins" `Quick test_order_beats_completion_time;
+          Alcotest.test_case "printing" `Quick test_pp_violation;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+module Sim = Raftpax_sim
+module Engine = Sim.Engine
+module Net = Sim.Net
+module Topology = Sim.Topology
+open Raftpax_consensus
+
+let mk ?(seed = 42L) () =
+  let engine = Engine.create ~seed () in
+  let nodes = List.mapi (fun i site -> { Net.id = i; site }) Topology.sites in
+  let net = Net.create engine ~nodes in
+  let t = Mencius.create Mencius.default_config net in
+  Mencius.start t;
+  (engine, net, t)
+
+let put ?(key = 10) write_id = Types.Put { key; size = 8; write_id }
+let hot write_id = Types.Put { key = Mencius.hot_key; size = 8; write_id }
+
+let run_ms engine ms = Engine.run engine ~until:(Engine.now engine + (ms * 1000))
+
+let test_no_forwarding_local_commit () =
+  let engine, _, t = mk () in
+  let lat = Array.make 5 0 in
+  let t0 = Engine.now engine in
+  for node = 0 to 4 do
+    Mencius.submit t ~node (put ~key:(10 + node) (100 + node)) (fun _ ->
+        lat.(node) <- Engine.now engine - t0)
+  done;
+  run_ms engine 3000;
+  (* Every replica commits at roughly its own majority RTT — no 2-RTT
+     forwarding penalty anywhere. *)
+  Array.iteri
+    (fun node l ->
+      let bound =
+        (Topology.nearest_majority_rtt_ms (Topology.site_of_index node) * 1000)
+        + 80_000
+      in
+      Alcotest.(check bool)
+        (Fmt.str "node %d commits at ~own RTT (%dus <= %dus)" node l bound)
+        true
+        (l > 0 && l <= bound))
+    lat
+
+let test_slot_ownership_round_robin () =
+  let engine, _, t = mk () in
+  for node = 0 to 4 do
+    Mencius.submit t ~node (put ~key:(20 + node) (200 + node)) (fun _ -> ())
+  done;
+  run_ms engine 3000;
+  (* all 5 writes committed; everyone agrees on all keys *)
+  for node = 0 to 4 do
+    for k = 0 to 4 do
+      Alcotest.(check (option int))
+        (Fmt.str "node %d key %d" node (20 + k))
+        (Some (200 + k))
+        (Mencius.applied_value t ~node ~key:(20 + k))
+    done
+  done
+
+let test_skips_fill_gaps () =
+  let engine, _, t = mk () in
+  (* only node 3 submits: everyone else's interleaved slots get skipped *)
+  for i = 1 to 4 do
+    Mencius.submit t ~node:3 (put ~key:(30 + i) (300 + i)) (fun _ -> ())
+  done;
+  run_ms engine 3000;
+  Alcotest.(check bool) "skips recorded" true (Mencius.skipped_count t ~node:0 > 0);
+  for node = 0 to 4 do
+    Alcotest.(check (option int))
+      (Fmt.str "node %d sees the last write" node)
+      (Some 304)
+      (Mencius.applied_value t ~node ~key:34)
+  done
+
+let test_conflicting_slower_than_commutative () =
+  let run conflicting =
+    let engine, _, t = mk () in
+    (* background traffic from every region so ordering actually binds *)
+    for node = 0 to 4 do
+      Mencius.submit t ~node (put ~key:(40 + node) (400 + node)) (fun _ -> ())
+    done;
+    let lat = ref 0 in
+    let t0 = Engine.now engine in
+    let op = if conflicting then hot 999 else put ~key:77 999 in
+    Mencius.submit t ~node:0 op (fun _ -> lat := Engine.now engine - t0);
+    run_ms engine 5000;
+    !lat
+  in
+  let hot_lat = run true and cold_lat = run false in
+  Alcotest.(check bool)
+    (Fmt.str "conflicting (%dus) >= commutative (%dus)" hot_lat cold_lat)
+    true (hot_lat >= cold_lat)
+
+let test_hot_key_total_order () =
+  let engine, _, t = mk () in
+  let last = ref [] in
+  for i = 1 to 10 do
+    Mencius.submit t ~node:(i mod 5) (hot (500 + i)) (fun _ -> ())
+  done;
+  run_ms engine 5000;
+  for node = 0 to 4 do
+    last := Mencius.applied_value t ~node ~key:Mencius.hot_key :: !last
+  done;
+  (* all replicas agree on the final hot-key value *)
+  (match !last with
+  | v :: rest -> List.iter (fun v' -> Alcotest.(check (option int)) "agree" v v') rest
+  | [] -> Alcotest.fail "no replicas");
+  Alcotest.(check bool) "some write won" true (Option.is_some (List.hd !last))
+
+let test_crash_revocation () =
+  let engine, _, t = mk () in
+  Mencius.submit t ~node:4 (put ~key:90 900) (fun _ -> ());
+  run_ms engine 2000;
+  Mencius.crash t ~node:4;
+  let ok = ref 0 in
+  for i = 1 to 8 do
+    Mencius.submit t ~node:(i mod 4) (hot (900 + i)) (fun _ -> incr ok)
+  done;
+  run_ms engine 30_000;
+  Alcotest.(check int) "conflicting writes complete despite the dead owner" 8 !ok
+
+let test_restart_rejoins () =
+  let engine, _, t = mk () in
+  Mencius.crash t ~node:2;
+  for i = 1 to 4 do
+    Mencius.submit t ~node:(if i mod 5 = 2 then 0 else i mod 5) (put ~key:(50 + i) (600 + i))
+      (fun _ -> ())
+  done;
+  run_ms engine 20_000;
+  Mencius.restart t ~node:2;
+  let ok = ref false in
+  Mencius.submit t ~node:2 (put ~key:60 700) (fun _ -> ok := true);
+  run_ms engine 30_000;
+  Alcotest.(check bool) "restarted node serves again" true !ok
+
+let test_frontiers_monotone_and_equal_eventually () =
+  let engine, _, t = mk () in
+  for i = 1 to 20 do
+    Mencius.submit t ~node:(i mod 5) (put ~key:i (700 + i)) (fun _ -> ())
+  done;
+  run_ms engine 5000;
+  let f0 = Mencius.commit_frontier t ~node:0 in
+  Alcotest.(check bool) "frontier advanced" true (f0 > 0);
+  for node = 1 to 4 do
+    Alcotest.(check int)
+      (Fmt.str "node %d frontier" node)
+      f0
+      (Mencius.commit_frontier t ~node)
+  done
+
+let prop_mencius_consistency =
+  QCheck.Test.make ~name:"harness finds no stale reads (mencius)" ~count:4
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let open Raftpax_kvstore in
+      let wl =
+        {
+          Workload.read_fraction = 0.5;
+          conflict_rate = 0.5;
+          value_size = 8;
+          records = 50;
+          clients_per_region = 3;
+        }
+      in
+      let cfg =
+        Harness.config ~duration_s:4 ~warmup_s:1 ~cooldown_s:1
+          ~seed:(Int64.of_int seed) Harness.Mencius wl
+      in
+      let r = Harness.run cfg in
+      (* no committed-order oracle for Mencius in the harness, but the
+         closed loop must terminate without retries *)
+      r.Harness.retries = 0)
+
+let () =
+  Alcotest.run "mencius_runtime"
+    [
+      ( "steady-state",
+        [
+          Alcotest.test_case "local commit" `Quick test_no_forwarding_local_commit;
+          Alcotest.test_case "round robin" `Quick test_slot_ownership_round_robin;
+          Alcotest.test_case "skips" `Quick test_skips_fill_gaps;
+          Alcotest.test_case "conflict ordering" `Quick test_conflicting_slower_than_commutative;
+          Alcotest.test_case "hot key order" `Quick test_hot_key_total_order;
+          Alcotest.test_case "frontiers" `Quick test_frontiers_monotone_and_equal_eventually;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "revocation" `Quick test_crash_revocation;
+          Alcotest.test_case "restart" `Quick test_restart_rejoins;
+        ] );
+      ( "consistency",
+        List.map QCheck_alcotest.to_alcotest [ prop_mencius_consistency ] );
+    ]

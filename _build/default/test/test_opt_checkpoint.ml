@@ -1,0 +1,142 @@
+open Raftpax_core
+module V = Value
+module C = Proto_config
+
+let tiny = C.tiny
+let delta = Opt_checkpoint.delta tiny
+let spec = Port.apply delta (Spec_multipaxos.spec tiny)
+let init = List.hd spec.Spec.init
+
+let election =
+  [
+    ("IncreaseHighestBallot", "a=0,b=1");
+    ("Phase1a", "a=0");
+    ("Phase1b", "a=1,b=1");
+    ("Phase1b", "a=2,b=1");
+    ("BecomeLeader", "a=1,q=12");
+  ]
+
+let choose_value =
+  election
+  @ [
+      ("Propose", "a=1,i=0,v=1");
+      ("Accept", "a=1,i=0,b=1,v=1");
+      ("Accept", "a=2,i=0,b=1,v=1");
+    ]
+
+let test_non_mutating () =
+  match
+    Port.check_non_mutating ~max_states:10_000
+      ~base:(Spec_multipaxos.spec tiny) ~delta ()
+  with
+  | Refinement.Refines _ -> ()
+  | Refinement.Fails (f, _) ->
+      Alcotest.failf "checkpoint delta must be non-mutating; fails at %s" f.b_action
+
+let test_apply_requires_chosen () =
+  let s = Scenario.run spec init election in
+  let applies = (Spec.find_action spec "ApplyInOrder").Action.enum s in
+  Alcotest.(check (list string)) "nothing chosen, nothing applies" []
+    (List.map fst applies);
+  let s = Scenario.run spec s (List.filteri (fun i _ -> i >= 5) choose_value) in
+  ignore s
+
+let test_apply_then_checkpoint () =
+  let s = Scenario.run spec init choose_value in
+  (* acceptor 2 applies the chosen instance, then checkpoints it *)
+  let s = Scenario.step spec s ~action:"ApplyInOrder" ~label:"a=2,i=0" in
+  Alcotest.(check int) "applied" 0 (Opt_checkpoint.apply_index s 2);
+  Alcotest.(check int) "not checkpointed yet" (-1) (Opt_checkpoint.checkpoint_at s 2);
+  let s = Scenario.step spec s ~action:"TakeCheckpoint" ~label:"a=2,upto=0" in
+  Alcotest.(check int) "checkpointed" 0 (Opt_checkpoint.checkpoint_at s 2);
+  let snap = V.get (State.get s "checkpointVal") (V.int 2) in
+  Alcotest.(check bool) "snapshot holds the chosen value" true
+    (V.equal (V.get snap (V.int 0)) (V.int 1))
+
+let test_checkpoint_needs_progress () =
+  let s = Scenario.run spec init choose_value in
+  let s = Scenario.step spec s ~action:"ApplyInOrder" ~label:"a=2,i=0" in
+  let s = Scenario.step spec s ~action:"TakeCheckpoint" ~label:"a=2,upto=0" in
+  (* a second checkpoint without further applies is disabled *)
+  let cps = (Spec.find_action spec "TakeCheckpoint").Action.enum s in
+  Alcotest.(check bool) "no redundant checkpoint" true
+    (List.for_all (fun (l, _) -> not (String.length l > 3 && String.sub l 0 4 = "a=2,")) cps)
+
+let test_invariants_bounded () =
+  match
+    Explorer.check ~max_states:40_000
+      ~invariants:(Opt_checkpoint.invariants tiny @ Spec_multipaxos.invariants tiny)
+      spec
+  with
+  | Explorer.Pass _ -> ()
+  | r -> Alcotest.failf "%a" Explorer.pp_result r
+
+(* The paper's Section-2.2 payoff: port the checkpoint optimization to
+   Raft* automatically; the applied "instance id" becomes the log index
+   with no manual reasoning, and the Figure-5 obligations hold. *)
+let raft_implies = function
+  | "IncreaseHighestBallot" -> [ "IncreaseHighestBallot" ]
+  | "Phase1a" -> [ "Phase1a" ]
+  | "Phase1b" -> [ "Phase1b" ]
+  | "BecomeLeader" -> [ "BecomeLeader" ]
+  | "ProposeEntries" -> [ "Propose" ]
+  | "AcceptEntries" -> [ "Accept" ]
+  | _ -> []
+
+let test_ported_to_raft_star () =
+  let r1, r2 =
+    Port.check_ported ~max_states:8_000 ~max_hops:4
+      ~low:(Spec_raft_star.spec tiny) ~high:(Spec_multipaxos.spec tiny) ~delta
+      ~map:(Spec_raft_star.to_paxos tiny) ~implies:raft_implies ()
+  in
+  (match r1 with
+  | Refinement.Refines _ -> ()
+  | Refinement.Fails (f, _) ->
+      Alcotest.failf "Raft*-checkpoint => checkpoint fails at %s" f.b_action);
+  match r2 with
+  | Refinement.Refines _ -> ()
+  | Refinement.Fails (f, _) ->
+      Alcotest.failf "Raft*-checkpoint => Raft* fails at %s" f.b_action
+
+let test_ported_checkpoint_uses_log_index () =
+  (* drive the generated Raft*-checkpoint spec and watch the checkpoint
+     record a log index *)
+  let low =
+    Port.port delta ~low:(Spec_raft_star.spec tiny)
+      ~map:(Spec_raft_star.to_paxos tiny) ~implies:raft_implies ()
+  in
+  let s =
+    Scenario.run low (List.hd low.Spec.init)
+      [
+        ("IncreaseHighestBallot", "a=0,b=1");
+        ("Phase1a", "a=0");
+        ("Phase1b", "a=1,b=1");
+        ("Phase1b", "a=2,b=1");
+        ("BecomeLeader", "a=1,q=12");
+        ("ProposeEntries", "a=1,i1=0,i=0,v=1");
+        ("AcceptEntries", "a=1,t=1,l=0");
+        ("AcceptEntries", "a=2,t=1,l=0");
+        ("ApplyInOrder", "a=2,i=0");
+        ("TakeCheckpoint", "a=2,upto=0");
+      ]
+  in
+  Alcotest.(check int) "checkpointed log index 0" 0 (Opt_checkpoint.checkpoint_at s 2)
+
+let () =
+  Alcotest.run "opt_checkpoint"
+    [
+      ( "paxos-side",
+        [
+          Alcotest.test_case "non-mutating" `Quick test_non_mutating;
+          Alcotest.test_case "apply needs chosen" `Quick test_apply_requires_chosen;
+          Alcotest.test_case "apply then checkpoint" `Quick test_apply_then_checkpoint;
+          Alcotest.test_case "no redundant checkpoints" `Quick test_checkpoint_needs_progress;
+          Alcotest.test_case "invariants (bounded)" `Slow test_invariants_bounded;
+        ] );
+      ( "ported",
+        [
+          Alcotest.test_case "figure-5 obligations" `Slow test_ported_to_raft_star;
+          Alcotest.test_case "instance id becomes log index" `Quick
+            test_ported_checkpoint_uses_log_index;
+        ] );
+    ]

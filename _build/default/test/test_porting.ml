@@ -1,0 +1,194 @@
+open Raftpax_core
+module V = Value
+module C = Proto_config
+
+(* ---- Label / parameter-mapping helpers ---- *)
+
+let test_label_parse () =
+  Alcotest.(check (list (pair string string)))
+    "parse"
+    [ ("a", "1"); ("i1", "0"); ("v", "2") ]
+    (Label.parse "a=1,i1=0,v=2");
+  Alcotest.(check int) "get_int" 2 (Label.get_int "a=1,v=2" "v");
+  Alcotest.(check (option string)) "absent" None (Label.get_opt "a=1" "z");
+  Alcotest.(check string) "keep" "a=1,v=2" (Label.keep [ "a"; "v" ] "a=1,i1=0,v=2");
+  Alcotest.(check (list (pair string string))) "empty" [] (Label.parse "")
+
+(* ---- Figure 4: applying Δ to A gives AΔ ---- *)
+
+let kv_opt = Port.apply Example_kv.size_delta Example_kv.kv_store
+
+let size_of s = V.to_int (State.get s "size")
+
+let test_apply_adds_size () =
+  let init = List.hd kv_opt.Spec.init in
+  Alcotest.(check int) "initial size" 0 (size_of init);
+  let s1 = Scenario.step kv_opt init ~action:"Put" ~label:"k=0,v=1" in
+  Alcotest.(check int) "first write counted" 1 (size_of s1);
+  (* overwriting key 0 is filtered by the Figure-4c guard (table[k] = {}) *)
+  let puts = (Spec.find_action kv_opt "Put").Action.enum s1 in
+  Alcotest.(check bool) "no second write to key 0" true
+    (List.for_all (fun (l, _) -> not (String.length l >= 3 && String.sub l 0 3 = "k=0")) puts);
+  let s2 = Scenario.step kv_opt s1 ~action:"Put" ~label:"k=1,v=2" in
+  Alcotest.(check int) "second key counted" 2 (size_of s2);
+  (* Get does not touch size *)
+  let s3 = Scenario.step kv_opt s2 ~action:"Get" ~label:"k=1" in
+  Alcotest.(check int) "get leaves size" 2 (size_of s3)
+
+let test_apply_is_non_mutating () =
+  match
+    Port.check_non_mutating ~base:Example_kv.kv_store
+      ~delta:Example_kv.size_delta ()
+  with
+  | Refinement.Refines report ->
+      Alcotest.(check bool) "complete" true report.complete
+  | Refinement.Fails (f, _) ->
+      Alcotest.failf "size counter should be non-mutating; fails at %s" f.b_action
+
+(* A deliberately mutating "optimization" must be rejected. *)
+let test_mutating_delta_detected () =
+  let evil =
+    Delta.make ~name:"Evil" ~delta_vars:[ "size" ]
+      ~delta_init:(State.of_list [ ("size", V.int 0) ])
+      [
+        Delta.added "Smash" (fun ~a_view:_ ~d_state ->
+            (* tries to sneak a base variable into its output *)
+            [ ("", State.set d_state "output" (V.set [ V.int 1 ])) ]);
+      ]
+  in
+  match Port.check_non_mutating ~base:Example_kv.kv_store ~delta:evil () with
+  | Refinement.Refines _ -> Alcotest.fail "mutating delta accepted"
+  | Refinement.Fails (f, _) -> Alcotest.(check string) "caught" "Smash" f.b_action
+
+(* ---- Figure 4d: porting Δ from A to B ---- *)
+
+let log_opt =
+  Port.port Example_kv.size_delta ~low:Example_kv.log_store
+    ~map:Example_kv.log_to_kv ~implies:Example_kv.implies
+    ~label_map:Example_kv.label_map ()
+
+let test_ported_spec_shape () =
+  Alcotest.(check bool) "has size var" true (List.mem "size" log_opt.Spec.vars);
+  Alcotest.(check bool) "keeps logs var" true (List.mem "logs" log_opt.Spec.vars)
+
+let test_ported_counts_writes () =
+  let init = List.hd log_opt.Spec.init in
+  let s1 = Scenario.step log_opt init ~action:"Write" ~label:"i=0,v=1" in
+  Alcotest.(check int) "counted" 1 (size_of s1);
+  let s2 = Scenario.step log_opt s1 ~action:"Write" ~label:"i=1,v=1" in
+  Alcotest.(check int) "counted again" 2 (size_of s2);
+  (* non-contiguous writes are still forbidden (B's own guard survives) *)
+  let writes = (Spec.find_action log_opt "Write").Action.enum init in
+  Alcotest.(check bool) "only i=0 enabled initially" true
+    (List.for_all (fun (l, _) -> String.sub l 0 3 = "i=0") writes)
+
+let test_figure5_obligations () =
+  let r1, r2 =
+    Port.check_ported ~low:Example_kv.log_store ~high:Example_kv.kv_store
+      ~delta:Example_kv.size_delta ~map:Example_kv.log_to_kv
+      ~implies:Example_kv.implies ~label_map:Example_kv.label_map ()
+  in
+  (match r1 with
+  | Refinement.Refines _ -> ()
+  | Refinement.Fails (f, _) ->
+      Alcotest.failf "BΔ must refine AΔ; fails at %s(%s)" f.b_action f.b_label);
+  match r2 with
+  | Refinement.Refines _ -> ()
+  | Refinement.Fails (f, _) ->
+      Alcotest.failf "BΔ must refine B; fails at %s(%s)" f.b_action f.b_label
+
+(* ---- the real ports: PQL and Mencius onto Raft* (bounded checks) ---- *)
+
+let raft_implies = function
+  | "IncreaseHighestBallot" -> [ "IncreaseHighestBallot" ]
+  | "Phase1a" -> [ "Phase1a" ]
+  | "Phase1b" -> [ "Phase1b" ]
+  | "BecomeLeader" -> [ "BecomeLeader" ]
+  | "ProposeEntries" -> [ "Propose" ]
+  | "AcceptEntries" -> [ "Accept" ]
+  | _ -> []
+
+let raft_label_map ~b_action ~a_action:_ label =
+  match b_action with
+  | "ProposeEntries" -> Label.keep [ "a"; "i"; "v" ] label
+  | _ -> label
+
+let check_port_pair name (r1, r2) =
+  (match r1 with
+  | Refinement.Refines _ -> ()
+  | Refinement.Fails (f, _) ->
+      Alcotest.failf "%s: BΔ => AΔ fails at %s(%s)" name f.b_action f.b_label);
+  match r2 with
+  | Refinement.Refines _ -> ()
+  | Refinement.Fails (f, _) ->
+      Alcotest.failf "%s: BΔ => B fails at %s(%s)" name f.b_action f.b_label
+
+let test_pql_port () =
+  let cfg = C.tiny in
+  check_port_pair "PQL"
+    (Port.check_ported ~max_states:8_000 ~max_hops:4
+       ~low:(Spec_raft_star.spec cfg) ~high:(Spec_multipaxos.spec cfg)
+       ~delta:(Opt_pql.delta cfg) ~map:(Spec_raft_star.to_paxos cfg)
+       ~implies:raft_implies ~label_map:raft_label_map ())
+
+let test_pql_non_mutating () =
+  let cfg = C.tiny in
+  match
+    Port.check_non_mutating ~max_states:8_000
+      ~base:(Spec_multipaxos.spec cfg) ~delta:(Opt_pql.delta cfg) ()
+  with
+  | Refinement.Refines _ -> ()
+  | Refinement.Fails (f, _) ->
+      Alcotest.failf "PQL must be non-mutating; fails at %s" f.b_action
+
+let test_mencius_port () =
+  let cfg = C.tiny in
+  check_port_pair "Mencius"
+    (Port.check_ported ~max_states:8_000 ~max_hops:4
+       ~low:(Spec_raft_star.spec cfg) ~high:(Spec_multipaxos.spec cfg)
+       ~delta:(Opt_mencius.delta cfg) ~map:(Spec_raft_star.to_paxos cfg)
+       ~implies:raft_implies ~label_map:raft_label_map ())
+
+let test_mencius_non_mutating () =
+  let cfg = C.tiny in
+  match
+    Port.check_non_mutating ~max_states:8_000
+      ~base:(Spec_multipaxos.spec cfg) ~delta:(Opt_mencius.delta cfg) ()
+  with
+  | Refinement.Refines _ -> ()
+  | Refinement.Fails (f, _) ->
+      Alcotest.failf "Mencius must be non-mutating; fails at %s" f.b_action
+
+(* delta vars must not clash with protocol vars *)
+let test_var_clash_rejected () =
+  let clash =
+    Delta.make ~name:"Clash" ~delta_vars:[ "table" ]
+      ~delta_init:(State.of_list [ ("table", V.int 0) ])
+      []
+  in
+  match Port.apply clash Example_kv.kv_store with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "clashing delta accepted"
+
+let () =
+  Alcotest.run "porting"
+    [
+      ("labels", [ Alcotest.test_case "parse/keep" `Quick test_label_parse ]);
+      ( "figure-4",
+        [
+          Alcotest.test_case "apply adds size" `Quick test_apply_adds_size;
+          Alcotest.test_case "non-mutating" `Quick test_apply_is_non_mutating;
+          Alcotest.test_case "mutating detected" `Quick test_mutating_delta_detected;
+          Alcotest.test_case "ported shape" `Quick test_ported_spec_shape;
+          Alcotest.test_case "ported counts" `Quick test_ported_counts_writes;
+          Alcotest.test_case "figure-5 obligations" `Quick test_figure5_obligations;
+          Alcotest.test_case "var clash" `Quick test_var_clash_rejected;
+        ] );
+      ( "case-studies",
+        [
+          Alcotest.test_case "PQL non-mutating" `Slow test_pql_non_mutating;
+          Alcotest.test_case "PQL ported (bounded)" `Slow test_pql_port;
+          Alcotest.test_case "Mencius non-mutating" `Slow test_mencius_non_mutating;
+          Alcotest.test_case "Mencius ported (bounded)" `Slow test_mencius_port;
+        ] );
+    ]

@@ -1,0 +1,314 @@
+module Sim = Raftpax_sim
+module Engine = Sim.Engine
+module Net = Sim.Net
+module Topology = Sim.Topology
+module Stats = Sim.Stats
+module Rng = Sim.Rng
+module Cpu = Sim.Cpu
+
+(* ---- engine ---- *)
+
+let test_event_ordering () =
+  let e = Engine.create () in
+  let order = ref [] in
+  Engine.schedule e ~delay:30 (fun () -> order := 3 :: !order);
+  Engine.schedule e ~delay:10 (fun () -> order := 1 :: !order);
+  Engine.schedule e ~delay:20 (fun () -> order := 2 :: !order);
+  Engine.run_all e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !order);
+  Alcotest.(check int) "clock at last event" 30 (Engine.now e)
+
+let test_fifo_same_instant () =
+  let e = Engine.create () in
+  let order = ref [] in
+  List.iter
+    (fun i -> Engine.schedule e ~delay:5 (fun () -> order := i :: !order))
+    [ 1; 2; 3; 4 ];
+  Engine.run_all e;
+  Alcotest.(check (list int)) "FIFO at same time" [ 1; 2; 3; 4 ] (List.rev !order)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~delay:100 (fun () -> incr fired);
+  Engine.schedule e ~delay:200 (fun () -> incr fired);
+  Engine.run e ~until:150;
+  Alcotest.(check int) "only first" 1 !fired;
+  Alcotest.(check int) "clock moved to until" 150 (Engine.now e);
+  Engine.run e ~until:300;
+  Alcotest.(check int) "second fired" 2 !fired
+
+let test_cancellation () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let timer = Engine.schedule_cancellable e ~delay:10 (fun () -> fired := true) in
+  Engine.cancel timer;
+  Engine.run_all e;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:10 (fun () ->
+      log := Engine.now e :: !log;
+      Engine.schedule e ~delay:5 (fun () -> log := Engine.now e :: !log));
+  Engine.run_all e;
+  Alcotest.(check (list int)) "nested times" [ 10; 15 ] (List.rev !log)
+
+(* ---- rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_rng_bounds () =
+  let r = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create 5L in
+  let a = Rng.split r and b = Rng.split r in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"float in [0,x)" ~count:200
+    QCheck.(pair small_int (float_range 0.001 100.0))
+    (fun (seed, x) ->
+      let r = Rng.create (Int64.of_int seed) in
+      let v = Rng.float r x in
+      v >= 0.0 && v < x)
+
+(* ---- topology ---- *)
+
+let test_topology_symmetric () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check int) "symmetric rtt" (Topology.rtt_ms a b)
+            (Topology.rtt_ms b a))
+        Topology.sites)
+    Topology.sites
+
+let test_topology_paper_range () =
+  let rtts =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b -> if a = b then None else Some (Topology.rtt_ms a b))
+          Topology.sites)
+      Topology.sites
+  in
+  Alcotest.(check int) "min 25ms (paper)" 25 (List.fold_left min max_int rtts);
+  Alcotest.(check int) "max 292ms (paper)" 292 (List.fold_left max 0 rtts)
+
+let test_nearest_majority () =
+  (* Oregon's two nearest peers are Ohio (50) and Canada (60). *)
+  Alcotest.(check int) "oregon majority rtt" 60
+    (Topology.nearest_majority_rtt_ms Topology.Oregon);
+  Alcotest.(check bool) "seoul is worse" true
+    (Topology.nearest_majority_rtt_ms Topology.Seoul
+    > Topology.nearest_majority_rtt_ms Topology.Oregon)
+
+(* ---- network ---- *)
+
+let mk_net ?drop_probability ?(jitter_us = 0) () =
+  let e = Engine.create () in
+  let nodes = List.mapi (fun i site -> { Net.id = i; site }) Topology.sites in
+  (e, Net.create ?drop_probability ~jitter_us e ~nodes)
+
+let test_net_latency () =
+  let e, net = mk_net () in
+  let arrival = ref 0 in
+  Net.send net ~src:0 ~dst:1 ~size:100 (fun () -> arrival := Engine.now e);
+  Engine.run_all e;
+  (* one way Oregon->Ohio = 25ms + tx time (~1us for 100B) *)
+  Alcotest.(check bool) "about 25ms" true (!arrival >= 25_000 && !arrival < 26_000)
+
+let test_net_local_delivery () =
+  let e, net = mk_net () in
+  let arrival = ref 0 in
+  Net.send net ~src:2 ~dst:2 ~size:10 (fun () -> arrival := Engine.now e);
+  Engine.run_all e;
+  Alcotest.(check bool) "local is sub-ms" true (!arrival < 1_000)
+
+let test_net_bandwidth_serialisation () =
+  (* two 1MB messages on the same uplink: the second waits for the first's
+     transmission *)
+  let e, net = mk_net () in
+  let t1 = ref 0 and t2 = ref 0 in
+  let mb = 1_000_000 in
+  Net.send net ~src:0 ~dst:1 ~size:mb (fun () -> t1 := Engine.now e);
+  Net.send net ~src:0 ~dst:1 ~size:mb (fun () -> t2 := Engine.now e);
+  Engine.run_all e;
+  let tx = mb * 1_000_000 / Topology.bandwidth_bytes_per_sec Topology.Oregon in
+  Alcotest.(check bool) "second delayed by ~tx time" true (!t2 - !t1 >= tx - 100);
+  Alcotest.(check int) "bytes accounted" (2 * mb) (Net.bytes_sent net 0)
+
+let test_net_drop_all () =
+  let e, net = mk_net ~drop_probability:1.0 () in
+  let got = ref false in
+  Net.send net ~src:0 ~dst:1 ~size:10 (fun () -> got := true);
+  Engine.run_all e;
+  Alcotest.(check bool) "dropped" false !got;
+  Alcotest.(check int) "counted" 1 (Net.dropped_count net)
+
+let test_net_partition () =
+  let e, net = mk_net () in
+  Net.set_partition net (Some (fun a b -> (a < 2 && b >= 2) || (b < 2 && a >= 2)));
+  let got_cut = ref false and got_ok = ref false in
+  Net.send net ~src:0 ~dst:3 ~size:10 (fun () -> got_cut := true);
+  Net.send net ~src:0 ~dst:1 ~size:10 (fun () -> got_ok := true);
+  Engine.run_all e;
+  Alcotest.(check bool) "cut link dropped" false !got_cut;
+  Alcotest.(check bool) "same side ok" true !got_ok;
+  Net.set_partition net None;
+  let healed = ref false in
+  Net.send net ~src:0 ~dst:3 ~size:10 (fun () -> healed := true);
+  Engine.run_all e;
+  Alcotest.(check bool) "healed" true !healed
+
+let test_net_down_node () =
+  let e, net = mk_net () in
+  Net.set_node_down net 1 true;
+  let got = ref false in
+  Net.send net ~src:0 ~dst:1 ~size:10 (fun () -> got := true);
+  Net.send net ~src:1 ~dst:0 ~size:10 (fun () -> got := true);
+  Engine.run_all e;
+  Alcotest.(check bool) "down node isolated" false !got
+
+let test_net_crash_in_flight () =
+  let e, net = mk_net () in
+  let got = ref false in
+  Net.send net ~src:0 ~dst:4 ~size:10 (fun () -> got := true);
+  (* crash the destination before the ~62ms delivery *)
+  Engine.schedule e ~delay:10_000 (fun () -> Net.set_node_down net 4 true);
+  Engine.run_all e;
+  Alcotest.(check bool) "message lost mid-flight" false !got
+
+(* ---- cpu ---- *)
+
+let test_cpu_queueing () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e in
+  let t1 = ref 0 and t2 = ref 0 in
+  Cpu.exec cpu ~cost_us:100 (fun () -> t1 := Engine.now e);
+  Cpu.exec cpu ~cost_us:50 (fun () -> t2 := Engine.now e);
+  Engine.run_all e;
+  Alcotest.(check int) "first done at 100" 100 !t1;
+  Alcotest.(check int) "second queued behind" 150 !t2;
+  Alcotest.(check int) "consumed" 150 (Cpu.busy_us cpu)
+
+let test_cpu_idle_gap () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e in
+  let t = ref 0 in
+  Cpu.exec cpu ~cost_us:10 ignore;
+  Engine.schedule e ~delay:1000 (fun () ->
+      Cpu.exec cpu ~cost_us:10 (fun () -> t := Engine.now e));
+  Engine.run_all e;
+  Alcotest.(check int) "no queueing after idle" 1010 !t
+
+(* ---- stats ---- *)
+
+let test_stats_percentiles () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.record s ~latency_us:(i * 1000) ~at_us:(i * 10_000)
+  done;
+  Alcotest.(check int) "p50" 50_000 (Stats.percentile_us s 0.50);
+  Alcotest.(check int) "p99" 99_000 (Stats.percentile_us s 0.99);
+  Alcotest.(check int) "min" 1000 (Stats.min_us s);
+  Alcotest.(check int) "max" 100_000 (Stats.max_us s)
+
+let test_stats_window_throughput () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.record s ~latency_us:1000 ~at_us:(i * 10_000)
+  done;
+  (* 50 samples in [250ms..750ms) => 50 / 0.5s = 100 ops/s *)
+  let tput = Stats.throughput_ops s ~from_us:250_000 ~until_us:750_000 in
+  Alcotest.(check (float 1.0)) "windowed" 100.0 tput
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.record a ~latency_us:10 ~at_us:0;
+  Stats.record b ~latency_us:20 ~at_us:0;
+  let m = Stats.merge [ a; b ] in
+  Alcotest.(check int) "merged count" 2 (Stats.count m)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "empty percentile" 0 (Stats.percentile_us s 0.9);
+  Alcotest.(check (float 0.01)) "empty mean" 0.0 (Stats.mean_us s)
+
+(* determinism of a whole network run *)
+let test_network_determinism () =
+  let run () =
+    let e = Engine.create ~seed:11L () in
+    let nodes = List.mapi (fun i site -> { Net.id = i; site }) Topology.sites in
+    let net = Net.create ~jitter_us:500 e ~nodes in
+    let trace = ref [] in
+    for i = 0 to 19 do
+      Net.send net ~src:(i mod 5) ~dst:((i + 1) mod 5) ~size:100 (fun () ->
+          trace := Engine.now e :: !trace)
+    done;
+    Engine.run_all e;
+    !trace
+  in
+  Alcotest.(check (list int)) "replayable" (run ()) (run ())
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_event_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_fifo_same_instant;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "cancellation" `Quick test_cancellation;
+          Alcotest.test_case "nested" `Quick test_nested_scheduling;
+        ] );
+      ( "rng",
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic
+        :: Alcotest.test_case "bounds" `Quick test_rng_bounds
+        :: Alcotest.test_case "split" `Quick test_rng_split_independent
+        :: List.map QCheck_alcotest.to_alcotest [ prop_rng_float_range ] );
+      ( "topology",
+        [
+          Alcotest.test_case "symmetric" `Quick test_topology_symmetric;
+          Alcotest.test_case "paper range" `Quick test_topology_paper_range;
+          Alcotest.test_case "nearest majority" `Quick test_nearest_majority;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "latency" `Quick test_net_latency;
+          Alcotest.test_case "local" `Quick test_net_local_delivery;
+          Alcotest.test_case "bandwidth" `Quick test_net_bandwidth_serialisation;
+          Alcotest.test_case "drops" `Quick test_net_drop_all;
+          Alcotest.test_case "partition" `Quick test_net_partition;
+          Alcotest.test_case "down node" `Quick test_net_down_node;
+          Alcotest.test_case "crash in flight" `Quick test_net_crash_in_flight;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "queueing" `Quick test_cpu_queueing;
+          Alcotest.test_case "idle gap" `Quick test_cpu_idle_gap;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "window" `Quick test_stats_window_throughput;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "replay" `Quick test_network_determinism ] );
+    ]

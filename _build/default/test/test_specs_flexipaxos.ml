@@ -1,0 +1,102 @@
+open Raftpax_core
+module V = Value
+module C = Proto_config
+
+(* 3 acceptors, 2 values, 2 ballots, one slot: big enough for the
+   FPaxos intersection argument to have teeth. *)
+let base = { C.acceptors = 3; values = 2; max_ballot = 2; max_index = 0 }
+
+let test_make_validates () =
+  match Spec_flexipaxos.make base ~q1:0 ~q2:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "q1=0 accepted"
+
+let test_intersecting () =
+  Alcotest.(check bool) "3+1>3" true
+    (Spec_flexipaxos.intersecting (Spec_flexipaxos.make base ~q1:3 ~q2:1));
+  Alcotest.(check bool) "2+1=3" false
+    (Spec_flexipaxos.intersecting (Spec_flexipaxos.make base ~q1:2 ~q2:1))
+
+let test_quorum_enumeration () =
+  let t = Spec_flexipaxos.make base ~q1:2 ~q2:1 in
+  Alcotest.(check int) "3 choose 2" 3 (List.length (Spec_flexipaxos.phase1_quorums t));
+  Alcotest.(check int) "3 choose 1" 3 (List.length (Spec_flexipaxos.phase2_quorums t))
+
+(* Safety holds when quorums intersect — even with a tiny Phase-2 quorum,
+   because Phase 1 then contacts everyone. *)
+let test_safe_when_intersecting () =
+  let t = Spec_flexipaxos.make base ~q1:3 ~q2:1 in
+  match
+    Explorer.check ~max_states:120_000
+      ~invariants:(Spec_flexipaxos.invariants t)
+      (Spec_flexipaxos.spec t)
+  with
+  | Explorer.Pass _ -> ()
+  | r -> Alcotest.failf "%a" Explorer.pp_result r
+
+(* ... and the explorer finds the agreement violation when they do not
+   (q1 = 2, q2 = 1 on three acceptors): the FPaxos impossibility
+   direction, machine-exhibited. *)
+let test_unsafe_without_intersection () =
+  let t = Spec_flexipaxos.make base ~q1:2 ~q2:1 in
+  Alcotest.(check bool) "not intersecting" false (Spec_flexipaxos.intersecting t);
+  match
+    Explorer.check ~max_states:400_000
+      ~invariants:(Spec_flexipaxos.invariants t)
+      (Spec_flexipaxos.spec t)
+  with
+  | Explorer.Violation { invariant = "FlexAgreement"; trace; _ } ->
+      Alcotest.(check bool) "nontrivial trace" true (List.length trace > 5)
+  | r -> Alcotest.failf "expected a violation, got %a" Explorer.pp_result r
+
+(* The paper's Figure-6 arrow: Paxos refines Flexible Paxos (a majority
+   run is an FPaxos run) under the identity mapping. *)
+let test_paxos_refines_fpaxos () =
+  let majority = (base.C.acceptors / 2) + 1 in
+  let t = Spec_flexipaxos.make base ~q1:majority ~q2:majority in
+  match
+    Refinement.check ~max_states:30_000 ~low:(Spec_multipaxos.spec base)
+      ~high:(Spec_flexipaxos.spec t) ~map:Fun.id ()
+  with
+  | Refinement.Refines _ -> ()
+  | Refinement.Fails (f, _) ->
+      Alcotest.failf "Paxos should refine FPaxos; fails at %s" f.b_action
+
+(* ... but not the other way around: an FPaxos run electing a leader with
+   a full Phase-1 quorum of size 3 has BecomeLeader transitions Paxos
+   (which only offers majority-sized quorums) cannot mirror when the
+   adopted log differs; conversely, with q1 below the majority, FPaxos
+   elects leaders Paxos cannot.  We check the q1 = 2-but-different-shape
+   case: q1 = 1. *)
+let test_fpaxos_does_not_refine_paxos () =
+  let t = Spec_flexipaxos.make base ~q1:1 ~q2:3 in
+  match
+    Refinement.check ~max_states:60_000 ~low:(Spec_flexipaxos.spec t)
+      ~high:(Spec_multipaxos.spec base) ~map:Fun.id ()
+  with
+  | Refinement.Refines _ ->
+      Alcotest.fail "FPaxos(q1=1) should not refine majority Paxos"
+  | Refinement.Fails (f, _) ->
+      Alcotest.(check string) "fails on the election" "BecomeLeader" f.b_action
+
+let () =
+  Alcotest.run "specs_flexipaxos"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validates;
+          Alcotest.test_case "intersection" `Quick test_intersecting;
+          Alcotest.test_case "enumeration" `Quick test_quorum_enumeration;
+        ] );
+      ( "model-checking",
+        [
+          Alcotest.test_case "safe when intersecting" `Slow test_safe_when_intersecting;
+          Alcotest.test_case "unsafe without intersection" `Slow
+            test_unsafe_without_intersection;
+        ] );
+      ( "figure-6",
+        [
+          Alcotest.test_case "Paxos => FPaxos" `Slow test_paxos_refines_fpaxos;
+          Alcotest.test_case "FPaxos =/=> Paxos" `Slow test_fpaxos_does_not_refine_paxos;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+open Raftpax_core
+module V = Value
+module C = Proto_config
+
+let tiny = C.tiny
+
+(* one real value + the designated no-op; instance 0 only *)
+let cfg = C.small
+let coor () = Port.apply (Opt_mencius.delta cfg) (Spec_multipaxos.spec cfg)
+
+let test_invariants_exhaustive () =
+  match
+    Explorer.check ~max_states:120_000
+      ~invariants:
+        (Opt_mencius.invariants cfg @ Spec_multipaxos.invariants cfg)
+      (coor ())
+  with
+  | Explorer.Pass stats ->
+      Alcotest.(check bool) "substantial coverage" true (stats.states > 50_000)
+  | r -> Alcotest.failf "%a" Explorer.pp_result r
+
+let spec = coor ()
+let init = List.hd spec.Spec.init
+
+let election leader =
+  [
+    ("IncreaseHighestBallot", Fmt.str "a=%d,b=1" ((leader + 1) mod 3));
+    ("Phase1a", Fmt.str "a=%d" ((leader + 1) mod 3));
+    ("Phase1b", Fmt.str "a=%d,b=1" leader);
+    ( "Phase1b",
+      Fmt.str "a=%d,b=1" ((leader + 2) mod 3) );
+    ("BecomeLeader", Fmt.str "a=%d,q=" leader);
+  ]
+
+let test_default_leader_proposes_values () =
+  let s = Scenario.run spec init (election Opt_mencius.default_leader) in
+  let proposals = (Spec.find_action spec "Propose").Action.enum s in
+  (* default leader (node 0) may propose both the real value 2 and noop 1 *)
+  Alcotest.(check bool) "real value allowed" true
+    (List.exists (fun (l, _) -> l = "a=0,i=0,v=2") proposals)
+
+let test_non_default_proposes_only_noop () =
+  let s = Scenario.run spec init (election 1) in
+  let proposals = (Spec.find_action spec "Propose").Action.enum s in
+  let by_node_1 = List.filter (fun (l, _) -> String.sub l 0 4 = "a=1,") proposals in
+  Alcotest.(check bool) "node 1 proposes something" true (by_node_1 <> []);
+  Alcotest.(check bool) "only the noop" true
+    (List.for_all
+       (fun (l, _) -> Label.get_int l "v" = V.to_int Opt_mencius.noop_value)
+       by_node_1)
+
+let test_skip_learned_on_accept () =
+  let s =
+    Scenario.run spec init
+      (election Opt_mencius.default_leader
+      @ [ ("Propose", "a=0,i=0,v=1") (* default leader skips its turn *) ])
+  in
+  let s = Scenario.step spec s ~action:"Accept" ~label:"a=1,i=0,b=1,v=1" in
+  Alcotest.(check bool) "acceptor 1 learned the skip" true
+    (Opt_mencius.skip_tag s ~acc:1 ~idx:0);
+  Alcotest.(check (list (pair int (of_pp V.pp))))
+    "executable ahead of commit"
+    [ (0, Opt_mencius.noop_value) ]
+    (Opt_mencius.executable s ~acc:1);
+  (* one accept is not a quorum: the slot is executable before chosen *)
+  Alcotest.(check bool) "not yet chosen" false
+    (Spec_multipaxos.chosen_at cfg s ~idx:0 ~bal:1 Opt_mencius.noop_value)
+
+let test_real_value_not_skip () =
+  let s =
+    Scenario.run spec init
+      (election Opt_mencius.default_leader @ [ ("Propose", "a=0,i=0,v=2") ])
+  in
+  let s = Scenario.step spec s ~action:"Accept" ~label:"a=1,i=0,b=1,v=2" in
+  Alcotest.(check bool) "no skip tag for a real value" false
+    (Opt_mencius.skip_tag s ~acc:1 ~idx:0);
+  Alcotest.(check (list (pair int (of_pp V.pp))))
+    "nothing executable early" [] (Opt_mencius.executable s ~acc:1)
+
+let test_default_cannot_unskip () =
+  (* once the default leader proposed noop at i, it cannot propose a real
+     value there any more *)
+  let s =
+    Scenario.run spec init
+      (election Opt_mencius.default_leader @ [ ("Propose", "a=0,i=0,v=1") ])
+  in
+  let proposals = (Spec.find_action spec "Propose").Action.enum s in
+  Alcotest.(check bool) "real value at 0 now disabled" true
+    (List.for_all (fun (l, _) -> l <> "a=0,i=0,v=2") proposals)
+
+let test_default_cannot_skip_used_turn () =
+  let s =
+    Scenario.run spec init
+      (election Opt_mencius.default_leader @ [ ("Propose", "a=0,i=0,v=2") ])
+  in
+  let proposals = (Spec.find_action spec "Propose").Action.enum s in
+  Alcotest.(check bool) "noop at 0 now disabled for the default leader" true
+    (List.for_all (fun (l, _) -> l <> "a=0,i=0,v=1") proposals)
+
+let test_skip_propagates_through_election () =
+  (* an acceptor that learned a skip hands it to the next leader *)
+  let s =
+    Scenario.run spec init
+      (election Opt_mencius.default_leader
+      @ [
+          ("Propose", "a=0,i=0,v=1");
+          ("Accept", "a=1,i=0,b=1,v=1");
+        ])
+  in
+  Alcotest.(check bool) "tag at voter" true (Opt_mencius.skip_tag s ~acc:1 ~idx:0);
+  Alcotest.(check bool) "no tag at node 2 yet" false
+    (Opt_mencius.skip_tag s ~acc:2 ~idx:0)
+
+let test_tiny_still_safe () =
+  (* smallest instance, full exploration with the base invariants *)
+  let spec = Port.apply (Opt_mencius.delta tiny) (Spec_multipaxos.spec tiny) in
+  match
+    Explorer.check ~max_states:50_000
+      ~invariants:(Opt_mencius.invariants tiny @ Spec_multipaxos.invariants tiny)
+      spec
+  with
+  | Explorer.Pass stats -> Alcotest.(check bool) "complete" true stats.complete
+  | r -> Alcotest.failf "%a" Explorer.pp_result r
+
+let () =
+  Alcotest.run "specs_mencius"
+    [
+      ( "model-checking",
+        [
+          Alcotest.test_case "small exhaustive" `Slow test_invariants_exhaustive;
+          Alcotest.test_case "tiny exhaustive" `Slow test_tiny_still_safe;
+        ] );
+      ( "coordination",
+        [
+          Alcotest.test_case "default proposes values" `Quick test_default_leader_proposes_values;
+          Alcotest.test_case "others propose noop" `Quick test_non_default_proposes_only_noop;
+          Alcotest.test_case "skip learned on accept" `Quick test_skip_learned_on_accept;
+          Alcotest.test_case "real value not skipped" `Quick test_real_value_not_skip;
+          Alcotest.test_case "no unskip" `Quick test_default_cannot_unskip;
+          Alcotest.test_case "no late skip" `Quick test_default_cannot_skip_used_turn;
+          Alcotest.test_case "skip propagation" `Quick test_skip_propagates_through_election;
+        ] );
+    ]

@@ -1,0 +1,172 @@
+open Raftpax_core
+module V = Value
+module C = Proto_config
+
+let tiny = C.tiny
+
+let test_invariants_exhaustive () =
+  match
+    Explorer.check ~max_states:50_000
+      ~invariants:(Spec_multipaxos.invariants tiny)
+      (Spec_multipaxos.spec tiny)
+  with
+  | Explorer.Pass stats ->
+      Alcotest.(check bool) "complete" true stats.complete;
+      Alcotest.(check bool) "nontrivial" true (stats.states > 1000)
+  | r -> Alcotest.failf "%a" Explorer.pp_result r
+
+let test_invariants_small_bounded () =
+  match
+    Explorer.check ~max_states:15_000
+      ~invariants:
+        [
+          ("OneValuePerBallot", Spec_multipaxos.inv_one_value_per_ballot C.small);
+          ("Agreement", Spec_multipaxos.inv_agreement C.small);
+        ]
+      (Spec_multipaxos.spec C.small)
+  with
+  | Explorer.Pass _ -> ()
+  | r -> Alcotest.failf "%a" Explorer.pp_result r
+
+(* Regression for the hole we found in the paper's B.1 Propose: without the
+   proposal-uniqueness guard, a leader can propose two different values for
+   the same (index, ballot) and break OneValuePerBallot.  We reconstruct
+   the unguarded action and check the explorer finds the violation. *)
+let test_unguarded_propose_breaks_safety () =
+  let cfg = C.small in
+  let spec = Spec_multipaxos.spec cfg in
+  let unguarded_propose =
+    Action.make "ProposeUnguarded" (fun s ->
+        List.concat_map
+          (fun a ->
+            let leading =
+              V.to_bool (V.get (State.get s "isLeader") (V.int a))
+            in
+            if not leading then []
+            else
+              let bal = V.to_int (V.get (State.get s "highestBallot") (V.int a)) in
+              List.concat_map
+                (fun i ->
+                  List.map
+                    (fun v ->
+                      let pv = V.tuple [ V.int i; V.int bal; V.int v ] in
+                      ( Fmt.str "a=%d,i=%d,v=%d" a i v,
+                        State.set s "proposedValues"
+                          (V.set_add pv (State.get s "proposedValues")) ))
+                    (C.value_ids cfg))
+                (C.indexes cfg))
+          (C.acceptor_ids cfg))
+  in
+  let buggy =
+    Spec.make ~name:"MultiPaxosUnguarded" ~vars:spec.Spec.vars
+      ~init:spec.Spec.init
+      (unguarded_propose
+      :: List.filter (fun (a : Action.t) -> a.name <> "Propose") spec.Spec.actions)
+  in
+  match
+    Explorer.check ~max_states:200_000
+      ~invariants:
+        [ ("OneValuePerBallot", Spec_multipaxos.inv_one_value_per_ballot cfg) ]
+      buggy
+  with
+  | Explorer.Violation { invariant = "OneValuePerBallot"; _ } -> ()
+  | r -> Alcotest.failf "expected the B.1 bug to reproduce, got %a" Explorer.pp_result r
+
+(* ---- helper-level unit tests on hand-built states ---- *)
+
+let drive picks =
+  let spec = Spec_multipaxos.spec tiny in
+  Scenario.run spec (List.hd spec.Spec.init) picks
+
+let election =
+  [
+    ("IncreaseHighestBallot", "a=0,b=1");
+    ("Phase1a", "a=0");
+    ("Phase1b", "a=1,b=1");
+    ("Phase1b", "a=2,b=1");
+    ("BecomeLeader", "a=1,q=12");
+  ]
+
+let test_chosen_after_quorum () =
+  let s =
+    drive
+      (election
+      @ [
+          ("Propose", "a=1,i=0,v=1");
+          ("Accept", "a=1,i=0,b=1,v=1");
+          ("Accept", "a=2,i=0,b=1,v=1");
+        ])
+  in
+  Alcotest.(check bool) "chosen at quorum" true
+    (Spec_multipaxos.chosen_at tiny s ~idx:0 ~bal:1 (V.int 1));
+  Alcotest.(check (list (of_pp V.pp))) "chosen values" [ V.int 1 ]
+    (Spec_multipaxos.chosen_values tiny s ~idx:0)
+
+let test_not_chosen_below_quorum () =
+  let s =
+    drive (election @ [ ("Propose", "a=1,i=0,v=1"); ("Accept", "a=1,i=0,b=1,v=1") ])
+  in
+  Alcotest.(check bool) "one vote is not chosen" false
+    (Spec_multipaxos.chosen_at tiny s ~idx:0 ~bal:1 (V.int 1))
+
+let test_voted_for () =
+  let s =
+    drive (election @ [ ("Propose", "a=1,i=0,v=1"); ("Accept", "a=2,i=0,b=1,v=1") ])
+  in
+  Alcotest.(check bool) "acceptor 2 voted" true
+    (Spec_multipaxos.voted_for s ~acc:2 ~idx:0 ~bal:1 (V.int 1));
+  Alcotest.(check bool) "acceptor 0 did not" false
+    (Spec_multipaxos.voted_for s ~acc:0 ~idx:0 ~bal:1 (V.int 1))
+
+let test_highest_ballot_entry () =
+  let log bal v =
+    V.fn [ (V.int 0, Spec_multipaxos.entry bal (V.int v)) ]
+  in
+  let best = Spec_multipaxos.highest_ballot_entry [ log 0 1; log 1 2 ] 0 in
+  Alcotest.(check bool) "picks higher ballot" true
+    (V.equal best (Spec_multipaxos.entry 1 (V.int 2)));
+  let none = Spec_multipaxos.highest_ballot_entry [] 0 in
+  Alcotest.(check bool) "empty is empty_entry" true
+    (V.equal none Spec_multipaxos.empty_entry)
+
+let test_stale_leader_cannot_overwrite () =
+  (* After a value is chosen at ballot 1, any later-ballot leader must
+     adopt it: explore forward from a chosen state and assert Agreement. *)
+  let s =
+    drive
+      (election
+      @ [
+          ("Propose", "a=1,i=0,v=1");
+          ("Accept", "a=1,i=0,b=1,v=1");
+          ("Accept", "a=2,i=0,b=1,v=1");
+        ])
+  in
+  let spec = Spec_multipaxos.spec tiny in
+  let from_chosen = Spec.make ~name:"fc" ~vars:spec.Spec.vars ~init:[ s ] spec.Spec.actions in
+  match
+    Explorer.check ~max_states:30_000
+      ~invariants:[ ("Agreement", Spec_multipaxos.inv_agreement tiny) ]
+      from_chosen
+  with
+  | Explorer.Pass _ -> ()
+  | r -> Alcotest.failf "%a" Explorer.pp_result r
+
+let () =
+  Alcotest.run "specs_paxos"
+    [
+      ( "model-checking",
+        [
+          Alcotest.test_case "tiny exhaustive" `Slow test_invariants_exhaustive;
+          Alcotest.test_case "small bounded" `Slow test_invariants_small_bounded;
+          Alcotest.test_case "B.1 Propose bug reproduces" `Slow
+            test_unguarded_propose_breaks_safety;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "chosen after quorum" `Quick test_chosen_after_quorum;
+          Alcotest.test_case "not chosen below quorum" `Quick test_not_chosen_below_quorum;
+          Alcotest.test_case "voted_for" `Quick test_voted_for;
+          Alcotest.test_case "highest ballot entry" `Quick test_highest_ballot_entry;
+          Alcotest.test_case "chosen values stable" `Slow test_stale_leader_cannot_overwrite;
+        ] );
+    ]

@@ -1,0 +1,238 @@
+open Raftpax_core
+module V = Value
+module C = Proto_config
+
+let tiny = C.tiny
+
+let test_invariants_exhaustive () =
+  match
+    Explorer.check ~max_states:50_000
+      ~invariants:(Spec_raft_star.invariants tiny)
+      (Spec_raft_star.spec tiny)
+  with
+  | Explorer.Pass stats ->
+      Alcotest.(check bool) "complete" true stats.complete
+  | r -> Alcotest.failf "%a" Explorer.pp_result r
+
+let test_invariants_small_bounded () =
+  let cfg = C.small in
+  match
+    Explorer.check ~max_states:20_000
+      ~invariants:
+        [
+          ("LogMatching", Spec_raft_star.inv_log_matching cfg);
+          ("LeaderCompleteness", Spec_raft_star.inv_leader_completeness cfg);
+        ]
+      (Spec_raft_star.spec cfg)
+  with
+  | Explorer.Pass _ -> ()
+  | r -> Alcotest.failf "%a" Explorer.pp_result r
+
+(* ---- scenario-level behaviour ---- *)
+
+let drive ?(cfg = tiny) picks =
+  let spec = Spec_raft_star.spec cfg in
+  (spec, Scenario.run spec (List.hd spec.Spec.init) picks)
+
+let election =
+  [
+    ("IncreaseHighestBallot", "a=0,b=1");
+    ("Phase1a", "a=0");
+    ("Phase1b", "a=1,b=1");
+    ("Phase1b", "a=2,b=1");
+    ("BecomeLeader", "a=1,q=12");
+  ]
+
+let test_leader_elected () =
+  let _, s = drive election in
+  Alcotest.(check bool) "node 1 leads" true
+    (V.to_bool (V.get (State.get s "isLeader") (V.int 1)));
+  Alcotest.(check bool) "node 2 does not" false
+    (V.to_bool (V.get (State.get s "isLeader") (V.int 2)))
+
+let test_replication_updates_ballots () =
+  let _, s =
+    drive
+      (election
+      @ [
+          ("ProposeEntries", "a=1,i1=0,i=0,v=1");
+          ("AcceptEntries", "a=2,t=1,l=0");
+        ])
+  in
+  let log_ballot = V.get (V.get (State.get s "logBallot") (V.int 2)) (V.int 0) in
+  Alcotest.(check int) "ballot rewritten to term" 1 (V.to_int log_ballot);
+  let raftlog = V.get (V.get (State.get s "raftlogs") (V.int 2)) (V.int 0) in
+  Alcotest.(check bool) "value replicated" true
+    (V.equal raftlog (Spec_multipaxos.entry 1 (V.int 1)))
+
+let test_mapped_state_is_paxos_like () =
+  let _, s =
+    drive
+      (election
+      @ [
+          ("ProposeEntries", "a=1,i1=0,i=0,v=1");
+          ("AcceptEntries", "a=1,t=1,l=0");
+          ("AcceptEntries", "a=2,t=1,l=0");
+        ])
+  in
+  let a = Spec_raft_star.to_paxos tiny s in
+  Alcotest.(check (list string))
+    "paxos variables"
+    [
+      "highestBallot";
+      "isLeader";
+      "logTail";
+      "logs";
+      "msgs1a";
+      "msgs1b";
+      "proposedValues";
+      "votes";
+    ]
+    (State.vars a);
+  (* the derived state satisfies the MultiPaxos invariants *)
+  List.iter
+    (fun (name, inv) -> Alcotest.(check bool) name true (inv a))
+    (Spec_multipaxos.invariants tiny);
+  Alcotest.(check bool) "value chosen in mapped state" true
+    (Spec_multipaxos.chosen_at tiny a ~idx:0 ~bal:1 (V.int 1))
+
+(* The Raft* extras mechanism, on the same drives as the vanilla erase
+   counterexample: the new leader is elected on a vote from a peer with a
+   longer log and must ADOPT the extra entry instead of later erasing it.
+   This is exactly the difference Section 3 introduces. *)
+let extras_cfg = { C.acceptors = 3; values = 1; max_ballot = 2; max_index = 2 }
+
+let extras_scenario () =
+  let cfg = extras_cfg in
+  let spec = Spec_raft_star.spec cfg in
+  let s =
+    Scenario.run spec (List.hd spec.Spec.init)
+      [
+        ("IncreaseHighestBallot", "a=0,b=1");
+        ("Phase1a", "a=0");
+        ("Phase1b", "a=1,b=1");
+        ("Phase1b", "a=2,b=1");
+        ("BecomeLeader", "a=1,q=12");
+        ("ProposeEntries", "a=1,i1=0,i=0,v=1");
+        ("AcceptEntries", "a=1,t=1,l=0");
+        ("ProposeEntries", "a=1,i1=1,i=1,v=1");
+        ("AcceptEntries", "a=1,t=1,l=1");
+        ("ProposeEntries", "a=1,i1=2,i=2,v=1");
+        ("AcceptEntries", "a=2,t=1,l=0");
+        ("AcceptEntries", "a=2,t=1,l=1");
+        ("AcceptEntries", "a=2,t=1,l=2");
+        ("AcceptEntries", "a=0,t=1,l=0");
+        ("IncreaseHighestBallot", "a=2,b=2");
+        ("Phase1a", "a=2");
+        ("Phase1b", "a=0,b=2");
+        ("Phase1b", "a=1,b=2");
+        ("BecomeLeader", "a=0,q=01");
+      ]
+  in
+  (spec, s)
+
+let test_vote_reply_carries_extras () =
+  let cfg = extras_cfg in
+  let _, s = extras_scenario () in
+  (* Leader 0 had one entry of its own but adopted voter 1's entry at
+     index 1 (with its original ballot). *)
+  let log_tail = V.to_int (V.get (State.get s "logTail") (V.int 0)) in
+  Alcotest.(check int) "leader extended to the adopted entry" 1 log_tail;
+  let adopted = V.get (V.get (State.get s "raftlogs") (V.int 0)) (V.int 1) in
+  Alcotest.(check bool) "adopted value with original ballot" true
+    (V.equal adopted (Spec_multipaxos.entry 1 (V.int 1)));
+  (* ... and the state still maps into legal MultiPaxos territory. *)
+  let a = Spec_raft_star.to_paxos cfg s in
+  List.iter
+    (fun (name, inv) -> Alcotest.(check bool) name true (inv a))
+    (Spec_multipaxos.invariants cfg)
+
+let test_no_erase_after_adoption () =
+  (* Continuing the scenario: the new leader's append to node 2 must not
+     shorten node 2's log (contrast with the vanilla erase). *)
+  let spec, s = extras_scenario () in
+  let s = Scenario.step spec s ~action:"ProposeEntries" ~label:"a=0,i1=0,i=2,v=1" in
+  let s = Scenario.step spec s ~action:"AcceptEntries" ~label:"a=2,t=2,l=2" in
+  let entry_at i =
+    V.get (V.get (State.get s "raftlogs") (V.int 2)) (V.int i)
+  in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Fmt.str "node 2 keeps a value at %d" i)
+        false
+        (V.equal (entry_at i) Spec_multipaxos.empty_entry))
+    [ 0; 1; 2 ]
+
+let test_rejects_stale_append () =
+  (* An acceptor that moved to a higher ballot rejects older appends:
+     AcceptEntries at t=1 is disabled after IncreaseHighestBallot to 2. *)
+  let cfg = { tiny with C.max_ballot = 2 } in
+  let spec = Spec_raft_star.spec cfg in
+  let s =
+    Scenario.run spec (List.hd spec.Spec.init)
+      (election
+      @ [
+          ("ProposeEntries", "a=1,i1=0,i=0,v=1");
+          ("IncreaseHighestBallot", "a=2,b=2");
+        ])
+  in
+  let accepts = (Spec.find_action spec "AcceptEntries").Action.enum s in
+  Alcotest.(check bool) "no accept at node 2" true
+    (List.for_all (fun (l, _) -> not (String.length l >= 4 && String.sub l 0 4 = "a=2,")) accepts)
+
+let test_up_to_date_restriction () =
+  (* A voter whose log is ahead refuses a RequestVote from a shorter log
+     (Raft's election restriction): node 2 holds entries 0..2; a ballot-2
+     prepare from node 1 (entries 0..1) is granted by empty node 0 but not
+     by node 2. *)
+  let cfg = extras_cfg in
+  let spec = Spec_raft_star.spec cfg in
+  let s =
+    Scenario.run spec (List.hd spec.Spec.init)
+      [
+        ("IncreaseHighestBallot", "a=0,b=1");
+        ("Phase1a", "a=0");
+        ("Phase1b", "a=1,b=1");
+        ("Phase1b", "a=2,b=1");
+        ("BecomeLeader", "a=1,q=12");
+        ("ProposeEntries", "a=1,i1=0,i=0,v=1");
+        ("AcceptEntries", "a=1,t=1,l=0");
+        ("ProposeEntries", "a=1,i1=1,i=1,v=1");
+        ("AcceptEntries", "a=1,t=1,l=1");
+        ("ProposeEntries", "a=1,i1=2,i=2,v=1");
+        ("AcceptEntries", "a=2,t=1,l=0");
+        ("AcceptEntries", "a=2,t=1,l=1");
+        ("AcceptEntries", "a=2,t=1,l=2");
+        ("IncreaseHighestBallot", "a=1,b=2");
+        ("Phase1a", "a=1");
+      ]
+  in
+  let grants = (Spec.find_action spec "Phase1b").Action.enum s in
+  let granted_by a =
+    List.exists
+      (fun (l, _) -> String.length l >= 4 && String.sub l 0 4 = Fmt.str "a=%d," a)
+      grants
+  in
+  Alcotest.(check bool) "empty node 0 grants" true (granted_by 0);
+  Alcotest.(check bool) "ahead node 2 refuses" false (granted_by 2)
+
+let () =
+  Alcotest.run "specs_raft"
+    [
+      ( "model-checking",
+        [
+          Alcotest.test_case "tiny exhaustive" `Slow test_invariants_exhaustive;
+          Alcotest.test_case "small bounded" `Slow test_invariants_small_bounded;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "leader elected" `Quick test_leader_elected;
+          Alcotest.test_case "ballot rewrite" `Quick test_replication_updates_ballots;
+          Alcotest.test_case "mapped state" `Quick test_mapped_state_is_paxos_like;
+          Alcotest.test_case "vote extras adopted" `Quick test_vote_reply_carries_extras;
+          Alcotest.test_case "no erase after adoption" `Quick test_no_erase_after_adoption;
+          Alcotest.test_case "stale append rejected" `Quick test_rejects_stale_append;
+          Alcotest.test_case "up-to-date restriction" `Quick test_up_to_date_restriction;
+        ] );
+    ]

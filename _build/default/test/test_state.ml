@@ -1,0 +1,71 @@
+open Raftpax_core
+module V = Value
+
+let check_state = Alcotest.testable State.pp State.equal
+
+let s0 =
+  State.of_list [ ("x", V.int 1); ("y", V.bool true); ("z", V.set []) ]
+
+let test_get_set () =
+  Alcotest.(check bool) "get x" true (V.equal (State.get s0 "x") (V.int 1));
+  let s1 = State.set s0 "x" (V.int 9) in
+  Alcotest.(check bool) "set x" true (V.equal (State.get s1 "x") (V.int 9));
+  Alcotest.(check bool) "s0 unchanged" true (V.equal (State.get s0 "x") (V.int 1))
+
+let test_unbound () =
+  Alcotest.check_raises "unbound read"
+    (Invalid_argument "State.get: unbound variable nope") (fun () ->
+      ignore (State.get s0 "nope"))
+
+let test_vars () =
+  Alcotest.(check (list string)) "vars sorted" [ "x"; "y"; "z" ] (State.vars s0)
+
+let test_restrict () =
+  let r = State.restrict s0 [ "x"; "z"; "missing" ] in
+  Alcotest.(check (list string)) "restricted" [ "x"; "z" ] (State.vars r)
+
+let test_merge () =
+  let overlay = State.of_list [ ("x", V.int 42); ("w", V.int 7) ] in
+  let m = State.merge s0 overlay in
+  Alcotest.(check bool) "overlay wins" true (V.equal (State.get m "x") (V.int 42));
+  Alcotest.(check bool) "base kept" true (V.equal (State.get m "y") V.tt);
+  Alcotest.(check bool) "overlay added" true (V.equal (State.get m "w") (V.int 7))
+
+let test_unchanged () =
+  let s1 = State.set s0 "x" (V.int 2) in
+  Alcotest.(check bool) "x changed" false (State.unchanged s0 s1 [ "x" ]);
+  Alcotest.(check bool) "y unchanged" true (State.unchanged s0 s1 [ "y"; "z" ])
+
+let test_compare () =
+  Alcotest.(check check_state) "round trip" s0 (State.of_list (State.to_list s0));
+  let s1 = State.set s0 "x" (V.int 2) in
+  Alcotest.(check bool) "different" false (State.equal s0 s1)
+
+(* restrict-then-merge with the complement reconstructs the state *)
+let prop_restrict_merge =
+  QCheck.Test.make ~name:"restrict/merge partition" ~count:100
+    QCheck.(small_list (pair (string_of_size (QCheck.Gen.return 3)) small_int))
+    (fun kvs ->
+      let kvs = List.sort_uniq (fun (a, _) (b, _) -> compare a b) kvs in
+      let s = State.of_list (List.map (fun (k, v) -> (k, V.int v)) kvs) in
+      let names = State.vars s in
+      let half = List.filteri (fun i _ -> i mod 2 = 0) names in
+      let other = List.filteri (fun i _ -> i mod 2 = 1) names in
+      State.equal s (State.merge (State.restrict s half) (State.restrict s other)))
+
+let () =
+  Alcotest.run "state"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "get/set" `Quick test_get_set;
+          Alcotest.test_case "unbound" `Quick test_unbound;
+          Alcotest.test_case "vars" `Quick test_vars;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "unchanged" `Quick test_unchanged;
+          Alcotest.test_case "compare" `Quick test_compare;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_restrict_merge ] );
+    ]

@@ -1,0 +1,146 @@
+open Raftpax_core
+module V = Value
+
+let check_val = Alcotest.testable V.pp V.equal
+
+(* ---- generators for property tests ---- *)
+
+let rec value_gen depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof [ map V.int (int_range (-5) 5); map V.bool bool; return V.nil ]
+  else
+    frequency
+      [
+        (3, map V.int (int_range (-5) 5));
+        (1, map V.bool bool);
+        (1, map V.set (list_size (int_bound 4) (value_gen (depth - 1))));
+        (1, map V.tuple (list_size (int_bound 3) (value_gen (depth - 1))));
+      ]
+
+let value_arb = QCheck.make ~print:V.to_string (value_gen 2)
+
+(* ---- unit tests ---- *)
+
+let test_set_canonical () =
+  let s = V.set [ V.int 3; V.int 1; V.int 3; V.int 2 ] in
+  Alcotest.(check check_val)
+    "sorted and deduped"
+    (V.set [ V.int 1; V.int 2; V.int 3 ])
+    s;
+  Alcotest.(check int) "card" 3 (V.set_card s)
+
+let test_set_ops () =
+  let s = V.set [ V.int 1; V.int 2 ] in
+  Alcotest.(check bool) "mem" true (V.set_mem (V.int 1) s);
+  Alcotest.(check bool) "not mem" false (V.set_mem (V.int 9) s);
+  let s' = V.set_add (V.int 5) s in
+  Alcotest.(check bool) "added" true (V.set_mem (V.int 5) s');
+  Alcotest.(check bool) "subset" true (V.set_subset s s');
+  Alcotest.(check bool) "not subset" false (V.set_subset s' s);
+  Alcotest.(check check_val)
+    "union"
+    (V.set [ V.int 1; V.int 2; V.int 5 ])
+    (V.set_union s (V.set [ V.int 5; V.int 2 ]))
+
+let test_subsets () =
+  let s = V.set [ V.int 1; V.int 2; V.int 3 ] in
+  Alcotest.(check int) "2^3 subsets" 8 (List.length (V.subsets s));
+  List.iter
+    (fun sub -> Alcotest.(check bool) "subset of s" true (V.set_subset sub s))
+    (V.subsets s)
+
+let test_map_ops () =
+  let m = V.fn [ (V.int 1, V.str "a"); (V.int 2, V.str "b") ] in
+  Alcotest.(check check_val) "get" (V.str "a") (V.get m (V.int 1));
+  Alcotest.(check (option check_val)) "get_opt absent" None (V.get_opt m (V.int 9));
+  let m' = V.put m (V.int 1) (V.str "z") in
+  Alcotest.(check check_val) "updated" (V.str "z") (V.get m' (V.int 1));
+  let m'' = V.put m (V.int 3) (V.str "c") in
+  Alcotest.(check int) "inserted key count" 3 (List.length (V.keys m''))
+
+let test_map_duplicate_rejected () =
+  Alcotest.check_raises "duplicate key"
+    (Invalid_argument "Value.map_of: duplicate key") (fun () ->
+      ignore (V.map_of [ (V.int 1, V.int 2); (V.int 1, V.int 3) ]))
+
+let test_record () =
+  let r = V.record [ ("b", V.int 2); ("a", V.int 1) ] in
+  Alcotest.(check check_val) "field" (V.int 1) (V.field r "a");
+  let r' = V.with_field r "a" (V.int 9) in
+  Alcotest.(check check_val) "with_field" (V.int 9) (V.field r' "a");
+  Alcotest.(check check_val) "other kept" (V.int 2) (V.field r' "b")
+
+let test_compare_total_order () =
+  (* different constructors are comparable without exceptions *)
+  let vs = [ V.int 0; V.bool true; V.str "x"; V.tuple []; V.set []; V.fn [] ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c1 = V.compare a b and c2 = V.compare b a in
+          Alcotest.(check bool) "antisymmetric" true (Stdlib.compare c1 (-c2) = 0 || (c1 = 0 && c2 = 0)))
+        vs)
+    vs
+
+(* ---- properties ---- *)
+
+let prop_set_idempotent =
+  QCheck.Test.make ~name:"set_add is idempotent" ~count:200
+    QCheck.(pair value_arb (small_list value_arb))
+    (fun (x, xs) ->
+      let s = V.set xs in
+      V.equal (V.set_add x (V.set_add x s)) (V.set_add x s))
+
+let prop_set_mem_after_add =
+  QCheck.Test.make ~name:"added element is a member" ~count:200
+    QCheck.(pair value_arb (small_list value_arb))
+    (fun (x, xs) -> V.set_mem x (V.set_add x (V.set xs)))
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"union commutes" ~count:200
+    QCheck.(pair (small_list value_arb) (small_list value_arb))
+    (fun (xs, ys) ->
+      V.equal (V.set_union (V.set xs) (V.set ys)) (V.set_union (V.set ys) (V.set xs)))
+
+let prop_put_get =
+  QCheck.Test.make ~name:"put then get" ~count:200
+    QCheck.(triple value_arb value_arb (small_list (pair value_arb value_arb)))
+    (fun (k, v, kvs) ->
+      (* build map keeping first binding per key *)
+      let m =
+        List.fold_left (fun m (k, v) -> V.put m k v) (V.fn []) kvs
+      in
+      V.equal (V.get (V.put m k v) k) v)
+
+let prop_compare_reflexive =
+  QCheck.Test.make ~name:"compare reflexive" ~count:200 value_arb (fun v ->
+      V.compare v v = 0)
+
+let () =
+  Alcotest.run "value"
+    [
+      ( "sets",
+        [
+          Alcotest.test_case "canonical" `Quick test_set_canonical;
+          Alcotest.test_case "ops" `Quick test_set_ops;
+          Alcotest.test_case "subsets" `Quick test_subsets;
+        ] );
+      ( "maps",
+        [
+          Alcotest.test_case "ops" `Quick test_map_ops;
+          Alcotest.test_case "duplicates" `Quick test_map_duplicate_rejected;
+        ] );
+      ("records", [ Alcotest.test_case "fields" `Quick test_record ]);
+      ( "ordering",
+        [ Alcotest.test_case "total order" `Quick test_compare_total_order ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_set_idempotent;
+            prop_set_mem_after_add;
+            prop_union_commutative;
+            prop_put_get;
+            prop_compare_reflexive;
+          ] );
+    ]

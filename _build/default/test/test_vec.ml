@@ -1,0 +1,77 @@
+open Raftpax_consensus
+
+let test_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    Vec.push v (i * 2)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 84 (Vec.get v 42);
+  Alcotest.(check (option int)) "last" (Some 198) (Vec.last v)
+
+let test_set () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Vec.push v 2;
+  Vec.set v 0 9;
+  Alcotest.(check (list int)) "after set" [ 9; 2 ] (Vec.to_list v)
+
+let test_truncate () =
+  let v = Vec.create () in
+  List.iter (Vec.push v) [ 1; 2; 3; 4; 5 ];
+  Vec.truncate v 2;
+  Alcotest.(check (list int)) "truncated" [ 1; 2 ] (Vec.to_list v);
+  Vec.truncate v 10;
+  Alcotest.(check int) "longer truncate is a no-op" 2 (Vec.length v);
+  Vec.push v 7;
+  Alcotest.(check (list int)) "push after truncate" [ 1; 2; 7 ] (Vec.to_list v)
+
+let test_bounds () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec.get")
+    (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "set out of bounds" (Invalid_argument "Vec.set")
+    (fun () -> Vec.set v (-1) 0)
+
+let test_iteri () =
+  let v = Vec.create () in
+  List.iter (Vec.push v) [ 10; 20; 30 ];
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check (list (pair int int)))
+    "indexed" [ (0, 10); (1, 20); (2, 30) ] (List.rev !acc)
+
+let prop_push_list_roundtrip =
+  QCheck.Test.make ~name:"push/to_list roundtrip" ~count:200
+    QCheck.(small_list int)
+    (fun xs ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      Vec.to_list v = xs)
+
+let prop_truncate_prefix =
+  QCheck.Test.make ~name:"truncate keeps a prefix" ~count:200
+    QCheck.(pair (small_list int) small_nat)
+    (fun (xs, n) ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      Vec.truncate v n;
+      Vec.to_list v = List.filteri (fun i _ -> i < n) xs)
+
+let () =
+  Alcotest.run "vec"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_push_get;
+          Alcotest.test_case "set" `Quick test_set;
+          Alcotest.test_case "truncate" `Quick test_truncate;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "iteri" `Quick test_iteri;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_push_list_roundtrip; prop_truncate_prefix ] );
+    ]
