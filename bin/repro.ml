@@ -11,6 +11,7 @@ open Cmdliner
 open Raftpax_core
 module Sim = Raftpax_sim
 module KV = Raftpax_kvstore
+module Nem = Raftpax_nemesis
 
 (* ---- shared arguments ---- *)
 
@@ -231,6 +232,77 @@ let simulate_cmd =
       const run_simulate $ proto $ duration $ clients $ read_pct $ conflict_pct
       $ size $ leader)
 
+(* ---- nemesis ---- *)
+
+let run_nemesis proto_name seed seeds chaos_steps clients dump_trace =
+  let protocols =
+    if String.lowercase_ascii proto_name = "all" then Nem.Cluster.all_protocols
+    else
+      match Nem.Cluster.protocol_of_name proto_name with
+      | Some p -> [ p ]
+      | None ->
+          Fmt.epr "unknown protocol %S (try raft, raft-star, raft-pql, \
+                   mencius, multipaxos, all)@." proto_name;
+          exit 2
+  in
+  let failed = ref 0 in
+  List.iter
+    (fun protocol ->
+      for s = seed to seed + seeds - 1 do
+        let cfg = Nem.Nemesis.config protocol ~seed:s ~chaos_steps ~clients in
+        let r = Nem.Nemesis.run cfg in
+        Fmt.pr "%a@." Nem.Nemesis.pp_report r;
+        if not r.Nem.Nemesis.ok then incr failed;
+        if dump_trace then
+          List.iter print_endline (Nem.Trace.to_list r.Nem.Nemesis.trace)
+      done)
+    protocols;
+  if !failed = 0 then 0
+  else begin
+    Fmt.pr "%d failing runs — rerun with the printed seed to replay@." !failed;
+    1
+  end
+
+let nemesis_cmd =
+  let proto =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"PROTOCOL"
+          ~doc:"Protocol to torture (raft, raft-star, raft-pql, mencius, \
+                multipaxos, or all).")
+  in
+  let seed =
+    Arg.(value & opt int 1000 & info [ "seed" ] ~doc:"First seed of the sweep.")
+  in
+  let seeds =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Number of seeds to run.")
+  in
+  let chaos_steps =
+    Arg.(
+      value
+      & opt int 30
+      & info [ "steps" ] ~doc:"Chaos steps (one fault action per simulated second).")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Closed-loop clients.")
+  in
+  let dump_trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Print the full event trace of every run.")
+  in
+  Cmd.v
+    (Cmd.info "nemesis"
+       ~doc:
+         "Deterministic fault-injection sweep: crash/partition/delay/skew \
+          schedules driven by a seed, checked against prefix-agreement and \
+          linearizability oracles.  A run is a pure function of (protocol, \
+          seed), so any failure replays exactly from its printed seed.")
+    Term.(
+      const run_nemesis $ proto $ seed $ seeds $ chaos_steps $ clients
+      $ dump_trace)
+
 (* ---- topology ---- *)
 
 let run_topology () =
@@ -269,4 +341,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ check_cmd; refine_cmd; port_cmd; simulate_cmd; topology_cmd ]))
+          [ check_cmd; refine_cmd; port_cmd; simulate_cmd; nemesis_cmd; topology_cmd ]))

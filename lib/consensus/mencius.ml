@@ -12,13 +12,18 @@ let hot_key = 0
 
 type slot = Unknown | Value of Types.cmd | Skip
 
-type revocation = { mutable replies : int; mutable found : Types.cmd option }
+type revocation = { seen : bool array; mutable found : Types.cmd option }
+(* per-sender, so duplicate deliveries under fault injection cannot
+   double-count toward the majority *)
 
 type msg =
   | MAppend of { from : int; inst : int; cmd : Types.cmd }
   | MAck of { from : int; inst : int }
-  | MSkip of { from : int; upto : int }
-      (** every unused slot owned by [from] below [upto] is a no-op *)
+  | MSkip of { from : int; first : int; upto : int }
+      (** [from]'s turns in [[first, upto)] are no-ops.  The range is
+          explicit — "every slot of mine you haven't seen" would be
+          unsound for a receiver that missed an append while down or
+          partitioned. *)
   | MCommit of { inst : int }
   | MRevoke of { from : int; inst : int }
       (** simplified recovery: the designated revoker polls the cluster
@@ -42,9 +47,16 @@ type server = {
   mutable next_own : int;
   mutable known_frontier : int;  (** all slots < this are Value or Skip *)
   mutable commit_frontier : int;  (** all slots < this are committed *)
-  acks : (int, int ref) Hashtbl.t;  (** own instance -> ack count *)
+  acks : (int, bool array) Hashtbl.t;  (** own instance -> acked peers *)
   revocations : (int, revocation) Hashtbl.t;
+  promised : (int, unit) Hashtbl.t;
+      (** slots whose revocation poll we answered: the poll is a Paxos
+          phase 1, so afterwards the owner's own (ballot-0) append must
+          be refused or the revocation's decision could lose the race *)
   store : (int, int) Hashtbl.t;
+  key_writes : (int, int list ref) Hashtbl.t;
+      (** slots known to carry a write of each key — what a commutative
+          read must see applied before replying early *)
   mutable applied : int;  (** slots < this applied to [store] *)
   mutable waiting : (int * Types.cmd) list;  (** (slot, cmd) awaiting reply *)
   mutable recovering : bool;
@@ -98,6 +110,33 @@ let slot srv inst =
 let is_committed srv inst =
   inst < Vec.length srv.committed && Vec.get srv.committed inst
 
+(* Record a slot's value, remembering write positions per key.  Only the
+   Unknown -> Value transition calls this, so each write slot is recorded
+   once. *)
+let set_value srv inst (cmd : Types.cmd) =
+  Vec.set srv.slots inst (Value cmd);
+  match cmd.op with
+  | Types.Put { key; _ } ->
+      let cell =
+        match Hashtbl.find_opt srv.key_writes key with
+        | Some cell -> cell
+        | None ->
+            let cell = ref [] in
+            Hashtbl.replace srv.key_writes key cell;
+            cell
+      in
+      cell := inst :: !cell
+  | Types.Get _ -> ()
+
+(* A commutative read at [inst] may reply from the applied store only once
+   every known earlier write of its key has been applied; otherwise it
+   could return a value older than an already-acknowledged write (the
+   fault-injection harness caught exactly this under churn). *)
+let commutative_read_safe srv ~key ~inst =
+  match Hashtbl.find_opt srv.key_writes key with
+  | None -> true
+  | Some slots -> List.for_all (fun j -> j >= inst || j < srv.applied) !slots
+
 let owner t inst = inst mod t.n
 
 let conflicting (cmd : Types.cmd) = Types.key_of cmd.op = hot_key
@@ -144,12 +183,25 @@ and advance_frontiers t srv =
   try_reply t srv
 
 and try_reply t srv =
+  (* A waiting op whose slot no longer holds it was revoked into a skip:
+     never acknowledge it — the client will retry as a fresh op. *)
+  let still_ours (inst, (cmd : Types.cmd)) =
+    match slot srv inst with
+    | Value held -> held.Types.id = cmd.Types.id
+    | Skip | Unknown -> false
+  in
   let ready, waiting =
     List.partition
-      (fun (inst, cmd) ->
+      (fun (inst, (cmd : Types.cmd)) ->
         if conflicting cmd then srv.commit_frontier > inst
-        else is_committed srv inst && srv.known_frontier > inst)
-      srv.waiting
+        else
+          is_committed srv inst
+          && srv.known_frontier > inst
+          &&
+          match cmd.op with
+          | Types.Get { key } -> commutative_read_safe srv ~key ~inst
+          | Types.Put _ -> true)
+      (List.filter still_ours srv.waiting)
   in
   srv.waiting <- waiting;
   List.iter
@@ -167,12 +219,20 @@ and try_reply t srv =
       complete_at_origin t srv cmd { Types.value })
     ready
 
-(* Mark every unused slot owned by [who] below [upto] as a skip.  Skips by
-   the default leader are decided immediately (coordinated-Paxos). *)
-and apply_skips t srv ~who ~upto =
+(* Mark [who]'s unused turns in [[start, upto)] as skips.  Skips by the
+   slot owner are decided immediately (coordinated-Paxos): an owner only
+   ever claims turns at or past its own monotone proposal frontier, so
+   the claim cannot cover a slot it actually used. *)
+and apply_skips t srv ~who ~start ~upto =
   ensure srv upto;
   let changed = ref false in
-  let inst = ref who in
+  let first_turn =
+    (* smallest slot ≥ start owned by [who] *)
+    let r = who mod t.n in
+    let q = (max 0 (start - r) + t.n - 1) / t.n in
+    (q * t.n) + r
+  in
+  let inst = ref first_turn in
   while !inst < upto do
     if slot srv !inst = Unknown then begin
       Vec.set srv.slots !inst Skip;
@@ -187,14 +247,15 @@ and apply_skips t srv ~who ~upto =
    move past them, telling everyone. *)
 and skip_own_turns t srv ~upto =
   if srv.next_own < upto then begin
-    ignore (apply_skips t srv ~who:srv.id ~upto);
+    let first = srv.next_own in
+    ignore (apply_skips t srv ~who:srv.id ~start:first ~upto);
     let first_own_after =
       let r = srv.id mod t.n in
       let q = (upto - r + t.n - 1) / t.n in
       (q * t.n) + r
     in
     srv.next_own <- max srv.next_own first_own_after;
-    broadcast t srv (MSkip { from = srv.id; upto })
+    broadcast t srv (MSkip { from = srv.id; first; upto })
   end
 
 (* ---- message handling ---- *)
@@ -212,26 +273,40 @@ and handle t srv msg =
         Cpu.exec srv.cpu ~cost_us:(p t).cpu_follower_op_us (fun () ->
             if not srv.down then begin
               ensure srv inst;
+              let refused =
+                from = owner t inst && Hashtbl.mem srv.promised inst
+              in
               (match slot srv inst with
-              | Unknown -> Vec.set srv.slots inst (Value cmd)
-              | Value _ | Skip -> ());
+              | Unknown when not refused -> set_value srv inst cmd
+              | _ -> ());
               skip_own_turns t srv ~upto:inst;
-              send t ~src:srv.id ~dst:from (MAck { from = srv.id; inst });
+              (* Ack only if we actually hold this value: a promised or
+                 force-skipped slot must not count toward the sender's
+                 majority, or it could commit a value a revocation
+                 concurrently decided to skip. *)
+              (match slot srv inst with
+              | Value held when held.Types.id = cmd.Types.id ->
+                  send t ~src:srv.id ~dst:from (MAck { from = srv.id; inst })
+              | _ -> ());
               advance_frontiers t srv
             end)
-    | MAck { from = _; inst } -> (
+    | MAck { from; inst } -> (
         match Hashtbl.find_opt srv.acks inst with
         | None -> ()
-        | Some count ->
-            incr count;
-            if !count + 1 >= majority t && not (is_committed srv inst) then begin
+        | Some acked ->
+            acked.(from) <- true;
+            let count =
+              Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 acked
+            in
+            if count + 1 >= majority t && not (is_committed srv inst) then begin
               ensure srv inst;
               Vec.set srv.committed inst true;
               broadcast t srv (MCommit { inst });
               advance_frontiers t srv
             end)
-    | MSkip { from; upto } ->
-        if apply_skips t srv ~who:from ~upto then advance_frontiers t srv
+    | MSkip { from; first; upto } ->
+        if apply_skips t srv ~who:from ~start:first ~upto then
+          advance_frontiers t srv
     | MCommit { inst } ->
         ensure srv inst;
         (* The commit flag may race ahead of the append carrying the value;
@@ -240,40 +315,51 @@ and handle t srv msg =
         advance_frontiers t srv
     | MRevoke { from; inst } ->
         ensure srv inst;
+        Hashtbl.replace srv.promised inst ();
         let value =
           match slot srv inst with Value cmd -> Some cmd | Unknown | Skip -> None
         in
         send t ~src:srv.id ~dst:from (MRevStatus { from = srv.id; inst; value })
-    | MRevStatus { from = _; inst; value } -> (
+    | MRevStatus { from; inst; value } -> (
         match Hashtbl.find_opt srv.revocations inst with
         | None -> ()
         | Some pending ->
-            pending.replies <- pending.replies + 1;
+            pending.seen.(from) <- true;
             (match (pending.found, value) with
             | None, Some _ -> pending.found <- value
             | _ -> ());
-            if pending.replies + 1 >= majority t then begin
+            let replies =
+              Array.fold_left
+                (fun acc b -> if b then acc + 1 else acc)
+                0 pending.seen
+            in
+            if replies + 1 >= majority t then begin
               Hashtbl.remove srv.revocations inst;
               match pending.found with
               | Some cmd ->
                   (* Someone saw the owner's value: re-propose it under the
                      revoker's ownership so it can still commit. *)
                   ensure srv inst;
-                  if slot srv inst = Unknown then
-                    Vec.set srv.slots inst (Value cmd);
-                  Hashtbl.replace srv.acks inst (ref 0);
+                  if slot srv inst = Unknown then set_value srv inst cmd;
+                  Hashtbl.replace srv.acks inst (Array.make t.n false);
                   broadcast t srv (MAppend { from = srv.id; inst; cmd });
                   advance_frontiers t srv
               | None ->
-                  (* Nobody saw it: the slot is a no-op everywhere. *)
-                  if slot srv inst = Unknown then Vec.set srv.slots inst Skip;
+                  (* Nobody in a majority saw it, and their [MRevoke]
+                     promises block the owner from committing it later, so
+                     the skip decision is final — it overrides any value
+                     copy that straggles in. *)
+                  Vec.set srv.slots inst Skip;
                   Vec.set srv.committed inst true;
                   broadcast t srv (MSkipForce { inst });
                   advance_frontiers t srv
             end)
     | MSkipForce { inst } ->
         ensure srv inst;
-        if slot srv inst = Unknown then Vec.set srv.slots inst Skip;
+        (* The revocation's decision is final (see MRevStatus): even a
+           slot we hold as Value becomes a skip — the promise quorum
+           proves that value never reached a majority. *)
+        Vec.set srv.slots inst Skip;
         Vec.set srv.committed inst true;
         advance_frontiers t srv
     | MCatchup { from } ->
@@ -293,7 +379,15 @@ and handle t srv msg =
             ensure srv inst;
             (match (slot srv inst, is_skip, cmd) with
             | Unknown, true, _ -> Vec.set srv.slots inst Skip
-            | Unknown, false, Some cmd -> Vec.set srv.slots inst (Value cmd)
+            | Unknown, false, Some cmd -> set_value srv inst cmd
+            (* A committed snapshot slot overrides a local undecided one:
+               we missed the deciding broadcast (force-skip or append). *)
+            | Value _, true, _ when committed && not (is_committed srv inst)
+              ->
+                Vec.set srv.slots inst Skip
+            | Skip, false, Some cmd when committed && not (is_committed srv inst)
+              ->
+                set_value srv inst cmd
             | _ -> ());
             if committed then Vec.set srv.committed inst true)
           slots;
@@ -323,14 +417,31 @@ and watchdog t srv =
           (not srv.down)
           && srv.commit_frontier = stuck
           && stuck < Vec.length srv.slots
-          && owner t stuck <> srv.id
-          && (let lowest_live = lowest_live t in
-              srv.id = lowest_live)
         then begin
-          (* Poll the cluster about the blocking slot before deciding. *)
-          if not (Hashtbl.mem srv.revocations stuck) then begin
-            Hashtbl.replace srv.revocations stuck
-              { replies = 0; found = (match slot srv stuck with Value c -> Some c | _ -> None) };
+          (* A stall usually means we missed a broadcast (append, skip or
+             commit) while down or cut off: ask the peers first. *)
+          broadcast t srv (MCatchup { from = srv.id });
+          (match slot srv stuck with
+          | Value cmd when owner t stuck = srv.id && not (is_committed srv stuck)
+            ->
+              (* Our own append lost its acks in transit: retransmit.
+                 [MAck] replies dedupe through the per-sender flag array. *)
+              if not (Hashtbl.mem srv.acks stuck) then
+                Hashtbl.replace srv.acks stuck (Array.make t.n false);
+              broadcast t srv (MAppend { from = srv.id; inst = stuck; cmd })
+          | _ -> ());
+          if owner t stuck <> srv.id && srv.id = lowest_live t then begin
+            (* Poll the cluster about the blocking slot before deciding. *)
+            if not (Hashtbl.mem srv.revocations stuck) then
+              Hashtbl.replace srv.revocations stuck
+                {
+                  seen = Array.make t.n false;
+                  found =
+                    (match slot srv stuck with Value c -> Some c | _ -> None);
+                };
+            (* Re-broadcast even when a poll is already pending: the earlier
+               round's messages may have been dropped, and [seen] dedupes
+               the replies. *)
             broadcast t srv (MRevoke { from = srv.id; inst = stuck })
           end
         end;
@@ -345,11 +456,20 @@ and lowest_live t =
   find 0
 
 and start_own_slot t srv (cmd : Types.cmd) =
+  (* Our turn may have been revoked (force-skipped) while we sat on it;
+     proposing into a decided slot would overwrite the decision.  Advance
+     to the first turn nobody has touched. *)
+  while
+    srv.next_own < Vec.length srv.slots
+    && (slot srv srv.next_own <> Unknown || is_committed srv srv.next_own)
+  do
+    srv.next_own <- srv.next_own + t.n
+  done;
   let inst = srv.next_own in
   srv.next_own <- inst + t.n;
   ensure srv inst;
-  Vec.set srv.slots inst (Value cmd);
-  Hashtbl.replace srv.acks inst (ref 0);
+  set_value srv inst cmd;
+  Hashtbl.replace srv.acks inst (Array.make t.n false);
   srv.waiting <- (inst, cmd) :: srv.waiting;
   broadcast t srv (MAppend { from = srv.id; inst; cmd });
   if t.n = 1 then Vec.set srv.committed inst true;
@@ -371,7 +491,9 @@ let create config net =
           commit_frontier = 0;
           acks = Hashtbl.create 1024;
           revocations = Hashtbl.create 8;
+          promised = Hashtbl.create 8;
           store = Hashtbl.create 1024;
+          key_writes = Hashtbl.create 1024;
           applied = 0;
           waiting = [];
           recovering = false;
@@ -429,6 +551,24 @@ let skipped_count t ~node =
   let c = ref 0 in
   Vec.iteri (fun _ s -> if s = Skip then incr c) srv.slots;
   !c
+
+let dump_slots t ~node =
+  let srv = t.servers.(node) in
+  let buf = Buffer.create 256 in
+  Vec.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int i);
+      Buffer.add_char buf ':';
+      (match s with
+      | Value { op = Types.Put { write_id; _ }; _ } ->
+          Buffer.add_string buf (Printf.sprintf "V(w%d)" write_id)
+      | Value { op = Types.Get _; _ } -> Buffer.add_string buf "G"
+      | Skip -> Buffer.add_string buf "S"
+      | Unknown -> Buffer.add_string buf "U");
+      if not (is_committed srv i) then Buffer.add_char buf '!')
+    srv.slots;
+  Buffer.contents buf
 
 let crash t ~node =
   t.servers.(node).down <- true;

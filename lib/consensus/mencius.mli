@@ -56,5 +56,10 @@ val applied_value : t -> node:int -> key:int -> int option
 val slot_count : t -> node:int -> int
 val skipped_count : t -> node:int -> int
 
+val dump_slots : t -> node:int -> string
+(** Debug view of the slot space: one token per slot —
+    ["V(w<id>)"]/["G"] value, ["S"] skip, ["U"] unknown, ["!"] suffix
+    when uncommitted.  For diagnosing divergence in nemesis traces. *)
+
 val crash : t -> node:int -> unit
 val restart : t -> node:int -> unit

@@ -40,8 +40,13 @@ type server = {
   store : (int, int) Hashtbl.t;
   prepare_oks : (int, int) Hashtbl.t;  (** voter -> 1 (set) *)
   mutable gathered : (int * int * Types.cmd option) list;
-  accept_oks : (int, int ref) Hashtbl.t;  (** instance -> ok count *)
+  accept_oks : (int, bool array) Hashtbl.t;
+      (** instance -> which peers acked (per-sender, so duplicate
+          deliveries under fault injection cannot double-count) *)
   waiters : (int, Types.cmd) Hashtbl.t;  (** instance -> originating cmd *)
+  proposed_cmds : (int, unit) Hashtbl.t;
+      (** cmd ids this leader already assigned an instance; a duplicated
+          [Forward] must not occupy a second instance *)
   mutable last_leader_sign : int;
   mutable down : bool;
   cpu : Cpu.t;
@@ -134,13 +139,16 @@ and mark_chosen t srv i cmd =
 
 and propose t srv (cmd : Types.cmd) =
   Cpu.exec srv.cpu ~cost_us:(p t).cpu_leader_op_us (fun () ->
-      if srv.is_leader && not srv.down then begin
+      if srv.is_leader && not srv.down && Hashtbl.mem srv.proposed_cmds cmd.id
+      then () (* duplicate Forward: already has an instance *)
+      else if srv.is_leader && not srv.down then begin
+        Hashtbl.replace srv.proposed_cmds cmd.id ();
         let i = srv.next_inst in
         srv.next_inst <- i + 1;
         let it = inst srv i in
         it.accepted_bal <- srv.ballot;
         it.accepted_cmd <- Some (Some cmd);
-        Hashtbl.replace srv.accept_oks i (ref 0);
+        Hashtbl.replace srv.accept_oks i (Array.make t.n false);
         Hashtbl.replace srv.waiters i cmd;
         broadcast t srv
           (Accept { bal = srv.ballot; from = srv.id; inst = i; cmd = Some cmd });
@@ -193,7 +201,7 @@ and become_leader t srv =
       in
       it.accepted_bal <- srv.ballot;
       it.accepted_cmd <- Some value;
-      Hashtbl.replace srv.accept_oks i (ref 0);
+      Hashtbl.replace srv.accept_oks i (Array.make t.n false);
       broadcast t srv
         (Accept { bal = srv.ballot; from = srv.id; inst = i; cmd = value })
     end
@@ -249,13 +257,16 @@ and handle t srv msg =
                 send t ~src:srv.id ~dst:from (AcceptOk { bal; from = srv.id; inst = i })
               end)
         end
-    | AcceptOk { bal; from = _; inst = i } ->
+    | AcceptOk { bal; from; inst = i } ->
         if bal = srv.ballot && srv.is_leader then begin
           match Hashtbl.find_opt srv.accept_oks i with
           | None -> ()
-          | Some count ->
-              incr count;
-              if !count + 1 >= majority t && not (inst srv i).chosen then begin
+          | Some acked ->
+              acked.(from) <- true;
+              let count =
+                Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 acked
+              in
+              if count + 1 >= majority t && not (inst srv i).chosen then begin
                 let cmd =
                   match (inst srv i).accepted_cmd with Some c -> c | None -> None
                 in
@@ -265,7 +276,11 @@ and handle t srv msg =
         end
     | Learn { inst = i; cmd } -> mark_chosen t srv i cmd
 
-(* Leader-failure watchdog: lowest live replica takes over. *)
+(* Leader-failure watchdog: lowest live replica takes over.  The same
+   tick is the leader's repair timer: an [Accept] or its [AcceptOk]s can
+   be lost, leaving an instance unchosen forever and stalling [execute]
+   at the gap, so the leader re-broadcasts every unchosen instance below
+   its frontier (acceptors re-accept idempotently). *)
 and watchdog t srv =
   Engine.schedule t.engine ~delay:t.config.takeover_timeout_us (fun () ->
       if not srv.down then begin
@@ -277,9 +292,25 @@ and watchdog t srv =
           in
           find 0
         in
-        if
-          (not srv.is_leader)
-          && leader.down
+        if srv.is_leader then
+          for i = srv.executed to srv.next_inst - 1 do
+            let it = inst srv i in
+            if not it.chosen then begin
+              let cmd =
+                match it.accepted_cmd with Some c -> c | None -> None
+              in
+              it.accepted_bal <- srv.ballot;
+              it.accepted_cmd <- Some cmd;
+              if not (Hashtbl.mem srv.accept_oks i) then
+                Hashtbl.replace srv.accept_oks i (Array.make t.n false);
+              broadcast t srv
+                (Accept { bal = srv.ballot; from = srv.id; inst = i; cmd })
+            end
+          done
+        else if
+          (leader.down || not leader.is_leader)
+          (* a restarted leader comes back as a non-leader: the cluster
+             is leaderless even though nobody is down *)
           && srv.id = lowest_live
           && now - srv.last_leader_sign >= t.config.takeover_timeout_us
         then start_phase1 t srv
@@ -304,6 +335,7 @@ let create ?(leader = 0) config net =
           gathered = [];
           accept_oks = Hashtbl.create 1024;
           waiters = Hashtbl.create 1024;
+          proposed_cmds = Hashtbl.create 1024;
           last_leader_sign = 0;
           down = false;
           cpu = Cpu.create engine;

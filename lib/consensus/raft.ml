@@ -80,6 +80,9 @@ type server = {
   mutable last_applied : int;
   store : (int, int) Hashtbl.t;
   key_last_write : (int, int) Hashtbl.t;
+  appended_cmds : (int, unit) Hashtbl.t;
+      (** cmd ids this leader already appended; a duplicated or re-routed
+          [Forward] must not enter the log twice *)
   (* leader bookkeeping *)
   next_index : int array;
   match_index : int array;
@@ -334,7 +337,10 @@ and append_cmd t srv (cmd : Types.cmd) =
     | _ -> 0
   in
   Cpu.exec srv.cpu ~cost_us:((p t).cpu_leader_op_us + extra) (fun () ->
-      if srv.role = Leader && not srv.down then begin
+      if srv.role = Leader && not srv.down && Hashtbl.mem srv.appended_cmds cmd.id
+      then () (* duplicate Forward: already in the log *)
+      else if srv.role = Leader && not srv.down then begin
+        Hashtbl.replace srv.appended_cmds cmd.id ();
         let entry = { Types.term = srv.term; cmd = Some cmd } in
         Vec.push srv.log (entry, srv.term);
         note_write srv (last_index srv) entry;
@@ -683,6 +689,7 @@ let create config net =
           last_applied = -1;
           store = Hashtbl.create 1024;
           key_last_write = Hashtbl.create 1024;
+          appended_cmds = Hashtbl.create 1024;
           next_index = Array.make n 0;
           match_index = Array.make n (-1);
           inflight = Array.make n 0;

@@ -1,0 +1,50 @@
+(** Protocol-generic cluster driver.
+
+    Every runtime protocol is reduced to the operations a nemesis needs:
+    submit a client op, crash/restart a replica, name the best submission
+    target, expose the committed operation order (the universal safety
+    oracle input) and a compact per-replica state digest for the trace.
+    The nemesis, the chaos tests and the seed-sweep tool all drive
+    protocols exclusively through this interface, so adding a protocol
+    means adding one [make] arm — no test changes. *)
+
+type protocol = Raft | Raft_star | Raft_pql | Mencius | Multipaxos
+
+val all_protocols : protocol list
+val protocol_name : protocol -> string
+
+val protocol_of_name : string -> protocol option
+(** Case-insensitive; accepts the {!protocol_name} spellings and the
+    CLI spellings (["raft-star"], ["raft-pql"], ...). *)
+
+type t = {
+  protocol : protocol;
+  n : int;  (** replica count *)
+  fifo_required : bool;
+      (** the protocol assumes FIFO channels (Mencius, per its paper), so
+          a nemesis must not inject FIFO-violating reordering against it;
+          Raft and MultiPaxos tolerate arbitrary reordering *)
+  submit :
+    node:int ->
+    Raftpax_consensus.Types.op ->
+    (Raftpax_consensus.Types.reply -> unit) ->
+    unit;
+  crash : node:int -> unit;
+  restart : node:int -> unit;
+  leader_hint : unit -> int option;
+      (** preferred submission target, if the protocol has one ([None] for
+          multi-leader protocols — submit anywhere) *)
+  committed_ops : node:int -> Raftpax_consensus.Types.op list;
+      (** the replica's committed prefix, in commit order — all replicas'
+          lists must be prefixes of one another *)
+  digest : node:int -> string;
+      (** compact state summary; a change is a state transition worth
+          tracing *)
+  dump : node:int -> string;
+      (** full ordering view (slot/log contents) for diagnosing a
+          divergence — appended to the trace when a run fails *)
+}
+
+val make : protocol -> Raftpax_sim.Net.t -> t
+(** Create and start a cluster of the given protocol on the net's nodes
+    (single-leader protocols bootstrap with node 0 elected). *)

@@ -1,0 +1,24 @@
+type t = { mutable rev_events : string list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let record t ~now line =
+  t.rev_events <- Printf.sprintf "%010d %s" now line :: t.rev_events;
+  t.count <- t.count + 1
+
+let length t = t.count
+let to_list t = List.rev t.rev_events
+
+let fingerprint t =
+  Digest.to_hex (Digest.string (String.concat "\n" (to_list t)))
+
+let pp ?limit ppf t =
+  let events = to_list t in
+  let events =
+    match limit with
+    | Some k when t.count > k ->
+        Printf.sprintf "... (%d earlier events elided)" (t.count - k)
+        :: (List.filteri (fun i _ -> i >= t.count - k) events)
+    | _ -> events
+  in
+  List.iter (fun e -> Fmt.pf ppf "%s@." e) events

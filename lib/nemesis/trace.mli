@@ -1,0 +1,29 @@
+(** Structured event trace of a nemesis run.
+
+    Every fault injected, message sent, client operation and observed
+    state transition is appended as one timestamped line.  Because the
+    simulator is deterministic, the full trace is a pure function of
+    [(protocol, workload, seed)]: re-running the same configuration must
+    reproduce it byte-identically, which is what {!fingerprint} checks and
+    what makes a dumped trace replayable for debugging. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> now:int -> string -> unit
+(** Append one event at simulated time [now] (µs). *)
+
+val length : t -> int
+
+val to_list : t -> string list
+(** All events, in chronological (append) order. *)
+
+val fingerprint : t -> string
+(** Hex digest of the whole trace — equal iff the traces are
+    byte-identical. *)
+
+val pp : ?limit:int -> Format.formatter -> t -> unit
+(** Print the trace; with [limit], only the last [limit] events (the
+    window that usually explains a failure), preceded by an elision
+    marker. *)

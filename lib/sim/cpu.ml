@@ -12,7 +12,9 @@ let exec t ~cost_us f =
   let finish = start + cost_us in
   t.free_at <- finish;
   t.consumed <- t.consumed + cost_us;
-  Engine.schedule t.engine ~delay:(finish - now) f
+  (* Exact: [free_at] bookkeeping must match the firing time even while
+     timer-skew fault injection is active. *)
+  Engine.schedule ~kind:Engine.Exact t.engine ~delay:(finish - now) f
 
 let busy_until t = t.free_at
 let busy_us t = t.consumed

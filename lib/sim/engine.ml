@@ -1,3 +1,5 @@
+type kind = Timer | Message | Exact
+
 type event = { time : int; seq : int; run : unit -> unit; mutable dead : bool }
 
 (* Binary min-heap on (time, seq). *)
@@ -62,24 +64,37 @@ type t = {
   mutable clock : int;
   mutable next_seq : int;
   rng : Rng.t;
+  mutable timer_skew : (int -> int) option;
 }
 
 type timer = event
 
 let create ?(seed = 42L) () =
-  { heap = Heap.create (); clock = 0; next_seq = 0; rng = Rng.create seed }
+  {
+    heap = Heap.create ();
+    clock = 0;
+    next_seq = 0;
+    rng = Rng.create seed;
+    timer_skew = None;
+  }
 
 let now t = t.clock
 let rng t = t.rng
+let set_timer_skew t f = t.timer_skew <- f
 
-let schedule_cancellable t ~delay run =
+let schedule_cancellable ?(kind = Timer) t ~delay run =
   assert (delay >= 0);
+  let delay =
+    match (kind, t.timer_skew) with
+    | Timer, Some warp -> max 0 (warp delay)
+    | _ -> delay
+  in
   let e = { time = t.clock + delay; seq = t.next_seq; run; dead = false } in
   t.next_seq <- t.next_seq + 1;
   Heap.push t.heap e;
   e
 
-let schedule t ~delay run = ignore (schedule_cancellable t ~delay run)
+let schedule ?kind t ~delay run = ignore (schedule_cancellable ?kind t ~delay run)
 let cancel e = e.dead <- true
 
 let run t ~until =

@@ -12,13 +12,25 @@ val now : t -> int
 
 val rng : t -> Rng.t
 
-val schedule : t -> delay:int -> (unit -> unit) -> unit
-(** Enqueue a callback [delay] µs from now ([delay >= 0]). *)
+type kind =
+  | Timer  (** protocol timers — subject to clock-skew fault injection *)
+  | Message  (** network deliveries — faulted by {!Net}, never skewed here *)
+  | Exact  (** harness bookkeeping — never warped *)
+
+val schedule : ?kind:kind -> t -> delay:int -> (unit -> unit) -> unit
+(** Enqueue a callback [delay] µs from now ([delay >= 0]).  [kind]
+    defaults to [Timer]. *)
 
 type timer
-val schedule_cancellable : t -> delay:int -> (unit -> unit) -> timer
+val schedule_cancellable : ?kind:kind -> t -> delay:int -> (unit -> unit) -> timer
 val cancel : timer -> unit
 (** Cancelling an already-fired timer is a no-op. *)
+
+val set_timer_skew : t -> (int -> int) option -> unit
+(** Clock-skew fault injection: while set, every [Timer]-kind delay is
+    passed through the hook before scheduling (clamped to [>= 0]).
+    [Message] and [Exact] events are unaffected, so network semantics and
+    the test harness keep exact time. *)
 
 val run : t -> until:int -> unit
 (** Process events in time order until the clock would pass [until] (µs)

@@ -1,5 +1,14 @@
 type node = { id : int; site : Topology.site }
 
+type chaos = {
+  delay_us : int;
+  dup_probability : float;
+  drop_probability : float;
+  reorder : bool;
+}
+
+type monitor = now:int -> src:int -> dst:int -> size:int -> dropped:bool -> unit
+
 type t = {
   engine : Engine.t;
   nodes : node list;
@@ -8,6 +17,8 @@ type t = {
   jitter_us : int;
   rng : Rng.t;
   mutable partition : (int -> int -> bool) option;
+  mutable chaos : chaos option;
+  mutable monitor : monitor option;
   down : bool array;
   (* FIFO NIC model: the time at which each node's uplink frees up. *)
   uplink_free_at : int array;
@@ -31,6 +42,8 @@ let create ?(drop_probability = 0.0) ?(jitter_us = 200) engine ~nodes =
     jitter_us;
     rng = Rng.split (Engine.rng engine);
     partition = None;
+    chaos = None;
+    monitor = None;
     down = Array.make n false;
     uplink_free_at = Array.make n 0;
     link_last_arrival = Array.make_matrix n n 0;
@@ -43,6 +56,8 @@ let engine t = t.engine
 let nodes t = t.nodes
 let node_site t id = t.sites.(id)
 let set_partition t p = t.partition <- p
+let set_chaos t c = t.chaos <- c
+let set_monitor t m = t.monitor <- m
 let set_node_down t id b = t.down.(id) <- b
 let node_down t id = t.down.(id)
 
@@ -64,21 +79,55 @@ let send t ~src ~dst ~size deliver =
     t.uplink_free_at.(src) <- departure;
     let propagation = Topology.one_way_us t.sites.(src) t.sites.(dst) in
     let jitter = if t.jitter_us = 0 then 0 else Rng.int t.rng t.jitter_us in
-    let arrival =
-      max (departure + propagation + jitter) t.link_last_arrival.(src).(dst)
+    (* Chaos faults: an extra delay, an extra drop chance, a duplicate
+       delivery, and (with [reorder]) an exemption from the per-link FIFO
+       clamp so a delayed copy can overtake its successors.  Self-sends
+       (the client-to-colocated-replica hop) are local calls, not WAN
+       traffic, so chaos leaves them alone: duplicating one would model a
+       duplicate client *submission*, which none of the protocols claim
+       to dedupe. *)
+    let extra, chaos_drop, duplicate, reorder =
+      match t.chaos with
+      | None -> (0, false, false, false)
+      | Some _ when src = dst -> (0, false, false, false)
+      | Some c ->
+          let extra = if c.delay_us > 0 then Rng.int t.rng c.delay_us else 0 in
+          let drop =
+            c.drop_probability > 0.0 && Rng.bool t.rng c.drop_probability
+          in
+          let dup =
+            c.dup_probability > 0.0 && Rng.bool t.rng c.dup_probability
+          in
+          (extra, drop, dup, c.reorder)
     in
-    t.link_last_arrival.(src).(dst) <- arrival;
-    if
-      Rng.bool t.rng t.drop_probability
-      || cut t src dst
-    then t.dropped <- t.dropped + 1
-    else
-      Engine.schedule t.engine ~delay:(arrival - now) (fun () ->
+    let base = departure + propagation + jitter + extra in
+    let arrival =
+      if reorder then base else max base t.link_last_arrival.(src).(dst)
+    in
+    if not reorder then t.link_last_arrival.(src).(dst) <- arrival;
+    let dropped_at_send =
+      Rng.bool t.rng t.drop_probability || cut t src dst || chaos_drop
+    in
+    (match t.monitor with
+    | Some m -> m ~now ~src ~dst ~size ~dropped:dropped_at_send
+    | None -> ());
+    let deliver_at when_us =
+      Engine.schedule ~kind:Engine.Message t.engine ~delay:(when_us - now)
+        (fun () ->
           (* Faults are evaluated at delivery time as well, so a node that
              crashes (or a link that is cut) mid-flight loses the message. *)
           if t.down.(dst) || t.down.(src) || cut t src dst then
             t.dropped <- t.dropped + 1
           else deliver ())
+    in
+    if dropped_at_send then t.dropped <- t.dropped + 1
+    else begin
+      deliver_at arrival;
+      if duplicate then
+        (* The copy takes its own (unclamped) path, arriving a little
+           later — or, relative to subsequent traffic, out of order. *)
+        deliver_at (arrival + 1 + Rng.int t.rng 50_000)
+    end
   end
 
 let sent_count t = t.sent

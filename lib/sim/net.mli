@@ -33,6 +33,29 @@ val set_partition : t -> (int -> int -> bool) option -> unit
 (** [set_partition t (Some cut)]: messages from [a] to [b] are silently
     dropped whenever [cut a b] is true.  [None] heals. *)
 
+(** {1 Fault injection hooks} *)
+
+type chaos = {
+  delay_us : int;  (** extra per-message delay, uniform in [0, delay_us) *)
+  dup_probability : float;  (** chance a message is delivered twice *)
+  drop_probability : float;  (** extra drop chance on top of the base *)
+  reorder : bool;
+      (** exempt chaotic messages from the per-link FIFO clamp, so a
+          delayed message can overtake later ones on the same link *)
+}
+
+val set_chaos : t -> chaos option -> unit
+(** While set, every message is subject to the chaos parameters; [None]
+    restores clean TCP-like semantics.  All randomness is drawn from the
+    net's seeded RNG, so runs stay deterministic. *)
+
+type monitor = now:int -> src:int -> dst:int -> size:int -> dropped:bool -> unit
+
+val set_monitor : t -> monitor option -> unit
+(** Observation tap: called once per {!send} with the send-time fault
+    decision ([dropped] covers probability drops, partition cuts and chaos
+    drops; a mid-flight crash loss is not reported). *)
+
 val set_node_down : t -> int -> bool -> unit
 (** A down node neither sends nor receives. *)
 

@@ -1,188 +1,85 @@
-(* Chaos testing: random crash/restart/partition churn against the Raft
-   family, then heal and check convergence — committed prefixes agree
-   across replicas, the cluster still serves requests, and no read ever
-   went stale. *)
+(* The nemesis matrix: every protocol faces the same seeded adversary
+   (crashes, leader-targeted crashes, partitions, message chaos, clock
+   skew), and every run must pass the same oracles — replica prefixes
+   agree, acknowledged writes survive, reads are linearizable, and the
+   healed cluster commits a fresh write.  A companion test replays a
+   seed and demands a byte-identical trace. *)
 
-module Sim = Raftpax_sim
-module Engine = Sim.Engine
-module Net = Sim.Net
-module Topology = Sim.Topology
-open Raftpax_consensus
+open Raftpax_nemesis
 
-type cluster = {
-  engine : Engine.t;
-  net : Net.t;
-  raft : Raft.t;
-  mutable down : int list;
-  mutable completed_writes : int list;
-  mutable next_id : int;
-}
+let seeds = List.init 20 (fun i -> 1000 + i)
 
-let mk config seed =
-  let engine = Engine.create ~seed () in
-  let nodes = List.mapi (fun i site -> { Net.id = i; site }) Topology.sites in
-  let net = Net.create engine ~nodes in
-  let raft = Raft.create config net in
-  Raft.start raft;
-  {
-    engine;
-    net;
-    raft;
-    down = [];
-    completed_writes = [];
-    next_id = 1;
-  }
+let check_report (r : Nemesis.report) =
+  if not r.ok then
+    Alcotest.failf "%a" Nemesis.pp_report r;
+  Alcotest.(check bool) "prefixes agree" true r.prefixes_agree;
+  Alcotest.(check int) "no lost writes" 0 r.lost_writes;
+  Alcotest.(check int) "no lin violations" 0 (List.length r.violations);
+  Alcotest.(check bool) "liveness after heal" true r.liveness_ok
 
-(* one random chaos step *)
-let step rng c =
-  match Sim.Rng.int rng 10 with
-  | 0 | 1 when List.length c.down < 2 ->
-      (* crash a random up node *)
-      let up =
-        List.filter (fun n -> not (List.mem n c.down)) [ 0; 1; 2; 3; 4 ]
-      in
-      let victim = List.nth up (Sim.Rng.int rng (List.length up)) in
-      Raft.crash c.raft ~node:victim;
-      c.down <- victim :: c.down
-  | 2 when c.down <> [] ->
-      (* restart a down node *)
-      let node = List.hd c.down in
-      c.down <- List.tl c.down;
-      Raft.restart c.raft ~node
-  | 3 when c.down = [] ->
-      (* brief asymmetric partition *)
-      let cut = Sim.Rng.int rng 5 in
-      Net.set_partition c.net (Some (fun a b -> a = cut || b = cut));
-      Engine.schedule c.engine ~delay:2_000_000 (fun () ->
-          Net.set_partition c.net None)
-  | _ ->
-      (* submit a write at a random up node *)
-      let up =
-        List.filter (fun n -> not (List.mem n c.down)) [ 0; 1; 2; 3; 4 ]
-      in
-      if up <> [] then begin
-        let node = List.nth up (Sim.Rng.int rng (List.length up)) in
-        let id = c.next_id in
-        c.next_id <- id + 1;
-        Raft.submit c.raft ~node
-          (Types.Put { key = 1 + (id mod 7); size = 8; write_id = id })
-          (fun _ -> c.completed_writes <- id :: c.completed_writes)
-      end
-
-let committed_prefixes_agree c =
-  let upto =
-    List.fold_left
-      (fun acc n -> min acc (Raft.commit_index c.raft ~node:n))
-      max_int [ 0; 1; 2; 3; 4 ]
-  in
-  let prefix n =
-    Raft.log_entries c.raft ~node:n |> List.filteri (fun i _ -> i <= upto)
-  in
-  let reference = prefix 0 in
-  List.for_all (fun n -> prefix n = reference) [ 1; 2; 3; 4 ]
-
-let run_chaos config seed =
-  let c = mk config (Int64.of_int seed) in
-  let rng = Sim.Rng.create (Int64.of_int (seed * 7 + 1)) in
-  (* 60 chaos steps spread over 60 simulated seconds *)
-  for k = 0 to 59 do
-    Engine.schedule c.engine ~delay:(k * 1_000_000) (fun () -> step rng c)
-  done;
-  Engine.run c.engine ~until:60_000_000;
-  (* heal everything and settle *)
-  Net.set_partition c.net None;
-  List.iter (fun node -> Raft.restart c.raft ~node) c.down;
-  c.down <- [];
-  Engine.run c.engine ~until:90_000_000;
-  (* liveness: a fresh write commits.  A single submission can be lost to
-     a stale leader that has not yet learned it was deposed, so the probe
-     retries like a real client would. *)
-  let ok = ref false in
-  let attempt = ref 0 in
-  let rec probe () =
-    if (not !ok) && !attempt < 5 then begin
-      incr attempt;
-      (match Raft.leader_of c.raft with
-      | Some l ->
-          Raft.submit c.raft ~node:l
-            (Types.Put { key = 99; size = 8; write_id = 999_000 + !attempt })
-            (fun _ -> ok := true)
-      | None -> ());
-      Engine.schedule c.engine ~delay:4_000_000 probe
-    end
-  in
-  probe ();
-  Engine.run c.engine ~until:110_000_000;
-  (* safety: committed prefixes agree; every completed write survives in
-     the (current) leader's committed log *)
-  let log_ids =
-    match Raft.leader_of c.raft with
-    | Some l ->
-        Raft.log_entries c.raft ~node:l
-        |> List.filteri (fun i _ -> i <= Raft.commit_index c.raft ~node:l)
-        |> List.filter_map (fun (e : Types.entry) ->
-               match e.cmd with
-               | Some { op = Types.Put { write_id; _ }; _ } -> Some write_id
-               | _ -> None)
-    | None -> []
-  in
-  let durable =
-    List.for_all (fun id -> List.mem id log_ids) c.completed_writes
-  in
-  !ok && committed_prefixes_agree c && durable
-
-let chaos_prop name config =
-  QCheck.Test.make ~name ~count:8
-    QCheck.(int_range 1 10_000)
-    (fun seed -> run_chaos config seed)
-
-let mencius_chaos =
-  QCheck.Test.make ~name:"mencius survives churn" ~count:5
-    QCheck.(int_range 1 10_000)
+let matrix_case protocol () =
+  let total_ops = ref 0 and total_reads = ref 0 and total_faults = ref 0 in
+  List.iter
     (fun seed ->
-      let engine = Engine.create ~seed:(Int64.of_int seed) () in
-      let nodes =
-        List.mapi (fun i site -> { Net.id = i; site }) Topology.sites
-      in
-      let net = Net.create engine ~nodes in
-      let t = Mencius.create Mencius.default_config net in
-      Mencius.start t;
-      let rng = Sim.Rng.create (Int64.of_int (seed + 13)) in
-      let completed = ref 0 and submitted = ref 0 in
-      let victim = Sim.Rng.int rng 5 in
-      (* crash one node mid-run, restart later, keep submitting elsewhere *)
-      Engine.schedule engine ~delay:5_000_000 (fun () ->
-          Mencius.crash t ~node:victim);
-      Engine.schedule engine ~delay:25_000_000 (fun () ->
-          Mencius.restart t ~node:victim);
-      for k = 0 to 39 do
-        Engine.schedule engine ~delay:(k * 1_000_000) (fun () ->
-            let node = Sim.Rng.int rng 5 in
-            if node <> victim || Engine.now engine >= 30_000_000 then begin
-              incr submitted;
-              Mencius.submit t ~node
-                (Types.Put { key = 1 + (k mod 5); size = 8; write_id = 1000 + k })
-                (fun _ -> incr completed)
-            end)
-      done;
-      Engine.run engine ~until:90_000_000;
-      (* every submitted op to a live node completes; frontiers agree *)
-      !completed = !submitted
-      && List.for_all
-           (fun n ->
-             Mencius.commit_frontier t ~node:n
-             = Mencius.commit_frontier t ~node:0)
-           [ 1; 2; 3; 4 ])
+      let r = Nemesis.run (Nemesis.config protocol ~seed) in
+      check_report r;
+      total_ops := !total_ops + r.ops_completed;
+      total_reads := !total_reads + r.reads_checked;
+      total_faults := !total_faults + r.faults_injected)
+    seeds;
+  (* The matrix must actually exercise the system: plenty of completed
+     ops, checked reads, and injected faults across the seed bank. *)
+  Alcotest.(check bool) "ops completed" true (!total_ops > 20 * List.length seeds);
+  Alcotest.(check bool) "reads checked" true (!total_reads > 5 * List.length seeds);
+  Alcotest.(check bool) "faults injected" true (!total_faults >= 10 * List.length seeds)
+
+let crashes_only_case protocol () =
+  let cfg =
+    Nemesis.config protocol ~seed:77 ~chaos_steps:20
+      ~actions:Schedule.crashes_only
+  in
+  check_report (Nemesis.run cfg)
+
+(* Re-running a config must reproduce the identical trace: the trace
+   captures faults, client ops, state transitions, and (in this mode)
+   every message send, so fingerprint equality means the whole execution
+   replayed byte-for-byte. *)
+let determinism_case protocol () =
+  let cfg = Nemesis.config protocol ~seed:42 ~chaos_steps:10 in
+  let a = Nemesis.run cfg and b = Nemesis.run cfg in
+  Alcotest.(check string)
+    "trace fingerprints equal"
+    (Trace.fingerprint a.Nemesis.trace)
+    (Trace.fingerprint b.Nemesis.trace);
+  Alcotest.(check (list string))
+    "traces line-identical"
+    (Trace.to_list a.Nemesis.trace)
+    (Trace.to_list b.Nemesis.trace);
+  Alcotest.(check bool) "trace non-trivial" true (Trace.length a.Nemesis.trace > 100)
+
+let seed_sensitivity_case () =
+  (* Different seeds must produce different executions — otherwise the
+     seed bank is 20 copies of one run. *)
+  let run seed =
+    Trace.fingerprint
+      (Nemesis.run (Nemesis.config Cluster.Raft ~seed ~chaos_steps:10)).Nemesis.trace
+  in
+  Alcotest.(check bool) "seeds diverge" true (run 1 <> run 2)
+
+let protocol_cases name case =
+  List.map
+    (fun p ->
+      Alcotest.test_case
+        (Printf.sprintf "%s %s" (Cluster.protocol_name p) name)
+        `Slow (case p))
+    Cluster.all_protocols
 
 let () =
   Alcotest.run "chaos"
     [
-      ( "raft-family",
-        List.map QCheck_alcotest.to_alcotest
-          [
-            chaos_prop "raft survives churn" (Raft.raft ~leader:0 ());
-            chaos_prop "raft* survives churn" (Raft.raft_star ~leader:0 ());
-            chaos_prop "raft*-pql survives churn" (Raft.raft_pql ~leader:0 ());
-          ] );
-      ("mencius", List.map QCheck_alcotest.to_alcotest [ mencius_chaos ]);
+      ("nemesis-matrix", protocol_cases "20-seed matrix" matrix_case);
+      ("crashes-only", protocol_cases "crash churn" crashes_only_case);
+      ("determinism", protocol_cases "seed replay" determinism_case);
+      ( "seed-bank",
+        [ Alcotest.test_case "seeds diverge" `Quick seed_sensitivity_case ] );
     ]

@@ -57,6 +57,59 @@ let test_order_beats_completion_time () =
   let r = check [ wc 12 1 100; wc 11 1 150; rd 1 200 (Some 12) ] in
   Alcotest.(check int) "log order respected" 0 (List.length r.Lin_check.violations)
 
+let test_concurrent_window_overlap () =
+  (* two writes whose submission windows overlap: w11 completes at 150,
+     w12 at 180.  A read inside both windows (started 120) may return
+     either or nothing; a read after both completions must be at least as
+     new as the later one in the log. *)
+  let events t ret =
+    [ wc 11 1 150; wc 12 1 180; rd 1 t ret ]
+  in
+  List.iter
+    (fun ret ->
+      let r = check (events 120 ret) in
+      Alcotest.(check int) "overlap read unconstrained" 0
+        (List.length r.Lin_check.violations))
+    [ None; Some 11; Some 12 ];
+  let r = check (events 200 (Some 12)) in
+  Alcotest.(check int) "post-overlap fresh ok" 0 (List.length r.Lin_check.violations);
+  let r = check (events 200 (Some 11)) in
+  Alcotest.(check int) "post-overlap stale flagged" 1
+    (List.length r.Lin_check.violations)
+
+let test_duplicate_write_ids () =
+  (* an at-least-once protocol can append the same client op twice; the
+     oracle must not produce a false alarm: the later occurrence is the
+     one that sticks in the applied state. *)
+  let dup_order = [ put 1 10; put 1 11; put 1 10 ] in
+  let check events = Lin_check.check ~committed_order:dup_order events in
+  let r = check [ wc 10 1 100; wc 11 1 150; rd 1 200 (Some 10) ] in
+  Alcotest.(check int) "dup id resolves to latest position" 0
+    (List.length r.Lin_check.violations);
+  (* and the duplicate really is authoritative: w11 is now stale *)
+  let r = check [ wc 10 1 100; wc 11 1 150; rd 1 200 (Some 11) ] in
+  Alcotest.(check int) "older id behind the dup flagged" 1
+    (List.length r.Lin_check.violations)
+
+let test_non_linearizable_history_rejected () =
+  (* a classic non-linearizable interleaving: client A's write is
+     acknowledged, client B then reads the older value, while a third
+     read sees a value that never committed at all *)
+  let events =
+    [
+      wc 10 1 100;
+      rd 1 120 (Some 10);
+      wc 11 1 140;
+      rd 1 160 (Some 10) (* stale: w11 acked at 140 *);
+      rd 1 180 (Some 77) (* phantom: 77 never committed *);
+      rd 1 200 (Some 12) (* fresh again *);
+    ]
+  in
+  let r = check events in
+  Alcotest.(check int) "all reads checked" 4 r.Lin_check.reads_checked;
+  Alcotest.(check int) "both bad reads flagged" 2
+    (List.length r.Lin_check.violations)
+
 let contains s sub =
   let n = String.length s and m = String.length sub in
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
@@ -85,6 +138,10 @@ let () =
           Alcotest.test_case "concurrent" `Quick test_concurrent_write_not_required;
           Alcotest.test_case "per key" `Quick test_per_key_isolation;
           Alcotest.test_case "order wins" `Quick test_order_beats_completion_time;
+          Alcotest.test_case "overlap window" `Quick test_concurrent_window_overlap;
+          Alcotest.test_case "duplicate ids" `Quick test_duplicate_write_ids;
+          Alcotest.test_case "non-lin history" `Quick
+            test_non_linearizable_history_rejected;
           Alcotest.test_case "printing" `Quick test_pp_violation;
         ] );
     ]

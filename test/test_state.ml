@@ -53,6 +53,77 @@ let prop_restrict_merge =
       let other = List.filteri (fun i _ -> i mod 2 = 1) names in
       State.equal s (State.merge (State.restrict s half) (State.restrict s other)))
 
+(* Model-based property: a random sequence of [set]s must agree with a
+   plain association-list model on get/mem/vars, and never disturb
+   earlier snapshots (persistence). *)
+let short_name = QCheck.Gen.(map (String.make 1) (char_range 'a' 'f'))
+
+let prop_set_sequence_model =
+  QCheck.Test.make ~name:"random set sequence matches assoc model" ~count:200
+    QCheck.(
+      make
+        ~print:(fun ops ->
+          String.concat "; "
+            (List.map (fun (k, v) -> Printf.sprintf "%s:=%d" k v) ops))
+        Gen.(list_size (int_bound 30) (pair short_name small_int)))
+    (fun ops ->
+      let snapshot_before = ref State.empty in
+      let final =
+        List.fold_left
+          (fun s (k, v) ->
+            snapshot_before := s;
+            State.set s k (V.int v))
+          State.empty ops
+      in
+      let model =
+        List.fold_left
+          (fun m (k, v) -> (k, v) :: List.remove_assoc k m)
+          [] ops
+      in
+      List.for_all
+        (fun (k, v) ->
+          State.mem final k && V.equal (State.get final k) (V.int v))
+        model
+      && State.vars final
+         = List.sort compare (List.map fst model)
+      && (* persistence: the snapshot taken before the last set is not
+            mutated by it *)
+      match List.rev ops with
+      | [] -> true
+      | (k, _) :: _ -> (
+          match State.get_opt !snapshot_before k with
+          | None -> not (State.mem !snapshot_before k)
+          | Some v -> V.equal (State.get !snapshot_before k) v))
+
+let prop_merge_keeps_disjoint_base =
+  QCheck.Test.make ~name:"merge leaves non-overlay vars unchanged" ~count:200
+    QCheck.(
+      pair
+        (small_list (pair (string_of_size (Gen.return 2)) small_int))
+        (small_list (pair (string_of_size (Gen.return 2)) small_int)))
+    (fun (base_kvs, overlay_kvs) ->
+      let mk kvs = State.of_list (List.map (fun (k, v) -> (k, V.int v)) kvs) in
+      let base = mk base_kvs and overlay = mk overlay_kvs in
+      let m = State.merge base overlay in
+      let untouched =
+        List.filter (fun v -> not (State.mem overlay v)) (State.vars base)
+      in
+      State.unchanged base m untouched
+      && List.for_all
+           (fun v -> V.equal (State.get m v) (State.get overlay v))
+           (State.vars overlay))
+
+let prop_restrict_idempotent =
+  QCheck.Test.make ~name:"restrict is idempotent" ~count:200
+    QCheck.(
+      pair
+        (small_list (pair (string_of_size (Gen.return 2)) small_int))
+        (small_list (string_of_size (Gen.return 2))))
+    (fun (kvs, keep) ->
+      let s = State.of_list (List.map (fun (k, v) -> (k, V.int v)) kvs) in
+      let once = State.restrict s keep in
+      State.equal once (State.restrict once keep))
+
 let () =
   Alcotest.run "state"
     [
@@ -67,5 +138,11 @@ let () =
           Alcotest.test_case "compare" `Quick test_compare;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_restrict_merge ] );
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_restrict_merge;
+            prop_set_sequence_model;
+            prop_merge_keeps_disjoint_base;
+            prop_restrict_idempotent;
+          ] );
     ]

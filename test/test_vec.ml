@@ -60,6 +60,62 @@ let prop_truncate_prefix =
       Vec.truncate v n;
       Vec.to_list v = List.filteri (fun i _ -> i < n) xs)
 
+(* Model-based property: a random sequence of push/set/truncate ops applied
+   to both the Vec and a plain-list model must agree at every step. *)
+type vop = Push of int | Set of int * int | Truncate of int
+
+let vop_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun x -> Push x) small_int;
+        map2 (fun i x -> Set (i, x)) small_nat small_int;
+        map (fun n -> Truncate n) small_nat;
+      ])
+
+let pp_vop = function
+  | Push x -> Printf.sprintf "push %d" x
+  | Set (i, x) -> Printf.sprintf "set %d %d" i x
+  | Truncate n -> Printf.sprintf "truncate %d" n
+
+let prop_model_agreement =
+  QCheck.Test.make ~name:"random op sequence matches list model" ~count:300
+    QCheck.(
+      make
+        ~print:(fun ops -> String.concat "; " (List.map pp_vop ops))
+        Gen.(list_size (int_bound 40) vop_gen))
+    (fun ops ->
+      let v = Vec.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Push x ->
+              Vec.push v x;
+              model := !model @ [ x ]
+          | Set (i, x) when i < List.length !model ->
+              Vec.set v i x;
+              model := List.mapi (fun j y -> if j = i then x else y) !model
+          | Set (_, _) -> () (* out of bounds: model untouched, Vec rejects *)
+          | Truncate n ->
+              Vec.truncate v n;
+              model := List.filteri (fun j _ -> j < n) !model);
+          Vec.to_list v = !model
+          && Vec.length v = List.length !model
+          && Vec.last v
+             = (match List.rev !model with [] -> None | x :: _ -> Some x))
+        ops)
+
+let prop_set_out_of_bounds_rejected =
+  QCheck.Test.make ~name:"set past the end always raises" ~count:100
+    QCheck.(pair (small_list int) small_nat)
+    (fun (xs, extra) ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      match Vec.set v (List.length xs + extra) 0 with
+      | () -> false
+      | exception Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "vec"
     [
@@ -73,5 +129,10 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_push_list_roundtrip; prop_truncate_prefix ] );
+          [
+            prop_push_list_roundtrip;
+            prop_truncate_prefix;
+            prop_model_agreement;
+            prop_set_out_of_bounds_rejected;
+          ] );
     ]
