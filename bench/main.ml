@@ -12,6 +12,9 @@
 module Sim = Raftpax_sim
 module Stats = Sim.Stats
 module Topology = Sim.Topology
+module Tel = Raftpax_telemetry
+module Json = Tel.Json
+module Metrics = Tel.Metrics
 open Raftpax_kvstore
 module H = Harness
 module W = Workload
@@ -24,7 +27,7 @@ let trim () = if !quick then 1 else 3
 let run_cfg ?leader_site ?(clients = 50) ?(read_fraction = 0.9)
     ?(conflict_rate = 0.05) ?(value_size = 8) proto =
   H.config ?leader_site ~duration_s:(duration ()) ~warmup_s:(trim ())
-    ~cooldown_s:(trim ()) proto
+    ~cooldown_s:(trim ()) ~telemetry:true proto
     {
       W.read_fraction;
       conflict_rate;
@@ -32,6 +35,81 @@ let run_cfg ?leader_site ?(clients = 50) ?(read_fraction = 0.9)
       records = 100_000;
       clients_per_region = clients;
     }
+
+(* ---- machine-readable artifacts ----
+
+   Every harness run a figure performs is recorded and dumped as
+   BENCH_<figure>.json under [--out DIR], so plotting and regression
+   tooling can consume the numbers without scraping stdout.  The schema
+   is stable: {figure, mode, runs: [{protocol, config, throughput_ops,
+   p50_us, p90_us, p99_us, retries, messages, counters, histograms}]},
+   with counters/histograms keyed by probe name, one value per replica
+   (from the telemetry snapshot). *)
+
+let out_dir = ref "bench_output"
+let recorded : Json.t list ref = ref []
+
+let json_of_run (cfg : H.config) (r : H.result) =
+  let stats =
+    Stats.merge
+      [ r.H.read_leader; r.H.read_follower; r.H.write_leader; r.H.write_follower ]
+  in
+  let counters, histograms =
+    match r.H.telemetry with
+    | Some tel -> (
+        match Metrics.snapshot_to_json (Metrics.snapshot tel.Tel.Telemetry.metrics) with
+        | Json.Obj fields ->
+            ( Option.value ~default:Json.Null (List.assoc_opt "counters" fields),
+              Option.value ~default:Json.Null (List.assoc_opt "histograms" fields) )
+        | _ -> (Json.Null, Json.Null))
+    | None -> (Json.Null, Json.Null)
+  in
+  Json.Obj
+    [
+      ("protocol", Json.String (H.protocol_name cfg.H.protocol));
+      ( "config",
+        Json.Obj
+          [
+            ("clients_per_region", Json.Int cfg.H.workload.W.clients_per_region);
+            ("read_fraction", Json.Float cfg.H.workload.W.read_fraction);
+            ("conflict_rate", Json.Float cfg.H.workload.W.conflict_rate);
+            ("value_size", Json.Int cfg.H.workload.W.value_size);
+            ("duration_s", Json.Int cfg.H.duration_s);
+            ("warmup_s", Json.Int cfg.H.warmup_s);
+            ("cooldown_s", Json.Int cfg.H.cooldown_s);
+            ("leader_site", Json.String (Topology.site_name cfg.H.leader_site));
+            ("seed", Json.Int (Int64.to_int cfg.H.seed));
+          ] );
+      ("throughput_ops", Json.Float r.H.throughput_ops);
+      ("p50_us", Json.Int (Stats.percentile_us stats 0.50));
+      ("p90_us", Json.Int (Stats.percentile_us stats 0.90));
+      ("p99_us", Json.Int (Stats.percentile_us stats 0.99));
+      ("retries", Json.Int r.H.retries);
+      ("messages", Json.Int r.H.messages);
+      ("counters", counters);
+      ("histograms", histograms);
+    ]
+
+let run_recorded cfg =
+  let r = H.run cfg in
+  recorded := json_of_run cfg r :: !recorded;
+  r
+
+let write_artifact ~figure runs =
+  if not (Sys.file_exists !out_dir) then Unix.mkdir !out_dir 0o755;
+  let path = Filename.concat !out_dir ("BENCH_" ^ figure ^ ".json") in
+  let doc =
+    Json.Obj
+      [
+        ("figure", Json.String figure);
+        ("mode", Json.String (if !quick then "quick" else "full"));
+        ("runs", Json.List (List.rev runs));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Fmt.str "%a@." Json.pp doc);
+  close_out oc;
+  Fmt.pr "   [wrote %s]@." path
 
 let pp_ms ppf us = Fmt.pf ppf "%7.1f" (float_of_int us /. 1000.0)
 
@@ -54,7 +132,7 @@ let fig9_latency ~which () =
     (if which = `Read then "read" else "write");
   List.iter
     (fun proto ->
-      let r = H.run (run_cfg proto) in
+      let r = run_recorded (run_cfg proto) in
       let leader, follower =
         match which with
         | `Read -> (r.H.read_leader, r.H.read_follower)
@@ -75,9 +153,17 @@ let fig9c () =
   let raft_star_90 = ref 0.0 and pql_90 = ref 0.0 in
   List.iter
     (fun proto ->
+      (* same sweep H.peak_throughput performs, but through run_recorded
+         so every point lands in the JSON artifact *)
       let peak read_fraction =
-        H.peak_throughput ~clients:client_sweep
-          (run_cfg ~read_fraction ~conflict_rate:0.05 proto)
+        List.fold_left
+          (fun best clients ->
+            let r =
+              run_recorded
+                (run_cfg ~clients ~read_fraction ~conflict_rate:0.05 proto)
+            in
+            max best r.H.throughput_ops)
+          0.0 client_sweep
       in
       let p50 = peak 0.50 and p90 = peak 0.90 and p99 = peak 0.99 in
       if proto = H.Raft_star then raft_star_90 := p90;
@@ -96,8 +182,8 @@ let fig9d () =
   List.iter
     (fun conflict ->
       let tput proto =
-        H.median_throughput ~trials:1
-          (run_cfg ~clients ~conflict_rate:conflict proto)
+        (run_recorded (run_cfg ~clients ~conflict_rate:conflict proto))
+          .H.throughput_ops
       in
       let pql = tput H.Raft_pql and star = tput H.Raft_star in
       Fmt.pr "  conflict %3.0f%%: speedup %+.0f%%@." (conflict *. 100.0)
@@ -141,7 +227,7 @@ let fig10_throughput ~value_size ~label () =
       List.iter
         (fun clients ->
           let r =
-            H.run
+            run_recorded
               (run_cfg ~leader_site:sys.leader ~clients ~read_fraction:0.0
                  ~conflict_rate:sys.conflict ~value_size sys.proto)
           in
@@ -157,7 +243,7 @@ let fig10_latency ~value_size ~label () =
   List.iter
     (fun sys ->
       let r =
-        H.run
+        run_recorded
           (run_cfg ~leader_site:sys.leader ~clients:50 ~read_fraction:0.0
              ~conflict_rate:sys.conflict ~value_size sys.proto)
       in
@@ -177,7 +263,7 @@ let netcost () =
   Fmt.pr "@.";
   List.iter
     (fun proto ->
-      let r = H.run (run_cfg ~read_fraction:0.0 ~conflict_rate:0.0 proto) in
+      let r = run_recorded (run_cfg ~read_fraction:0.0 ~conflict_rate:0.0 proto) in
       Fmt.pr "%-14s %9d" (H.protocol_name proto) r.H.messages;
       Array.iter
         (fun bytes -> Fmt.pr " %8.1f" (float_of_int bytes /. 1_000_000.0))
@@ -333,20 +419,44 @@ let figures =
     ("micro", micro);
   ]
 
+(* "9a" is accepted as shorthand for "fig9a", etc. *)
+let normalize target =
+  if List.mem_assoc target figures then Some target
+  else if List.mem_assoc ("fig" ^ target) figures then Some ("fig" ^ target)
+  else None
+
+let strip_trailing_slash dir =
+  let n = String.length dir in
+  if n > 1 && dir.[n - 1] = '/' then String.sub dir 0 (n - 1) else dir
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec take_out acc = function
+    | [] -> List.rev acc
+    | "--out" :: dir :: rest ->
+        out_dir := strip_trailing_slash dir;
+        take_out acc rest
+    | a :: rest when String.length a > 6 && String.sub a 0 6 = "--out=" ->
+        out_dir := strip_trailing_slash (String.sub a 6 (String.length a - 6));
+        take_out acc rest
+    | a :: rest -> take_out (a :: acc) rest
+  in
+  let args = take_out [] args in
   if List.mem "full" args then quick := false;
   let targets = List.filter (fun a -> a <> "full") args in
   let targets = if targets = [] || targets = [ "all" ] then List.map fst figures else targets in
   List.iter
     (fun target ->
-      match List.assoc_opt target figures with
-      | Some f ->
+      match normalize target with
+      | Some target ->
+          let f = List.assoc target figures in
+          recorded := [];
           let t0 = Unix.gettimeofday () in
           f ();
+          if !recorded <> [] then write_artifact ~figure:target !recorded;
           Fmt.pr "   [%s took %.1fs wall]@.@." target (Unix.gettimeofday () -. t0)
       | None ->
           Fmt.epr "unknown target %s; available: %a@." target
             Fmt.(list ~sep:sp string)
-            (List.map fst figures @ [ "all"; "full" ]))
+            (List.map fst figures @ [ "all"; "full"; "--out DIR" ]))
     targets

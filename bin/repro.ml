@@ -5,6 +5,8 @@
      refine      check a refinement mapping
      port        run the porting pipeline and its Figure-5 obligations
      simulate    run a protocol under the YCSB-like workload
+     trace       per-request span waterfalls from a traced run
+     nemesis     deterministic fault-injection sweep
      topology    print the WAN model *)
 
 open Cmdliner
@@ -12,6 +14,7 @@ open Raftpax_core
 module Sim = Raftpax_sim
 module KV = Raftpax_kvstore
 module Nem = Raftpax_nemesis
+module Tel = Raftpax_telemetry
 
 (* ---- shared arguments ---- *)
 
@@ -232,6 +235,101 @@ let simulate_cmd =
       const run_simulate $ proto $ duration $ clients $ read_pct $ conflict_pct
       $ size $ leader)
 
+(* ---- trace ---- *)
+
+let harness_protocols =
+  [
+    ("raft", KV.Harness.Raft);
+    ("raft-star", KV.Harness.Raft_star);
+    ("raft-ll", KV.Harness.Raft_ll);
+    ("raft-pql", KV.Harness.Raft_pql);
+    ("mencius", KV.Harness.Mencius);
+    ("multipaxos", KV.Harness.Multipaxos);
+  ]
+
+let run_trace proto seed requests read_pct =
+  let workload =
+    {
+      KV.Workload.read_fraction = float_of_int read_pct /. 100.0;
+      conflict_rate = 0.05;
+      value_size = 8;
+      records = 100_000;
+      clients_per_region = 1;
+    }
+  in
+  let cfg =
+    KV.Harness.config ~duration_s:3 ~warmup_s:0 ~cooldown_s:0
+      ~seed:(Int64.of_int seed) ~tracing:true proto workload
+  in
+  let r = KV.Harness.run cfg in
+  match r.KV.Harness.telemetry with
+  | None ->
+      Fmt.epr "internal error: tracing run returned no telemetry@.";
+      1
+  | Some tel ->
+      let spans = tel.Tel.Telemetry.spans in
+      let reqs = r.KV.Harness.requests in
+      if reqs = [] || Tel.Span.trace_count spans = 0 then begin
+        Fmt.epr "no spans recorded — tracing is broken@.";
+        1
+      end
+      else begin
+        let shown = List.filteri (fun i _ -> i < requests) reqs in
+        let mismatches = ref 0 in
+        List.iter
+          (fun (req : KV.Harness.request) ->
+            let total = Tel.Span.total_us spans ~trace:req.KV.Harness.trace in
+            Fmt.pr "@[<v>request %d: %s from region %d, latency %d us@."
+              req.KV.Harness.trace
+              (if req.KV.Harness.is_read then "read" else "write")
+              req.KV.Harness.region req.KV.Harness.latency_us;
+            Fmt.pr "%a@]@." (fun ppf () ->
+                Tel.Span.pp_waterfall ppf spans ~trace:req.KV.Harness.trace) ();
+            if total <> req.KV.Harness.latency_us then begin
+              incr mismatches;
+              Fmt.pr "  MISMATCH: phase sum %d us <> recorded latency %d us@."
+                total req.KV.Harness.latency_us
+            end)
+          shown;
+        Fmt.pr
+          "%d requests completed, %d traced spans; %d of %d shown waterfalls \
+           sum exactly to their recorded latency@."
+          (List.length reqs)
+          (Tel.Span.trace_count spans)
+          (List.length shown - !mismatches)
+          (List.length shown);
+        if !mismatches = 0 then 0 else 1
+      end
+
+let trace_cmd =
+  let proto =
+    Arg.(
+      value
+      & opt (enum harness_protocols) KV.Harness.Raft_pql
+      & info [ "protocol" ]
+          ~doc:"Protocol to trace (raft, raft-star, raft-ll, raft-pql, \
+                mencius, multipaxos).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let requests =
+    Arg.(
+      value & opt int 8
+      & info [ "requests" ] ~doc:"Number of request waterfalls to print.")
+  in
+  let read_pct =
+    Arg.(value & opt int 50 & info [ "reads" ] ~doc:"Read percentage.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a short traced simulation and print per-request span \
+          waterfalls (submit, client hop, append/accept, quorum commit, \
+          reply; lease waits and local reads as their own phases).  \
+          Verifies that each waterfall's phase durations sum exactly to \
+          the request's recorded end-to-end latency; fails if no spans \
+          were recorded.")
+    Term.(const run_trace $ proto $ seed $ requests $ read_pct)
+
 (* ---- nemesis ---- *)
 
 let run_nemesis proto_name seed seeds chaos_steps clients dump_trace =
@@ -341,4 +439,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ check_cmd; refine_cmd; port_cmd; simulate_cmd; nemesis_cmd; topology_cmd ]))
+          [
+            check_cmd;
+            refine_cmd;
+            port_cmd;
+            simulate_cmd;
+            trace_cmd;
+            nemesis_cmd;
+            topology_cmd;
+          ]))

@@ -2,6 +2,9 @@ module Net = Raftpax_sim.Net
 module Engine = Raftpax_sim.Engine
 module Cpu = Raftpax_sim.Cpu
 module Rng = Raftpax_sim.Rng
+module Telemetry = Raftpax_telemetry.Telemetry
+module Metrics = Raftpax_telemetry.Metrics
+module Span = Raftpax_telemetry.Span
 
 type config = { params : Types.params; revoke_timeout_us : int }
 
@@ -40,6 +43,34 @@ type msg =
     }
   | Complete of { cmd_id : int; reply : Types.reply }
 
+type server_probes = {
+  pr_appends : Metrics.counter;  (** MAppend messages sent *)
+  pr_acks : Metrics.counter;  (** MAck replies sent *)
+  pr_skips_announced : Metrics.counter;  (** MSkip broadcasts *)
+  pr_slots_skipped : Metrics.counter;  (** slots locally decided as Skip *)
+  pr_commits : Metrics.counter;  (** slots past the commit frontier *)
+  pr_revocations_started : Metrics.counter;
+  pr_revocations_value : Metrics.counter;  (** resolved by re-proposal *)
+  pr_revocations_skip : Metrics.counter;  (** resolved by force-skip *)
+  pr_catchups : Metrics.counter;  (** MCatchup requests sent *)
+  pr_retransmits : Metrics.counter;  (** own-append re-broadcasts *)
+}
+
+let make_probes m ~node =
+  let c name = Metrics.counter m name ~node in
+  {
+    pr_appends = c "appends_sent";
+    pr_acks = c "acks_sent";
+    pr_skips_announced = c "skips_announced";
+    pr_slots_skipped = c "slots_skipped";
+    pr_commits = c "commits";
+    pr_revocations_started = c "revocations_started";
+    pr_revocations_value = c "revocations_value";
+    pr_revocations_skip = c "revocations_skip";
+    pr_catchups = c "catchups";
+    pr_retransmits = c "retransmits";
+  }
+
 type server = {
   id : int;
   slots : slot Vec.t;
@@ -64,6 +95,7 @@ type server = {
   mutable down : bool;
   cpu : Cpu.t;
   rng : Rng.t;
+  pr : server_probes;
 }
 
 type t = {
@@ -74,7 +106,13 @@ type t = {
   servers : server array;
   completions : (int, Types.reply -> unit) Hashtbl.t;
   mutable next_cmd_id : int;
+  spans : Span.t;
 }
+
+(* Revocations are protocol-internal work with no client command, so they
+   trace under a negative id derived from the slot: slot [i] revokes as
+   trace [-(i + 1)]. *)
+let revoke_trace inst = -(inst + 1)
 
 let majority t = (t.n / 2) + 1
 let p t = t.config.params
@@ -170,6 +208,7 @@ and advance_frontiers t srv =
     && is_committed srv srv.commit_frontier
     && slot srv srv.commit_frontier <> Unknown
   do
+    Metrics.inc srv.pr.pr_commits;
     srv.commit_frontier <- srv.commit_frontier + 1
   done;
   (* Apply in slot order as the committed prefix grows. *)
@@ -206,6 +245,8 @@ and try_reply t srv =
   srv.waiting <- waiting;
   List.iter
     (fun (inst, (cmd : Types.cmd)) ->
+      Span.mark t.spans ~trace:cmd.Types.id ~node:srv.id ~phase:"quorum_commit"
+        ~now:(Engine.now t.engine);
       let value =
         match cmd.op with
         | Types.Get { key } ->
@@ -237,6 +278,7 @@ and apply_skips t srv ~who ~start ~upto =
     if slot srv !inst = Unknown then begin
       Vec.set srv.slots !inst Skip;
       Vec.set srv.committed !inst true;
+      Metrics.inc srv.pr.pr_slots_skipped;
       changed := true
     end;
     inst := !inst + t.n
@@ -255,6 +297,7 @@ and skip_own_turns t srv ~upto =
       (q * t.n) + r
     in
     srv.next_own <- max srv.next_own first_own_after;
+    Metrics.inc srv.pr.pr_skips_announced;
     broadcast t srv (MSkip { from = srv.id; first; upto })
   end
 
@@ -267,6 +310,8 @@ and handle t srv msg =
         match Hashtbl.find_opt t.completions cmd_id with
         | Some k ->
             Hashtbl.remove t.completions cmd_id;
+            Span.mark t.spans ~trace:cmd_id ~node:srv.id ~phase:"reply"
+              ~now:(Engine.now t.engine);
             k reply
         | None -> ())
     | MAppend { from; inst; cmd } ->
@@ -286,6 +331,7 @@ and handle t srv msg =
                  concurrently decided to skip. *)
               (match slot srv inst with
               | Value held when held.Types.id = cmd.Types.id ->
+                  Metrics.inc srv.pr.pr_acks;
                   send t ~src:srv.id ~dst:from (MAck { from = srv.id; inst })
               | _ -> ());
               advance_frontiers t srv
@@ -339,9 +385,13 @@ and handle t srv msg =
               | Some cmd ->
                   (* Someone saw the owner's value: re-propose it under the
                      revoker's ownership so it can still commit. *)
+                  Metrics.inc srv.pr.pr_revocations_value;
+                  Span.mark t.spans ~trace:(revoke_trace inst) ~node:srv.id
+                    ~phase:"revoke_value" ~now:(Engine.now t.engine);
                   ensure srv inst;
                   if slot srv inst = Unknown then set_value srv inst cmd;
                   Hashtbl.replace srv.acks inst (Array.make t.n false);
+                  Metrics.add srv.pr.pr_appends (t.n - 1);
                   broadcast t srv (MAppend { from = srv.id; inst; cmd });
                   advance_frontiers t srv
               | None ->
@@ -349,6 +399,10 @@ and handle t srv msg =
                      promises block the owner from committing it later, so
                      the skip decision is final — it overrides any value
                      copy that straggles in. *)
+                  Metrics.inc srv.pr.pr_revocations_skip;
+                  Metrics.inc srv.pr.pr_slots_skipped;
+                  Span.mark t.spans ~trace:(revoke_trace inst) ~node:srv.id
+                    ~phase:"revoke_skip" ~now:(Engine.now t.engine);
                   Vec.set srv.slots inst Skip;
                   Vec.set srv.committed inst true;
                   broadcast t srv (MSkipForce { inst });
@@ -420,6 +474,7 @@ and watchdog t srv =
         then begin
           (* A stall usually means we missed a broadcast (append, skip or
              commit) while down or cut off: ask the peers first. *)
+          Metrics.inc srv.pr.pr_catchups;
           broadcast t srv (MCatchup { from = srv.id });
           (match slot srv stuck with
           | Value cmd when owner t stuck = srv.id && not (is_committed srv stuck)
@@ -428,17 +483,23 @@ and watchdog t srv =
                  [MAck] replies dedupe through the per-sender flag array. *)
               if not (Hashtbl.mem srv.acks stuck) then
                 Hashtbl.replace srv.acks stuck (Array.make t.n false);
+              Metrics.inc srv.pr.pr_retransmits;
+              Metrics.add srv.pr.pr_appends (t.n - 1);
               broadcast t srv (MAppend { from = srv.id; inst = stuck; cmd })
           | _ -> ());
           if owner t stuck <> srv.id && srv.id = lowest_live t then begin
             (* Poll the cluster about the blocking slot before deciding. *)
-            if not (Hashtbl.mem srv.revocations stuck) then
+            if not (Hashtbl.mem srv.revocations stuck) then begin
+              Metrics.inc srv.pr.pr_revocations_started;
+              Span.mark t.spans ~trace:(revoke_trace stuck) ~node:srv.id
+                ~phase:"revoke_start" ~now:(Engine.now t.engine);
               Hashtbl.replace srv.revocations stuck
                 {
                   seen = Array.make t.n false;
                   found =
                     (match slot srv stuck with Value c -> Some c | _ -> None);
-                };
+                }
+            end;
             (* Re-broadcast even when a poll is already pending: the earlier
                round's messages may have been dropped, and [seen] dedupes
                the replies. *)
@@ -471,17 +532,22 @@ and start_own_slot t srv (cmd : Types.cmd) =
   set_value srv inst cmd;
   Hashtbl.replace srv.acks inst (Array.make t.n false);
   srv.waiting <- (inst, cmd) :: srv.waiting;
+  Span.mark t.spans ~trace:cmd.Types.id ~node:srv.id ~phase:"append"
+    ~now:(Engine.now t.engine);
+  Metrics.add srv.pr.pr_appends (t.n - 1);
   broadcast t srv (MAppend { from = srv.id; inst; cmd });
   if t.n = 1 then Vec.set srv.committed inst true;
   advance_frontiers t srv
 
 (* ---- construction and client interface ---- *)
 
-let create config net =
+let create ?(telemetry = Telemetry.disabled) config net =
   let engine = Net.engine net in
   let n = List.length (Net.nodes net) in
   let servers =
     Array.init n (fun id ->
+        let cpu = Cpu.create engine in
+        Cpu.set_metrics cpu telemetry.Telemetry.metrics ~node:id;
         {
           id;
           slots = Vec.create ();
@@ -499,8 +565,9 @@ let create config net =
           recovering = false;
           buffered = [];
           down = false;
-          cpu = Cpu.create engine;
+          cpu;
           rng = Rng.split (Engine.rng engine);
+          pr = make_probes telemetry.Telemetry.metrics ~node:id;
         })
   in
   {
@@ -511,6 +578,7 @@ let create config net =
     servers;
     completions = Hashtbl.create 4096;
     next_cmd_id = 0;
+    spans = telemetry.Telemetry.spans;
   }
 
 let start t = Array.iter (fun srv -> watchdog t srv) t.servers
@@ -521,16 +589,23 @@ let submit_cmd t srv (cmd : Types.cmd) =
         if srv.recovering then srv.buffered <- cmd :: srv.buffered
         else start_own_slot t srv cmd)
 
-let submit t ~node op k =
+let submit_id t ~node op k =
   let id = t.next_cmd_id in
   t.next_cmd_id <- id + 1;
   Hashtbl.replace t.completions id k;
   let cmd =
     { Types.id; op; origin = node; submitted_us = Engine.now t.engine }
   in
+  Span.mark t.spans ~trace:id ~node ~phase:"submit" ~now:(Engine.now t.engine);
   Net.send t.net ~src:node ~dst:node
     ~size:((p t).msg_header_bytes + Types.op_size op)
-    (fun () -> submit_cmd t t.servers.(node) cmd)
+    (fun () ->
+      Span.mark t.spans ~trace:id ~node ~phase:"client_hop"
+        ~now:(Engine.now t.engine);
+      submit_cmd t t.servers.(node) cmd);
+  id
+
+let submit t ~node op k = ignore (submit_id t ~node op k)
 
 let commit_frontier t ~node = t.servers.(node).commit_frontier
 

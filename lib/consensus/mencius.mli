@@ -35,11 +35,21 @@ val default_config : config
 
 type t
 
-val create : config -> Raftpax_sim.Net.t -> t
+val create :
+  ?telemetry:Raftpax_telemetry.Telemetry.t -> config -> Raftpax_sim.Net.t -> t
+(** [?telemetry] attaches protocol probes (appends, acks, skips,
+    revocations, catchups, commits, retransmits) and span marks; a
+    revocation of slot [i] traces under the internal id [-(i + 1)] with
+    phases [revoke_start] / [revoke_value] / [revoke_skip].  Defaults to
+    the disabled instance. *)
+
 val start : t -> unit
 val hot_key : int
 
 val submit : t -> node:int -> Types.op -> (Types.reply -> unit) -> unit
+
+val submit_id : t -> node:int -> Types.op -> (Types.reply -> unit) -> int
+(** Like {!submit} but returns the command id (the span trace id). *)
 
 (** {1 Introspection} *)
 

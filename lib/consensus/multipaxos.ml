@@ -2,6 +2,9 @@ module Net = Raftpax_sim.Net
 module Engine = Raftpax_sim.Engine
 module Cpu = Raftpax_sim.Cpu
 module Rng = Raftpax_sim.Rng
+module Telemetry = Raftpax_telemetry.Telemetry
+module Metrics = Raftpax_telemetry.Metrics
+module Span = Raftpax_telemetry.Span
 
 type config = { params : Types.params; takeover_timeout_us : int }
 
@@ -29,6 +32,30 @@ type msg =
   | Forward of Types.cmd
   | Complete of { cmd_id : int; reply : Types.reply }
 
+type server_probes = {
+  pr_elections : Metrics.counter;  (** phase-1 rounds started *)
+  pr_leader_wins : Metrics.counter;
+  pr_ballot_changes : Metrics.counter;
+  pr_accepts : Metrics.counter;  (** Accept broadcasts sent (per peer msg) *)
+  pr_acks : Metrics.counter;  (** AcceptOk replies sent *)
+  pr_retransmits : Metrics.counter;  (** watchdog re-broadcasts of unchosen *)
+  pr_forwards : Metrics.counter;
+  pr_commits : Metrics.counter;  (** instances executed *)
+}
+
+let make_probes m ~node =
+  let c name = Metrics.counter m name ~node in
+  {
+    pr_elections = c "elections";
+    pr_leader_wins = c "leader_wins";
+    pr_ballot_changes = c "ballot_changes";
+    pr_accepts = c "accepts_sent";
+    pr_acks = c "acks_sent";
+    pr_retransmits = c "retransmits";
+    pr_forwards = c "forwards";
+    pr_commits = c "commits";
+  }
+
 type server = {
   id : int;
   mutable ballot : int;  (** highest ballot seen *)
@@ -51,6 +78,7 @@ type server = {
   mutable down : bool;
   cpu : Cpu.t;
   rng : Rng.t;
+  pr : server_probes;
 }
 
 type t = {
@@ -61,6 +89,7 @@ type t = {
   servers : server array;
   completions : (int, Types.reply -> unit) Hashtbl.t;
   mutable next_cmd_id : int;
+  spans : Span.t;
 }
 
 let majority t = (t.n / 2) + 1
@@ -112,15 +141,22 @@ and execute t srv =
   while !continue && srv.executed < len do
     let it = Vec.get srv.insts srv.executed in
     if it.chosen then begin
+      Metrics.inc srv.pr.pr_commits;
       (match it.accepted_cmd with
       | Some (Some ({ op = Types.Put { key; write_id; _ }; _ } as cmd)) ->
           Hashtbl.replace srv.store key write_id;
-          if srv.is_leader then
+          if srv.is_leader then begin
+            Span.mark t.spans ~trace:cmd.id ~node:srv.id ~phase:"quorum_commit"
+              ~now:(Engine.now t.engine);
             complete_at_origin t srv cmd { Types.value = None }
+          end
       | Some (Some ({ op = Types.Get { key }; _ } as cmd)) ->
-          if srv.is_leader then
+          if srv.is_leader then begin
+            Span.mark t.spans ~trace:cmd.id ~node:srv.id ~phase:"quorum_commit"
+              ~now:(Engine.now t.engine);
             complete_at_origin t srv cmd
               { Types.value = Hashtbl.find_opt srv.store key }
+          end
       | Some None | None -> ());
       srv.executed <- srv.executed + 1
     end
@@ -150,18 +186,25 @@ and propose t srv (cmd : Types.cmd) =
         it.accepted_cmd <- Some (Some cmd);
         Hashtbl.replace srv.accept_oks i (Array.make t.n false);
         Hashtbl.replace srv.waiters i cmd;
+        Span.mark t.spans ~trace:cmd.id ~node:srv.id ~phase:"append"
+          ~now:(Engine.now t.engine);
+        Metrics.add srv.pr.pr_accepts (t.n - 1);
         broadcast t srv
           (Accept { bal = srv.ballot; from = srv.id; inst = i; cmd = Some cmd });
         if t.n = 1 then begin
           mark_chosen t srv i (Some cmd)
         end
       end
-      else if not srv.down then
-        send t ~src:srv.id ~dst:srv.leader_hint (Forward cmd))
+      else if not srv.down then begin
+        Metrics.inc srv.pr.pr_forwards;
+        send t ~src:srv.id ~dst:srv.leader_hint (Forward cmd)
+      end)
 
 (* ---- phase 1 ---- *)
 
 and start_phase1 t srv =
+  Metrics.inc srv.pr.pr_elections;
+  Metrics.inc srv.pr.pr_ballot_changes;
   srv.ballot <- next_ballot t srv;
   srv.is_leader <- false;
   Hashtbl.reset srv.prepare_oks;
@@ -169,6 +212,7 @@ and start_phase1 t srv =
   broadcast t srv (Prepare { bal = srv.ballot; from = srv.id })
 
 and become_leader t srv =
+  Metrics.inc srv.pr.pr_leader_wins;
   srv.is_leader <- true;
   srv.leader_hint <- srv.id;
   (* Adopt the highest-ballot accepted value per instance; re-propose each
@@ -202,6 +246,7 @@ and become_leader t srv =
       it.accepted_bal <- srv.ballot;
       it.accepted_cmd <- Some value;
       Hashtbl.replace srv.accept_oks i (Array.make t.n false);
+      Metrics.add srv.pr.pr_accepts (t.n - 1);
       broadcast t srv
         (Accept { bal = srv.ballot; from = srv.id; inst = i; cmd = value })
     end
@@ -212,15 +257,21 @@ and become_leader t srv =
 and handle t srv msg =
   if not srv.down then
     match msg with
-    | Forward cmd -> propose t srv cmd
+    | Forward cmd ->
+        Span.mark t.spans ~trace:cmd.id ~node:srv.id ~phase:"forward"
+          ~now:(Engine.now t.engine);
+        propose t srv cmd
     | Complete { cmd_id; reply } -> (
         match Hashtbl.find_opt t.completions cmd_id with
         | Some k ->
             Hashtbl.remove t.completions cmd_id;
+            Span.mark t.spans ~trace:cmd_id ~node:srv.id ~phase:"reply"
+              ~now:(Engine.now t.engine);
             k reply
         | None -> ())
     | Prepare { bal; from } ->
         if bal > srv.ballot then begin
+          Metrics.inc srv.pr.pr_ballot_changes;
           srv.ballot <- bal;
           srv.is_leader <- false;
           srv.leader_hint <- from;
@@ -245,6 +296,7 @@ and handle t srv msg =
         end
     | Accept { bal; from; inst = i; cmd } ->
         if bal >= srv.ballot then begin
+          if bal > srv.ballot then Metrics.inc srv.pr.pr_ballot_changes;
           srv.ballot <- bal;
           if from <> srv.id then srv.is_leader <- false;
           srv.leader_hint <- from;
@@ -254,6 +306,7 @@ and handle t srv msg =
                 let it = inst srv i in
                 it.accepted_bal <- bal;
                 it.accepted_cmd <- Some cmd;
+                Metrics.inc srv.pr.pr_acks;
                 send t ~src:srv.id ~dst:from (AcceptOk { bal; from = srv.id; inst = i })
               end)
         end
@@ -303,6 +356,8 @@ and watchdog t srv =
               it.accepted_cmd <- Some cmd;
               if not (Hashtbl.mem srv.accept_oks i) then
                 Hashtbl.replace srv.accept_oks i (Array.make t.n false);
+              Metrics.inc srv.pr.pr_retransmits;
+              Metrics.add srv.pr.pr_accepts (t.n - 1);
               broadcast t srv
                 (Accept { bal = srv.ballot; from = srv.id; inst = i; cmd })
             end
@@ -317,11 +372,13 @@ and watchdog t srv =
       end;
       watchdog t srv)
 
-let create ?(leader = 0) config net =
+let create ?(telemetry = Telemetry.disabled) ?(leader = 0) config net =
   let engine = Net.engine net in
   let n = List.length (Net.nodes net) in
   let servers =
     Array.init n (fun id ->
+        let cpu = Cpu.create engine in
+        Cpu.set_metrics cpu telemetry.Telemetry.metrics ~node:id;
         {
           id;
           ballot = 0;
@@ -338,8 +395,9 @@ let create ?(leader = 0) config net =
           proposed_cmds = Hashtbl.create 1024;
           last_leader_sign = 0;
           down = false;
-          cpu = Cpu.create engine;
+          cpu;
           rng = Rng.split (Engine.rng engine);
+          pr = make_probes telemetry.Telemetry.metrics ~node:id;
         })
   in
   let t =
@@ -351,6 +409,7 @@ let create ?(leader = 0) config net =
       servers;
       completions = Hashtbl.create 4096;
       next_cmd_id = 0;
+      spans = telemetry.Telemetry.spans;
     }
   in
   (* Bootstrap: the configured leader owns ballot [leader] (its own id in
@@ -363,16 +422,23 @@ let create ?(leader = 0) config net =
 
 let start t = Array.iter (fun srv -> watchdog t srv) t.servers
 
-let submit t ~node op k =
+let submit_id t ~node op k =
   let id = t.next_cmd_id in
   t.next_cmd_id <- id + 1;
   Hashtbl.replace t.completions id k;
   let cmd =
     { Types.id; op; origin = node; submitted_us = Engine.now t.engine }
   in
+  Span.mark t.spans ~trace:id ~node ~phase:"submit" ~now:(Engine.now t.engine);
   Net.send t.net ~src:node ~dst:node
     ~size:((p t).msg_header_bytes + Types.op_size op)
-    (fun () -> propose t t.servers.(node) cmd)
+    (fun () ->
+      Span.mark t.spans ~trace:id ~node ~phase:"client_hop"
+        ~now:(Engine.now t.engine);
+      propose t t.servers.(node) cmd);
+  id
+
+let submit t ~node op k = ignore (submit_id t ~node op k)
 
 let leader_of t =
   let best = ref 0 in

@@ -20,10 +20,22 @@ val default_config : config
 
 type t
 
-val create : ?leader:int -> config -> Raftpax_sim.Net.t -> t
+val create :
+  ?telemetry:Raftpax_telemetry.Telemetry.t ->
+  ?leader:int ->
+  config ->
+  Raftpax_sim.Net.t ->
+  t
+(** [?telemetry] attaches protocol probes (elections, ballot changes,
+    accepts, acks, retransmits, forwards, commits) and span marks; defaults
+    to the disabled instance. *)
+
 val start : t -> unit
 
 val submit : t -> node:int -> Types.op -> (Types.reply -> unit) -> unit
+
+val submit_id : t -> node:int -> Types.op -> (Types.reply -> unit) -> int
+(** Like {!submit} but returns the command id (the span trace id). *)
 
 val leader_of : t -> int
 val ballot_of : t -> node:int -> int

@@ -2,6 +2,9 @@ module Net = Raftpax_sim.Net
 module Engine = Raftpax_sim.Engine
 module Cpu = Raftpax_sim.Cpu
 module Rng = Raftpax_sim.Rng
+module Telemetry = Raftpax_telemetry.Telemetry
+module Metrics = Raftpax_telemetry.Metrics
+module Span = Raftpax_telemetry.Span
 
 type flavor = Vanilla | Star
 type read_mode = Log_read | Leader_lease | Quorum_lease
@@ -30,6 +33,45 @@ let raft_pql ?leader () =
   { (raft ?leader ()) with flavor = Star; read_mode = Quorum_lease }
 
 type role = Follower | Candidate | Leader
+
+(* One handle per probe per node, registered at creation: updating a probe
+   on the hot path is a field increment, and against a disabled registry
+   every handle is the shared dummy. *)
+type server_probes = {
+  pr_elections : Metrics.counter;
+  pr_leader_wins : Metrics.counter;
+  pr_term_changes : Metrics.counter;
+  pr_heartbeats : Metrics.counter;
+  pr_appends : Metrics.counter;
+  pr_acks : Metrics.counter;
+  pr_retransmits : Metrics.counter;
+  pr_forwards : Metrics.counter;
+  pr_commits : Metrics.counter;
+  pr_lease_grants : Metrics.counter;
+  pr_lease_renewals : Metrics.counter;
+  pr_lease_confirms : Metrics.counter;
+  pr_local_reads : Metrics.counter;
+  pr_lease_waits : Metrics.counter;
+}
+
+let make_probes m ~node =
+  let c name = Metrics.counter m name ~node in
+  {
+    pr_elections = c "elections";
+    pr_leader_wins = c "leader_wins";
+    pr_term_changes = c "term_changes";
+    pr_heartbeats = c "heartbeats";
+    pr_appends = c "appends_sent";
+    pr_acks = c "acks_sent";
+    pr_retransmits = c "retransmits";
+    pr_forwards = c "forwards";
+    pr_commits = c "commits";
+    pr_lease_grants = c "lease_grants";
+    pr_lease_renewals = c "lease_renewals";
+    pr_lease_confirms = c "lease_confirms";
+    pr_local_reads = c "local_reads";
+    pr_lease_waits = c "lease_waits";
+  }
 
 type msg =
   | RequestVote of { term : int; cand : int; last_idx : int; last_term : int }
@@ -106,6 +148,7 @@ type server = {
   mutable down : bool;
   cpu : Cpu.t;
   rng : Rng.t;
+  pr : server_probes;
 }
 
 type t = {
@@ -116,6 +159,7 @@ type t = {
   servers : server array;
   completions : (int, Types.reply -> unit) Hashtbl.t;
   mutable next_cmd_id : int;
+  spans : Span.t;
 }
 
 let majority t = (t.n / 2) + 1
@@ -167,16 +211,23 @@ and complete_at_origin t srv (cmd : Types.cmd) reply =
 and apply_committed t srv =
   while srv.last_applied < srv.commit_index do
     srv.last_applied <- srv.last_applied + 1;
+    Metrics.inc srv.pr.pr_commits;
     let entry, _bal = Vec.get srv.log srv.last_applied in
     (match entry.Types.cmd with
     | Some ({ op = Put { key; write_id; _ }; _ } as cmd) ->
         Hashtbl.replace srv.store key write_id;
-        if srv.role = Leader then
+        if srv.role = Leader then begin
+          Span.mark t.spans ~trace:cmd.id ~node:srv.id ~phase:"quorum_commit"
+            ~now:(Engine.now t.engine);
           complete_at_origin t srv cmd { Types.value = None }
+        end
     | Some ({ op = Get { key }; _ } as cmd) ->
-        if srv.role = Leader then
+        if srv.role = Leader then begin
+          Span.mark t.spans ~trace:cmd.id ~node:srv.id ~phase:"quorum_commit"
+            ~now:(Engine.now t.engine);
           complete_at_origin t srv cmd
             { Types.value = Hashtbl.find_opt srv.store key }
+        end
     | None -> ())
   done;
   (* Wake local reads blocked on the commit index (quorum-lease mode). *)
@@ -207,8 +258,11 @@ and refresh_leader_lease t srv =
       if i <> srv.id && ack >= now - (2 * (p t).heartbeat_interval_us) then
         incr fresh)
     srv.follower_last_ack;
-  if !fresh >= majority t then
+  if !fresh >= majority t then begin
+    if srv.leader_lease_until < now then Metrics.inc srv.pr.pr_lease_grants
+    else Metrics.inc srv.pr.pr_lease_renewals;
     srv.leader_lease_until <- now + (p t).election_timeout_min_us
+  end
 
 (* The (holder, deadline) leases this server has granted and that are
    still valid — attached to acks in quorum-lease mode (Figure 13). *)
@@ -234,6 +288,7 @@ and send_batch t srv peer =
       (fun k -> Vec.get srv.log (next + k))
   in
   srv.inflight.(peer) <- srv.inflight.(peer) + 1;
+  Metrics.inc srv.pr.pr_appends;
   (* Optimistic next-index: pipeline further batches without waiting. *)
   srv.next_index.(peer) <- max srv.next_index.(peer) (last_index srv + 1);
   send t ~src:srv.id ~dst:peer
@@ -325,10 +380,14 @@ and advance_commit t srv =
 (* ---- client operations ---- *)
 
 and serve_local_read t srv (cmd : Types.cmd) =
+  Metrics.inc srv.pr.pr_local_reads;
   Cpu.exec srv.cpu ~cost_us:(p t).cpu_read_op_us (fun () ->
-      if not srv.down then
+      if not srv.down then begin
         let key = Types.key_of cmd.op in
-        complete_at_origin t srv cmd { Types.value = Hashtbl.find_opt srv.store key })
+        Span.mark t.spans ~trace:cmd.id ~node:srv.id ~phase:"local_read"
+          ~now:(Engine.now t.engine);
+        complete_at_origin t srv cmd { Types.value = Hashtbl.find_opt srv.store key }
+      end)
 
 and append_cmd t srv (cmd : Types.cmd) =
   let extra =
@@ -344,6 +403,8 @@ and append_cmd t srv (cmd : Types.cmd) =
         let entry = { Types.term = srv.term; cmd = Some cmd } in
         Vec.push srv.log (entry, srv.term);
         note_write srv (last_index srv) entry;
+        Span.mark t.spans ~trace:cmd.id ~node:srv.id ~phase:"append"
+          ~now:(Engine.now t.engine);
         maybe_replicate t srv;
         if t.n = 1 then begin
           srv.match_index.(srv.id) <- last_index srv;
@@ -351,10 +412,12 @@ and append_cmd t srv (cmd : Types.cmd) =
           apply_committed t srv
         end
       end
-      else if not srv.down then
+      else if not srv.down then begin
         (* Leadership moved while queued: forward to wherever we believe
            the leader is. *)
-        send t ~src:srv.id ~dst:srv.leader_hint (Forward cmd))
+        Metrics.inc srv.pr.pr_forwards;
+        send t ~src:srv.id ~dst:srv.leader_hint (Forward cmd)
+      end)
 
 and handle_client t srv (cmd : Types.cmd) =
   if not srv.down then
@@ -368,18 +431,32 @@ and handle_client t srv (cmd : Types.cmd) =
               Option.value ~default:(-1) (Hashtbl.find_opt srv.key_last_write key)
             in
             if srv.commit_index >= threshold then serve_local_read t srv cmd
-            else
+            else begin
+              Metrics.inc srv.pr.pr_lease_waits;
               srv.pending_reads <-
-                (threshold, fun () -> serve_local_read t srv cmd)
+                ( threshold,
+                  fun () ->
+                    (* The wake ends the lease-wait span; the local read's
+                       CPU time is its own phase. *)
+                    Span.mark t.spans ~trace:cmd.id ~node:srv.id
+                      ~phase:"lease_wait" ~now:(Engine.now t.engine);
+                    serve_local_read t srv cmd )
                 :: srv.pending_reads
+            end
         | Leader_lease when leader_lease_valid t srv ->
             serve_local_read t srv cmd
         | _ ->
             if srv.role = Leader then append_cmd t srv cmd
-            else send t ~src:srv.id ~dst:srv.leader_hint (Forward cmd))
+            else begin
+              Metrics.inc srv.pr.pr_forwards;
+              send t ~src:srv.id ~dst:srv.leader_hint (Forward cmd)
+            end)
     | Put _ ->
         if srv.role = Leader then append_cmd t srv cmd
-        else send t ~src:srv.id ~dst:srv.leader_hint (Forward cmd)
+        else begin
+          Metrics.inc srv.pr.pr_forwards;
+          send t ~src:srv.id ~dst:srv.leader_hint (Forward cmd)
+        end
 
 (* ---- elections ---- *)
 
@@ -397,6 +474,8 @@ and reset_election_timer t srv =
              if (not srv.down) && srv.role <> Leader then start_election t srv))
 
 and start_election t srv =
+  Metrics.inc srv.pr.pr_elections;
+  Metrics.inc srv.pr.pr_term_changes;
   srv.term <- srv.term + 1;
   srv.role <- Candidate;
   srv.voted_for <- Some srv.id;
@@ -419,6 +498,7 @@ and candidate_up_to_date srv ~last_idx ~last_term =
   last_term > my_term || (last_term = my_term && last_idx >= my_last)
 
 and become_leader t srv =
+  Metrics.inc srv.pr.pr_leader_wins;
   srv.role <- Leader;
   srv.leader_hint <- srv.id;
   (* Raft*: adopt the safe (highest-ballot) extra entries the voters sent
@@ -455,6 +535,7 @@ and become_leader t srv =
 and heartbeat_loop t srv term =
   if srv.role = Leader && srv.term = term && not srv.down then begin
     let now = Engine.now t.engine in
+    Metrics.inc srv.pr.pr_heartbeats;
     Array.iter
       (fun peer ->
         if peer.id <> srv.id then
@@ -467,6 +548,7 @@ and heartbeat_loop t srv term =
             < now - (5 * (p t).heartbeat_interval_us)
           then begin
             srv.inflight.(peer.id) <- 0;
+            Metrics.inc srv.pr.pr_retransmits;
             send_batch t srv peer.id
           end)
       t.servers;
@@ -477,6 +559,7 @@ and heartbeat_loop t srv term =
 (* ---- message handling ---- *)
 
 and step_down t srv term =
+  if term > srv.term then Metrics.inc srv.pr.pr_term_changes;
   srv.term <- term;
   srv.role <- Follower;
   srv.voted_for <- None;
@@ -485,16 +568,22 @@ and step_down t srv term =
 and handle t srv msg =
   if not srv.down then
     match msg with
-    | Forward cmd -> handle_client t srv cmd
+    | Forward cmd ->
+        Span.mark t.spans ~trace:cmd.id ~node:srv.id ~phase:"forward"
+          ~now:(Engine.now t.engine);
+        handle_client t srv cmd
     | Complete { cmd_id; reply } -> (
         match Hashtbl.find_opt t.completions cmd_id with
         | Some k ->
             Hashtbl.remove t.completions cmd_id;
+            Span.mark t.spans ~trace:cmd_id ~node:srv.id ~phase:"reply"
+              ~now:(Engine.now t.engine);
             k reply
         | None -> () (* duplicate completion after leader change *))
     | Grant { from; deadline; grantor_last } ->
         if last_index srv >= grantor_last then begin
           srv.grant_from.(from) <- max srv.grant_from.(from) deadline;
+          Metrics.inc srv.pr.pr_lease_confirms;
           send t ~src:srv.id ~dst:from (GrantConfirm { from = srv.id; deadline })
         end
         else
@@ -533,7 +622,8 @@ and handle t srv msg =
           if count >= majority t then become_leader t srv
         end
     | Append { term; leader; prev_idx; prev_term; entries; commit } ->
-        if term < srv.term then
+        if term < srv.term then begin
+          Metrics.inc srv.pr.pr_acks;
           send t ~src:srv.id ~dst:leader
             (Ack
                {
@@ -543,6 +633,7 @@ and handle t srv msg =
                  match_idx = -1;
                  holders = my_valid_grants t srv;
                })
+        end
         else begin
           if term > srv.term || srv.role <> Follower then step_down t srv term;
           srv.leader_hint <- leader;
@@ -554,7 +645,8 @@ and handle t srv msg =
              checking against the stale log would reject valid batches. *)
           Cpu.exec srv.cpu ~cost_us:cost (fun () ->
               if not srv.down then
-                if not (prev_idx < 0 || term_at srv prev_idx = prev_term) then
+                if not (prev_idx < 0 || term_at srv prev_idx = prev_term) then begin
+                  Metrics.inc srv.pr.pr_acks;
                   send t ~src:srv.id ~dst:leader
                     (Ack
                        {
@@ -564,6 +656,7 @@ and handle t srv msg =
                          match_idx = srv.commit_index;
                          holders = my_valid_grants t srv;
                        })
+                end
                 else begin
                   accept_entries t srv ~prev_idx ~entries ~term;
                   let match_idx = prev_idx + k in
@@ -571,6 +664,7 @@ and handle t srv msg =
                     max srv.commit_index (min commit match_idx);
                   apply_committed t srv;
                   activate_pending_grants t srv;
+                  Metrics.inc srv.pr.pr_acks;
                   send t ~src:srv.id ~dst:leader
                     (Ack
                        {
@@ -599,7 +693,10 @@ and handle t srv msg =
               max srv.next_index.(from) (srv.match_index.(from) + 1);
             advance_commit t srv
           end
-          else srv.next_index.(from) <- max 0 (match_idx + 1);
+          else begin
+            Metrics.inc srv.pr.pr_retransmits;
+            srv.next_index.(from) <- max 0 (match_idx + 1)
+          end;
           maybe_replicate t srv
         end
 
@@ -613,6 +710,7 @@ and activate_pending_grants t srv =
   List.iter
     (fun (from, deadline, _) ->
       srv.grant_from.(from) <- max srv.grant_from.(from) deadline;
+      Metrics.inc srv.pr.pr_lease_confirms;
       send t ~src:srv.id ~dst:from (GrantConfirm { from = srv.id; deadline }))
     ready
 
@@ -663,6 +761,9 @@ let rec lease_loop t srv =
           && (srv.my_grants.(peer.id) < now
              || srv.confirmed_grants.(peer.id) >= srv.my_grants.(peer.id))
         then begin
+          if srv.my_grants.(peer.id) < now then
+            Metrics.inc srv.pr.pr_lease_grants
+          else Metrics.inc srv.pr.pr_lease_renewals;
           srv.my_grants.(peer.id) <- max srv.my_grants.(peer.id) deadline;
           send t ~src:srv.id ~dst:peer.id
             (Grant { from = srv.id; deadline; grantor_last })
@@ -673,11 +774,13 @@ let rec lease_loop t srv =
 
 (* ---- construction ---- *)
 
-let create config net =
+let create ?(telemetry = Telemetry.disabled) config net =
   let engine = Net.engine net in
   let n = List.length (Net.nodes net) in
   let servers =
     Array.init n (fun id ->
+        let cpu = Cpu.create engine in
+        Cpu.set_metrics cpu telemetry.Telemetry.metrics ~node:id;
         {
           id;
           term = 0;
@@ -705,8 +808,9 @@ let create config net =
           pending_reads = [];
           election_timer = None;
           down = false;
-          cpu = Cpu.create engine;
+          cpu;
           rng = Rng.split (Engine.rng engine);
+          pr = make_probes telemetry.Telemetry.metrics ~node:id;
         })
   in
   let t =
@@ -718,6 +822,7 @@ let create config net =
       servers;
       completions = Hashtbl.create 4096;
       next_cmd_id = 0;
+      spans = telemetry.Telemetry.spans;
     }
   in
   (match config.initial_leader with
@@ -744,17 +849,24 @@ let start t =
       if t.config.read_mode = Quorum_lease then lease_loop t srv)
     t.servers
 
-let submit t ~node op k =
+let submit_id t ~node op k =
   let id = t.next_cmd_id in
   t.next_cmd_id <- id + 1;
   Hashtbl.replace t.completions id k;
   let cmd =
     { Types.id; op; origin = node; submitted_us = Engine.now t.engine }
   in
+  Span.mark t.spans ~trace:id ~node ~phase:"submit" ~now:(Engine.now t.engine);
   (* Client-to-colocated-replica hop. *)
   Net.send t.net ~src:node ~dst:node
     ~size:((p t).msg_header_bytes + Types.op_size op)
-    (fun () -> handle_client t t.servers.(node) cmd)
+    (fun () ->
+      Span.mark t.spans ~trace:id ~node ~phase:"client_hop"
+        ~now:(Engine.now t.engine);
+      handle_client t t.servers.(node) cmd);
+  id
+
+let submit t ~node op k = ignore (submit_id t ~node op k)
 
 let leader_of t =
   let found = ref None in

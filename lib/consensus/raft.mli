@@ -41,13 +41,24 @@ val raft_pql : ?leader:int -> unit -> config
 
 type t
 
-val create : config -> Raftpax_sim.Net.t -> t
+val create :
+  ?telemetry:Raftpax_telemetry.Telemetry.t -> config -> Raftpax_sim.Net.t -> t
+(** [?telemetry] attaches protocol probes (elections, term changes,
+    appends, acks, retransmits, forwards, commits, heartbeats, leases,
+    local reads) and — when its tracer is live — per-request span marks.
+    Defaults to the disabled instance: every probe update is a no-op on a
+    shared dummy cell. *)
+
 val start : t -> unit
 (** Arms timers (heartbeats, election timeouts, lease renewal). *)
 
 val submit : t -> node:int -> Types.op -> (Types.reply -> unit) -> unit
 (** Submit an operation at a replica's colocated client entry point; the
     callback fires (simulated-time later) when the operation completes. *)
+
+val submit_id : t -> node:int -> Types.op -> (Types.reply -> unit) -> int
+(** Like {!submit} but returns the command id — the span trace id, for
+    correlating harness-side latency with the tracer's waterfall. *)
 
 (** {1 Introspection} *)
 

@@ -5,6 +5,7 @@ module Topology = Sim.Topology
 module Stats = Sim.Stats
 module C = Raftpax_consensus
 module Types = C.Types
+module Telemetry = Raftpax_telemetry.Telemetry
 
 type protocol = Raft | Raft_star | Raft_ll | Raft_pql | Mencius | Multipaxos
 
@@ -24,11 +25,32 @@ type config = {
   warmup_s : int;
   cooldown_s : int;
   seed : int64;
+  telemetry : bool;
+  tracing : bool;
 }
 
 let config ?(leader_site = Topology.Oregon) ?(duration_s = 10) ?(warmup_s = 2)
-    ?(cooldown_s = 2) ?(seed = 1L) protocol workload =
-  { protocol; leader_site; workload; duration_s; warmup_s; cooldown_s; seed }
+    ?(cooldown_s = 2) ?(seed = 1L) ?(telemetry = false) ?(tracing = false)
+    protocol workload =
+  {
+    protocol;
+    leader_site;
+    workload;
+    duration_s;
+    warmup_s;
+    cooldown_s;
+    seed;
+    telemetry;
+    tracing;
+  }
+
+type request = {
+  trace : int;
+  region : int;
+  is_read : bool;
+  started_us : int;
+  latency_us : int;
+}
 
 type result = {
   throughput_ops : float;
@@ -40,15 +62,18 @@ type result = {
   consistency_violations : int;
   messages : int;
   bytes_by_node : int array;
+  telemetry : Telemetry.t option;
+  requests : request list;
 }
 
-(* A protocol instance reduced to what the clients need. *)
+(* A protocol instance reduced to what the clients need.  [submit] returns
+   the command id — the span trace id when tracing is on. *)
 type instance = {
-  submit : node:int -> Types.op -> (Types.reply -> unit) -> unit;
+  submit : node:int -> Types.op -> (Types.reply -> unit) -> int;
   committed_ops : node:int -> Types.op list;
 }
 
-let make_instance protocol net leader =
+let make_instance ?telemetry protocol net leader =
   match protocol with
   | Raft | Raft_star | Raft_ll | Raft_pql ->
       let cfg =
@@ -59,10 +84,10 @@ let make_instance protocol net leader =
         | Raft_pql -> C.Raft.raft_pql ~leader ()
         | _ -> assert false
       in
-      let t = C.Raft.create cfg net in
+      let t = C.Raft.create ?telemetry cfg net in
       C.Raft.start t;
       {
-        submit = (fun ~node op k -> C.Raft.submit t ~node op k);
+        submit = (fun ~node op k -> C.Raft.submit_id t ~node op k);
         committed_ops =
           (fun ~node ->
             let commit = C.Raft.commit_index t ~node in
@@ -72,17 +97,19 @@ let make_instance protocol net leader =
                    Option.map (fun (c : Types.cmd) -> c.op) e.cmd));
       }
   | Mencius ->
-      let t = C.Mencius.create C.Mencius.default_config net in
+      let t = C.Mencius.create ?telemetry C.Mencius.default_config net in
       C.Mencius.start t;
       {
-        submit = (fun ~node op k -> C.Mencius.submit t ~node op k);
+        submit = (fun ~node op k -> C.Mencius.submit_id t ~node op k);
         committed_ops = (fun ~node -> C.Mencius.committed_ops t ~node);
       }
   | Multipaxos ->
-      let t = C.Multipaxos.create ~leader C.Multipaxos.default_config net in
+      let t =
+        C.Multipaxos.create ?telemetry ~leader C.Multipaxos.default_config net
+      in
       C.Multipaxos.start t;
       {
-        submit = (fun ~node op k -> C.Multipaxos.submit t ~node op k);
+        submit = (fun ~node op k -> C.Multipaxos.submit_id t ~node op k);
         committed_ops = (fun ~node -> C.Multipaxos.committed_ops t ~node);
       }
 
@@ -96,7 +123,15 @@ let run cfg =
   let net = Net.create engine ~nodes in
   let regions = List.length Topology.sites in
   let leader = Topology.site_index cfg.leader_site in
-  let inst = make_instance cfg.protocol net leader in
+  let tel =
+    if cfg.telemetry || cfg.tracing then
+      Some (Telemetry.create ~tracing:cfg.tracing ~n:regions ())
+    else None
+  in
+  (match tel with
+  | Some tel -> Net.set_metrics net tel.Telemetry.metrics
+  | None -> ());
+  let inst = make_instance ?telemetry:tel cfg.protocol net leader in
   let wl = Workload.create ~seed:cfg.seed ~regions cfg.workload in
   let read_leader = Stats.create ()
   and read_follower = Stats.create ()
@@ -104,6 +139,7 @@ let run cfg =
   and write_follower = Stats.create () in
   let retries = ref 0 in
   let events = ref [] in
+  let requests = ref [] in
   let end_us = cfg.duration_s * 1_000_000 in
   (* Closed-loop clients: one outstanding op each, retry on timeout. *)
   let rec client_loop region () =
@@ -122,13 +158,27 @@ let run cfg =
             if Engine.now engine < end_us then attempt region op
           end)
     in
-    inst.submit ~node:region op (fun reply ->
+    (* The completion callback only fires from scheduled events, after
+       [submit] has returned the command id into the cell. *)
+    let trace_cell = ref (-1) in
+    let trace =
+      inst.submit ~node:region op (fun reply ->
         if not !finished then begin
           finished := true;
           Engine.cancel timeout;
           let now = Engine.now engine in
           let latency = now - started in
           let at_leader = region = leader in
+          if cfg.tracing then
+            requests :=
+              {
+                trace = !trace_cell;
+                region;
+                is_read = (match op with Types.Get _ -> true | _ -> false);
+                started_us = started;
+                latency_us = latency;
+              }
+              :: !requests;
           (match op with
           | Types.Get { key } ->
               Stats.record
@@ -147,6 +197,8 @@ let run cfg =
                 :: !events);
           client_loop region ()
         end)
+    in
+    trace_cell := trace
   in
   for region = 0 to regions - 1 do
     for _ = 1 to cfg.workload.Workload.clients_per_region do
@@ -177,6 +229,8 @@ let run cfg =
     consistency_violations = violations;
     messages = Net.sent_count net;
     bytes_by_node = Array.init regions (fun n -> Net.bytes_sent net n);
+    telemetry = tel;
+    requests = List.rev !requests;
   }
 
 let median_throughput ?(trials = 3) cfg =

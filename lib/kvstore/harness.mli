@@ -21,6 +21,10 @@ type config = {
   warmup_s : int;
   cooldown_s : int;
   seed : int64;
+  telemetry : bool;  (** attach metric probes (counters / histograms) *)
+  tracing : bool;
+      (** additionally capture per-request span traces and the
+          per-request latency records (implies telemetry) *)
 }
 
 val config :
@@ -29,12 +33,23 @@ val config :
   ?warmup_s:int ->
   ?cooldown_s:int ->
   ?seed:int64 ->
+  ?telemetry:bool ->
+  ?tracing:bool ->
   protocol ->
   Workload.spec ->
   config
 (** Defaults: leader in Oregon, 10 s run with 2 s warm-up/cool-down
     (scaled down from the paper's 50 s / 10 s to keep simulation time
-    reasonable; the steady-state estimates are unaffected), seed 1. *)
+    reasonable; the steady-state estimates are unaffected), seed 1,
+    telemetry and tracing off. *)
+
+type request = {
+  trace : int;  (** span trace id — the protocol command id *)
+  region : int;  (** submitting client's region / replica *)
+  is_read : bool;
+  started_us : int;
+  latency_us : int;
+}
 
 type result = {
   throughput_ops : float;  (** completed ops/s in the window *)
@@ -48,6 +63,10 @@ type result = {
           before the read began, or a never-written value *)
   messages : int;  (** total protocol messages on the wire *)
   bytes_by_node : int array;  (** egress bytes per replica *)
+  telemetry : Raftpax_telemetry.Telemetry.t option;
+      (** the run's metric registry and tracer, when enabled *)
+  requests : request list;
+      (** completed requests in completion order (tracing runs only) *)
 }
 
 val run : config -> result

@@ -44,7 +44,7 @@ let fifo_required = function
   | Mencius -> true
   | Raft | Raft_star | Raft_pql | Multipaxos -> false
 
-let make protocol net =
+let make ?telemetry protocol net =
   let n = List.length (Net.nodes net) in
   match protocol with
   | Raft | Raft_star | Raft_pql ->
@@ -54,7 +54,7 @@ let make protocol net =
         | Raft_star -> C.Raft.raft_star ~leader:0 ()
         | _ -> C.Raft.raft_pql ~leader:0 ()
       in
-      let r = C.Raft.create cfg net in
+      let r = C.Raft.create ?telemetry cfg net in
       C.Raft.start r;
       {
         protocol;
@@ -96,7 +96,7 @@ let make protocol net =
                  (C.Raft.log_entries r ~node)));
       }
   | Mencius ->
-      let m = C.Mencius.create C.Mencius.default_config net in
+      let m = C.Mencius.create ?telemetry C.Mencius.default_config net in
       C.Mencius.start m;
       {
         protocol;
@@ -117,7 +117,9 @@ let make protocol net =
         dump = (fun ~node -> C.Mencius.dump_slots m ~node);
       }
   | Multipaxos ->
-      let mp = C.Multipaxos.create ~leader:0 C.Multipaxos.default_config net in
+      let mp =
+        C.Multipaxos.create ?telemetry ~leader:0 C.Multipaxos.default_config net
+      in
       C.Multipaxos.start mp;
       {
         protocol;

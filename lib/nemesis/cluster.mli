@@ -45,6 +45,8 @@ type t = {
           divergence — appended to the trace when a run fails *)
 }
 
-val make : protocol -> Raftpax_sim.Net.t -> t
+val make :
+  ?telemetry:Raftpax_telemetry.Telemetry.t -> protocol -> Raftpax_sim.Net.t -> t
 (** Create and start a cluster of the given protocol on the net's nodes
-    (single-leader protocols bootstrap with node 0 elected). *)
+    (single-leader protocols bootstrap with node 0 elected).
+    [?telemetry] is forwarded to the runtime's [create]. *)

@@ -5,6 +5,7 @@ module Rng = Sim.Rng
 module Topology = Sim.Topology
 module Types = Raftpax_consensus.Types
 module Lin_check = Raftpax_kvstore.Lin_check
+module Telemetry = Raftpax_telemetry.Telemetry
 
 type config = {
   protocol : Cluster.protocol;
@@ -42,6 +43,7 @@ type report = {
   liveness_ok : bool;
   prefixes_agree : bool;
   lost_writes : int;
+  telemetry : Telemetry.t;
 }
 
 (* The shared contended key is Mencius' hot key, so the run exercises its
@@ -76,7 +78,11 @@ let run cfg =
   let engine = Engine.create ~seed:(Int64.of_int cfg.seed) () in
   let nodes = List.mapi (fun i site -> { Net.id = i; site }) Topology.sites in
   let net = Net.create engine ~nodes in
-  let cluster = Cluster.make cfg.protocol net in
+  let telemetry =
+    Telemetry.create ~tracing:true ~n:(List.length nodes) ()
+  in
+  Net.set_metrics net telemetry.Telemetry.metrics;
+  let cluster = Cluster.make ~telemetry cfg.protocol net in
   let n = cluster.Cluster.n in
   let trace = Trace.create () in
   if cfg.capture_messages then
@@ -287,6 +293,18 @@ let run cfg =
       Trace.record trace ~now:(Engine.now engine)
         (Printf.sprintf "DUMP node=%d %s" node (cluster.Cluster.dump ~node))
     done;
+  (* Metric snapshot lines close the trace: they are a pure function of
+     the seeded run, so they are covered by the fingerprint determinism
+     oracle like every other event. *)
+  let snapshot_lines =
+    Fmt.str "%a" Telemetry.pp_snapshot (Telemetry.snapshot telemetry)
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  List.iter
+    (fun line ->
+      Trace.record trace ~now:(Engine.now engine) ("METRIC " ^ line))
+    snapshot_lines;
   {
     cfg;
     ok = failures = [];
@@ -299,6 +317,7 @@ let run cfg =
     liveness_ok = !liveness_ok;
     prefixes_agree;
     lost_writes;
+    telemetry;
   }
 
 let pp_report ppf r =
@@ -310,6 +329,8 @@ let pp_report ppf r =
   if not r.ok then begin
     Fmt.pf ppf "@.";
     List.iter (fun f -> Fmt.pf ppf "  %s@." f) r.failures;
+    Fmt.pf ppf "--- telemetry snapshot of the failing seed ---@.";
+    Fmt.pf ppf "%a@." Telemetry.pp_snapshot (Telemetry.snapshot r.telemetry);
     Fmt.pf ppf "--- trace tail (replay: same protocol + seed) ---@.";
     Trace.pp ~limit:60 ppf r.trace
   end

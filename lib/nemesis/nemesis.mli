@@ -54,6 +54,10 @@ type report = {
   liveness_ok : bool;  (** a post-heal write committed *)
   prefixes_agree : bool;
   lost_writes : int;  (** acknowledged writes missing from the order *)
+  telemetry : Raftpax_telemetry.Telemetry.t;
+      (** the run's live metric registry and span tracer; its snapshot is
+          also appended to the trace as [METRIC] lines, so it is covered
+          by the fingerprint determinism oracle *)
 }
 
 val run : config -> report

@@ -1,10 +1,29 @@
+module Metrics = Raftpax_telemetry.Metrics
+
+type probes = {
+  busy : Metrics.counter;  (** cpu_busy_us: total µs of work executed *)
+  queue : Metrics.histogram;  (** cpu_queue_us: wait before service starts *)
+  ops : Metrics.counter;  (** cpu_ops: work items executed *)
+}
+
 type t = {
   engine : Engine.t;
   mutable free_at : int;
   mutable consumed : int;
+  mutable probes : probes option;
 }
 
-let create engine = { engine; free_at = 0; consumed = 0 }
+let create engine = { engine; free_at = 0; consumed = 0; probes = None }
+
+let set_metrics t m ~node =
+  if Metrics.enabled m then
+    t.probes <-
+      Some
+        {
+          busy = Metrics.counter m "cpu_busy_us" ~node;
+          queue = Metrics.histogram m "cpu_queue_us" ~node;
+          ops = Metrics.counter m "cpu_ops" ~node;
+        }
 
 let exec t ~cost_us f =
   let now = Engine.now t.engine in
@@ -12,6 +31,12 @@ let exec t ~cost_us f =
   let finish = start + cost_us in
   t.free_at <- finish;
   t.consumed <- t.consumed + cost_us;
+  (match t.probes with
+  | Some p ->
+      Metrics.add p.busy cost_us;
+      Metrics.inc p.ops;
+      Metrics.observe p.queue (start - now)
+  | None -> ());
   (* Exact: [free_at] bookkeeping must match the firing time even while
      timer-skew fault injection is active. *)
   Engine.schedule ~kind:Engine.Exact t.engine ~delay:(finish - now) f

@@ -10,6 +10,12 @@ type t
 
 val create : Engine.t -> t
 
+val set_metrics : t -> Raftpax_telemetry.Metrics.t -> node:int -> unit
+(** Attach probes: [cpu_busy_us] / [cpu_ops] counters and the
+    [cpu_queue_us] histogram (how long work sat in the FIFO before the
+    CPU picked it up — the leader-saturation signal).  A disabled
+    registry attaches nothing. *)
+
 val exec : t -> cost_us:int -> (unit -> unit) -> unit
 (** Enqueue work: [f] runs once the CPU has spent [cost_us] on it, after
     all previously queued work. *)

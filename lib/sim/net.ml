@@ -1,3 +1,5 @@
+module Metrics = Raftpax_telemetry.Metrics
+
 type node = { id : int; site : Topology.site }
 
 type chaos = {
@@ -9,6 +11,16 @@ type chaos = {
 
 type monitor = now:int -> src:int -> dst:int -> size:int -> dropped:bool -> unit
 
+type probes = {
+  sent : Metrics.counter array;  (** net_msgs_sent, per src *)
+  dropped_c : Metrics.counter array;  (** net_msgs_dropped, per src *)
+  bytes : Metrics.counter array;  (** net_bytes_sent, per src *)
+  queue : Metrics.histogram array;
+      (** net_queue_us: wait for the FIFO uplink before transmission *)
+  flight : Metrics.histogram array;
+      (** net_flight_us: departure to arrival (propagation + jitter + chaos) *)
+}
+
 type t = {
   engine : Engine.t;
   nodes : node list;
@@ -19,6 +31,7 @@ type t = {
   mutable partition : (int -> int -> bool) option;
   mutable chaos : chaos option;
   mutable monitor : monitor option;
+  mutable probes : probes option;
   down : bool array;
   (* FIFO NIC model: the time at which each node's uplink frees up. *)
   uplink_free_at : int array;
@@ -44,6 +57,7 @@ let create ?(drop_probability = 0.0) ?(jitter_us = 200) engine ~nodes =
     partition = None;
     chaos = None;
     monitor = None;
+    probes = None;
     down = Array.make n false;
     uplink_free_at = Array.make n 0;
     link_last_arrival = Array.make_matrix n n 0;
@@ -58,6 +72,22 @@ let node_site t id = t.sites.(id)
 let set_partition t p = t.partition <- p
 let set_chaos t c = t.chaos <- c
 let set_monitor t m = t.monitor <- m
+
+let set_metrics t m =
+  if Metrics.enabled m then begin
+    let n = Array.length t.sites in
+    let per name f = Array.init n (fun node -> f m name ~node) in
+    t.probes <-
+      Some
+        {
+          sent = per "net_msgs_sent" Metrics.counter;
+          dropped_c = per "net_msgs_dropped" Metrics.counter;
+          bytes = per "net_bytes_sent" Metrics.counter;
+          queue = per "net_queue_us" Metrics.histogram;
+          flight = per "net_flight_us" Metrics.histogram;
+        }
+  end
+
 let set_node_down t id b = t.down.(id) <- b
 let node_down t id = t.down.(id)
 
@@ -111,13 +141,25 @@ let send t ~src ~dst ~size deliver =
     (match t.monitor with
     | Some m -> m ~now ~src ~dst ~size ~dropped:dropped_at_send
     | None -> ());
+    (match t.probes with
+    | Some p ->
+        Metrics.inc p.sent.(src);
+        Metrics.add p.bytes.(src) size;
+        Metrics.observe p.queue.(src) (start - now);
+        if dropped_at_send then Metrics.inc p.dropped_c.(src)
+        else Metrics.observe p.flight.(src) (arrival - departure)
+    | None -> ());
     let deliver_at when_us =
       Engine.schedule ~kind:Engine.Message t.engine ~delay:(when_us - now)
         (fun () ->
           (* Faults are evaluated at delivery time as well, so a node that
              crashes (or a link that is cut) mid-flight loses the message. *)
-          if t.down.(dst) || t.down.(src) || cut t src dst then
-            t.dropped <- t.dropped + 1
+          if t.down.(dst) || t.down.(src) || cut t src dst then begin
+            t.dropped <- t.dropped + 1;
+            match t.probes with
+            | Some p -> Metrics.inc p.dropped_c.(src)
+            | None -> ()
+          end
           else deliver ())
     in
     if dropped_at_send then t.dropped <- t.dropped + 1

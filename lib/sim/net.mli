@@ -56,6 +56,12 @@ val set_monitor : t -> monitor option -> unit
     decision ([dropped] covers probability drops, partition cuts and chaos
     drops; a mid-flight crash loss is not reported). *)
 
+val set_metrics : t -> Raftpax_telemetry.Metrics.t -> unit
+(** Attach per-node probes: [net_msgs_sent] / [net_msgs_dropped] /
+    [net_bytes_sent] counters and the [net_queue_us] (uplink FIFO wait)
+    and [net_flight_us] (departure-to-arrival) histograms, all keyed by
+    the sending node.  A disabled registry attaches nothing. *)
+
 val set_node_down : t -> int -> bool -> unit
 (** A down node neither sends nor receives. *)
 

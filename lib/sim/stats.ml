@@ -2,9 +2,14 @@ type t = {
   mutable latencies : int array;  (** sample latencies, µs *)
   mutable times : int array;  (** completion times, µs *)
   mutable len : int;
+  mutable sorted : int array option;
+      (** cached sort of [latencies.(0..len-1)]; invalidated by {!record}
+          (pp_summary alone takes three percentiles — sorting per call was
+          3x the work) *)
 }
 
-let create () = { latencies = Array.make 1024 0; times = Array.make 1024 0; len = 0 }
+let create () =
+  { latencies = Array.make 1024 0; times = Array.make 1024 0; len = 0; sorted = None }
 
 let record t ~latency_us ~at_us =
   if t.len = Array.length t.latencies then begin
@@ -14,7 +19,8 @@ let record t ~latency_us ~at_us =
   end;
   t.latencies.(t.len) <- latency_us;
   t.times.(t.len) <- at_us;
-  t.len <- t.len + 1
+  t.len <- t.len + 1;
+  t.sorted <- None
 
 let count t = t.len
 
@@ -31,11 +37,19 @@ let throughput_ops t ~from_us ~until_us =
   let span = float_of_int (until_us - from_us) /. 1_000_000.0 in
   if span <= 0.0 then 0.0 else float_of_int w.len /. span
 
+let sorted_samples t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.sub t.latencies 0 t.len in
+      Array.sort compare a;
+      t.sorted <- Some a;
+      a
+
 let percentile_us t p =
   if t.len = 0 then 0
   else begin
-    let a = Array.sub t.latencies 0 t.len in
-    Array.sort compare a;
+    let a = sorted_samples t in
     let idx = int_of_float (p *. float_of_int (t.len - 1)) in
     a.(max 0 (min (t.len - 1) idx))
   end

@@ -1,0 +1,81 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no NaN/Infinity; clamp to null rather than emit garbage. *)
+let float_repr f =
+  if Float.is_nan f || Float.abs f = Float.infinity then None
+  else Some (Printf.sprintf "%.6g" f)
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> (
+      match float_repr f with
+      | Some s -> Buffer.add_string buf s
+      | None -> Buffer.add_string buf "null")
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as atom ->
+      Fmt.string ppf (to_string atom)
+  | List [] -> Fmt.string ppf "[]"
+  | List xs ->
+      Fmt.pf ppf "@[<v 2>[@,%a@]@,]"
+        (Fmt.list ~sep:(Fmt.any ",@,") pp)
+        xs
+  | Obj [] -> Fmt.string ppf "{}"
+  | Obj fields ->
+      let field ppf (k, v) = Fmt.pf ppf "\"%s\": %a" (escape k) pp v in
+      Fmt.pf ppf "@[<v 2>{@,%a@]@,}"
+        (Fmt.list ~sep:(Fmt.any ",@,") field)
+        fields

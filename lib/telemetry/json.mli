@@ -1,0 +1,22 @@
+(** Minimal JSON tree and printer.
+
+    The bench artifacts and telemetry snapshots must be machine-readable,
+    but the toolchain carries no JSON library, so this is the smallest
+    conforming emitter: objects keep their field order (snapshots sort
+    their keys before building the tree, which is what makes two runs of
+    the same seed byte-identical). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented rendering (2 spaces), for committed artifacts and humans. *)

@@ -1,0 +1,94 @@
+type m = { time : int; node : int; phase : string }
+
+type t = {
+  live : bool;
+  traces : (int, m list ref) Hashtbl.t;  (** trace id -> marks, newest first *)
+}
+
+let create () = { live = true; traces = Hashtbl.create 1024 }
+let disabled = { live = false; traces = Hashtbl.create 1 }
+let enabled t = t.live
+
+let mark t ~trace ~node ~phase ~now =
+  if t.live then begin
+    match Hashtbl.find_opt t.traces trace with
+    | Some cell -> cell := { time = now; node; phase } :: !cell
+    | None -> Hashtbl.replace t.traces trace (ref [ { time = now; node; phase } ])
+  end
+
+let marks t ~trace =
+  match Hashtbl.find_opt t.traces trace with
+  | Some cell -> List.rev !cell
+  | None -> []
+
+let trace_ids t =
+  List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.traces [])
+
+let trace_count t = Hashtbl.length t.traces
+
+let total_us t ~trace =
+  match marks t ~trace with
+  | [] | [ _ ] -> 0
+  | first :: rest -> (List.nth rest (List.length rest - 1)).time - first.time
+
+let pp_waterfall ppf t ~trace =
+  match marks t ~trace with
+  | [] -> Fmt.pf ppf "trace %d: no spans@." trace
+  | first :: rest ->
+      let total = total_us t ~trace in
+      Fmt.pf ppf "trace %d: %d phases, total %.3fms@." trace (List.length rest)
+        (float_of_int total /. 1000.0);
+      let bar_width = 32 in
+      let prev = ref first in
+      List.iter
+        (fun m ->
+          let dur = m.time - !prev.time in
+          let offset = !prev.time - first.time in
+          let scale x =
+            if total <= 0 then 0 else x * bar_width / total
+          in
+          let lead = scale offset in
+          let len = max (scale dur) (if dur > 0 then 1 else 0) in
+          let len = min len (bar_width - lead) in
+          Fmt.pf ppf "  %9.3fms +%9.3fms  %-16s n%d  |%s%s%s|@."
+            (float_of_int offset /. 1000.0)
+            (float_of_int dur /. 1000.0)
+            m.phase m.node
+            (String.make lead ' ')
+            (String.make len '#')
+            (String.make (max 0 (bar_width - lead - len)) ' ');
+          prev := m)
+        rest
+
+let to_json t ~trace =
+  let ms = marks t ~trace in
+  Json.Obj
+    [
+      ("trace", Json.Int trace);
+      ("total_us", Json.Int (total_us t ~trace));
+      ( "marks",
+        Json.List
+          (List.map
+             (fun m ->
+               Json.Obj
+                 [
+                   ("t_us", Json.Int m.time);
+                   ("node", Json.Int m.node);
+                   ("phase", Json.String m.phase);
+                 ])
+             ms) );
+    ]
+
+let dump t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun id ->
+      Buffer.add_string buf (string_of_int id);
+      List.iter
+        (fun m ->
+          Buffer.add_string buf
+            (Printf.sprintf " %d@%d:%s" m.time m.node m.phase))
+        (marks t ~trace:id);
+      Buffer.add_char buf '\n')
+    (trace_ids t);
+  Buffer.contents buf

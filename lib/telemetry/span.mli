@@ -1,0 +1,48 @@
+(** Per-request span tracing.
+
+    Every client operation carries a trace id (its command id) through the
+    commit pipeline; each pipeline stage drops a {e mark} — a timestamped
+    phase-transition point recorded against the simulator's virtual clock.
+    Consecutive marks delimit spans, so the waterfall telescopes: the sum
+    of the phase durations is exactly [last mark - first mark], the
+    request's end-to-end latency.  Marking a disabled tracer checks one
+    boolean and returns — no allocation, no lookup — so always-on probe
+    sites cost nothing in production runs.
+
+    Negative trace ids name protocol-internal activities that are not tied
+    to one client request (e.g. a Mencius revocation of slot [i] traces as
+    [-(i + 1)]). *)
+
+type t
+
+val create : unit -> t
+val disabled : t
+
+val enabled : t -> bool
+
+val mark : t -> trace:int -> node:int -> phase:string -> now:int -> unit
+(** Record that [trace] reached [phase] on [node] at virtual time [now].
+    The first mark of a trace opens it.  No-op when disabled. *)
+
+type m = { time : int; node : int; phase : string }
+
+val marks : t -> trace:int -> m list
+(** Marks of one trace in chronological order; [[]] if unknown. *)
+
+val trace_ids : t -> int list
+(** All known trace ids, sorted ascending. *)
+
+val trace_count : t -> int
+
+val total_us : t -> trace:int -> int
+(** [last mark - first mark]; 0 for unknown or single-mark traces. *)
+
+val pp_waterfall : Format.formatter -> t -> trace:int -> unit
+(** The per-request waterfall: one line per phase with offset, duration
+    and a proportional bar, then the total. *)
+
+val to_json : t -> trace:int -> Json.t
+
+val dump : t -> string
+(** Every trace in id order, one compact line per mark — byte-identical
+    across runs of the same seed (the determinism oracle). *)

@@ -1,0 +1,35 @@
+type t = {
+  metrics : Metrics.t;
+  spans : Span.t;
+}
+
+let create ?(tracing = false) ~n () =
+  {
+    metrics = Metrics.create ~n;
+    spans = (if tracing then Span.create () else Span.disabled);
+  }
+
+let disabled = { metrics = Metrics.disabled; spans = Span.disabled }
+
+let enabled t = Metrics.enabled t.metrics
+
+type snapshot = { m : Metrics.snapshot; traces : int }
+
+let snapshot t =
+  { m = Metrics.snapshot t.metrics; traces = Span.trace_count t.spans }
+
+let snapshot_to_json s =
+  Json.Obj
+    [
+      ("metrics", Metrics.snapshot_to_json s.m);
+      ("traces", Json.Int s.traces);
+    ]
+
+let pp_snapshot ppf s =
+  Metrics.pp_snapshot ppf s.m;
+  if s.traces > 0 then Fmt.pf ppf "traces                       %8d@." s.traces
+
+let snapshot_string t =
+  Json.to_string (snapshot_to_json (snapshot t)) ^ "\n" ^ Span.dump t.spans
+
+let metrics_of_snapshot s = s.m

@@ -1,0 +1,36 @@
+(** The telemetry sink: one {!Metrics.t} registry plus one {!Span.t}
+    tracer, created per run and threaded into the simulator layers
+    (net, cpu) and the protocol runtimes.
+
+    The default everywhere is {!disabled}, whose probes are no-ops; a
+    harness, bench or nemesis run that wants observability creates a live
+    sink and passes it down. *)
+
+type t = {
+  metrics : Metrics.t;
+  spans : Span.t;
+}
+
+val create : ?tracing:bool -> n:int -> unit -> t
+(** Live metrics for an [n]-node cluster; [tracing] (default [false])
+    additionally enables the span tracer — benches keep it off because a
+    multi-million-op sweep has no use for per-request marks. *)
+
+val disabled : t
+
+val enabled : t -> bool
+(** True iff the metric registry is live. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Metric values plus the trace count, frozen at this instant. *)
+
+val snapshot_to_json : snapshot -> Json.t
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+val snapshot_string : t -> string
+(** Canonical single-string rendering — byte-identical across runs of the
+    same seed; the determinism test's oracle. *)
+
+val metrics_of_snapshot : snapshot -> Metrics.snapshot

@@ -228,6 +228,21 @@ let test_stats_percentiles () =
   Alcotest.(check int) "min" 1000 (Stats.min_us s);
   Alcotest.(check int) "max" 100_000 (Stats.max_us s)
 
+(* the sorted-sample cache must be invalidated by record: a percentile
+   read between records must not freeze the distribution *)
+let test_stats_cache_invalidation () =
+  let s = Stats.create () in
+  for i = 1 to 10 do
+    Stats.record s ~latency_us:(i * 1000) ~at_us:(i * 10_000)
+  done;
+  Alcotest.(check int) "p50 before" 5_000 (Stats.percentile_us s 0.50);
+  for i = 1 to 90 do
+    Stats.record s ~latency_us:100_000 ~at_us:((10 + i) * 10_000)
+  done;
+  Alcotest.(check int) "p50 after more samples" 100_000
+    (Stats.percentile_us s 0.50);
+  Alcotest.(check int) "max after more samples" 100_000 (Stats.max_us s)
+
 let test_stats_window_throughput () =
   let s = Stats.create () in
   for i = 1 to 100 do
@@ -305,6 +320,8 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "cache invalidation" `Quick
+            test_stats_cache_invalidation;
           Alcotest.test_case "window" `Quick test_stats_window_throughput;
           Alcotest.test_case "merge" `Quick test_stats_merge;
           Alcotest.test_case "empty" `Quick test_stats_empty;
