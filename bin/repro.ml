@@ -7,6 +7,7 @@
      simulate    run a protocol under the YCSB-like workload
      trace       per-request span waterfalls from a traced run
      nemesis     deterministic fault-injection sweep
+     mcheck      explicit-state model checking of the real runtimes
      topology    print the WAN model *)
 
 open Cmdliner
@@ -14,6 +15,7 @@ open Raftpax_core
 module Sim = Raftpax_sim
 module KV = Raftpax_kvstore
 module Nem = Raftpax_nemesis
+module MC = Raftpax_mcheck
 module Tel = Raftpax_telemetry
 
 (* ---- shared arguments ---- *)
@@ -401,6 +403,150 @@ let nemesis_cmd =
       const run_nemesis $ proto $ seed $ seeds $ chaos_steps $ clients
       $ dump_trace)
 
+(* ---- mcheck ---- *)
+
+(* What each scenario is supposed to produce.  Clean scenarios must be
+   explored to completion with the goal reached and nothing flagged; the
+   Mencius mutant must be caught by an invariant violation; the
+   MultiPaxos mutant is a liveness bug, so its signature is the goal
+   being unreachable under a still-complete search. *)
+let mcheck_verdict (r : MC.Checker.result) =
+  match r.MC.Checker.r_scenario with
+  | "mencius-slot-reuse" ->
+      if r.MC.Checker.r_violation <> None then Ok "mutant detected (violation)"
+      else Error "mutant NOT detected: expected an invariant violation"
+  | "mp-takeover" ->
+      if r.MC.Checker.r_violation <> None then
+        Error "unexpected safety violation (expected goal-unreachable)"
+      else if r.MC.Checker.r_goal_reached then
+        Error "mutant NOT detected: goal still reachable"
+      else if not r.MC.Checker.r_complete then
+        Error "inconclusive: goal unreached but search incomplete"
+      else Ok "mutant detected (goal unreachable, search complete)"
+  | name when String.length name > 6 && String.sub name 0 6 = "crash-" ->
+      (* Crash scopes admit elections, so they never exhaust within a
+         sane bound; they are bounded hunts — every visited state still
+         passes the invariant library. *)
+      if not (MC.Checker.ok r) then Error "unexpected violation"
+      else if not r.MC.Checker.r_goal_reached then Error "goal not reached"
+      else Ok "bounded exploration, goal reached, no violation"
+  | _ ->
+      if not (MC.Checker.ok r) then Error "unexpected violation"
+      else if not r.MC.Checker.r_goal_reached then Error "goal not reached"
+      else if not r.MC.Checker.r_complete then Error "search incomplete"
+      else Ok "exhaustive, goal reached, no violation"
+
+let mcheck_scenarios_of_name name =
+  match String.lowercase_ascii name with
+  | "all" ->
+      (* Everything that terminates exhaustively at default bounds: the
+         steady scopes plus the mutation pairs.  Crash scopes run by
+         name — they are bounded hunts, not exhaustive proofs. *)
+      List.filter
+        (fun n ->
+          n <> "refine-raft-star"
+          && not (String.length n > 6 && String.sub n 0 6 = "crash-"))
+        MC.Scenario.names
+  | "clean" ->
+      List.filter
+        (fun n ->
+          String.length n > 7 && String.sub n 0 7 = "steady-")
+        MC.Scenario.names
+  | "mutants" ->
+      [
+        "mencius-slot-reuse"; "mencius-slot-reuse-clean"; "mp-takeover";
+        "mp-takeover-clean";
+      ]
+  | n -> [ n ]
+
+let run_mcheck name max_states max_depth replay refine =
+  if refine || String.lowercase_ascii name = "refine-raft-star" then begin
+    let r = MC.Refine.check () in
+    Fmt.pr "%a@." MC.Refine.pp_result r;
+    if r.MC.Refine.r_ok then 0 else 1
+  end
+  else
+    match replay with
+    | Some sched -> (
+        match MC.Scenario.by_name name with
+        | None ->
+            Fmt.epr "unknown scenario %S@." name;
+            exit 2
+        | Some sc -> (
+            let schedule = MC.Model.parse_schedule sched in
+            try
+              List.iter print_endline (MC.Checker.narrate sc schedule);
+              0
+            with MC.Model.Stuck why ->
+              Fmt.epr "schedule not replayable on %s: %s@." name why;
+              2))
+    | None ->
+        let names = mcheck_scenarios_of_name name in
+        let failed = ref 0 in
+        List.iter
+          (fun n ->
+            match MC.Scenario.by_name n with
+            | None ->
+                Fmt.epr
+                  "unknown scenario %S (try one of: %s; or all, clean, \
+                   mutants)@."
+                  n
+                  (String.concat ", " MC.Scenario.names);
+                exit 2
+            | Some sc ->
+                let r = MC.Checker.check ~max_states ~max_depth sc in
+                Fmt.pr "%a@." MC.Checker.pp_result r;
+                (match mcheck_verdict r with
+                | Ok msg -> Fmt.pr "  PASS: %s@." msg
+                | Error msg ->
+                    incr failed;
+                    Fmt.pr "  FAIL: %s@." msg))
+          names;
+        if !failed = 0 then 0 else 1
+
+let mcheck_cmd =
+  let scenario =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Scenario name (steady-<protocol>, crash-<protocol>, \
+             mencius-slot-reuse[-clean], mp-takeover[-clean], \
+             refine-raft-star) or a group: all, clean, mutants.")
+  in
+  let max_depth =
+    Arg.(
+      value
+      & opt int 60
+      & info [ "max-depth" ] ~doc:"Bound on schedule length past the prefix.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"SCHEDULE"
+          ~doc:
+            "Narrate a schedule (space-separated choice tokens as printed in \
+             counterexamples) against the named scenario instead of checking.")
+  in
+  let refine =
+    Arg.(
+      value & flag
+      & info [ "refine" ]
+          ~doc:"Run the implementation-refines-spec check (Raft* against the \
+                MultiPaxos spec) instead of invariant checking.")
+  in
+  Cmd.v
+    (Cmd.info "mcheck"
+       ~doc:
+         "Explicit-state model checking of the real protocol runtimes: \
+          explore every message-delivery/timeout/crash interleaving at small \
+          scope, check safety invariants at every state, and replay minimal \
+          counterexample schedules.")
+    Term.(
+      const run_mcheck $ scenario $ max_states $ max_depth $ replay $ refine)
+
 (* ---- topology ---- *)
 
 let run_topology () =
@@ -446,5 +592,6 @@ let () =
             simulate_cmd;
             trace_cmd;
             nemesis_cmd;
+            mcheck_cmd;
             topology_cmd;
           ]))

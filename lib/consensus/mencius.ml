@@ -6,10 +6,22 @@ module Telemetry = Raftpax_telemetry.Telemetry
 module Metrics = Raftpax_telemetry.Metrics
 module Span = Raftpax_telemetry.Span
 
-type config = { params : Types.params; revoke_timeout_us : int }
+type config = {
+  params : Types.params;
+  revoke_timeout_us : int;
+  bug_slot_reuse : bool;
+      (** test-only mutation: re-introduce the pre-fix behaviour where a
+          replica proposes into its next own turn without checking that
+          the slot was decided (force-skipped) while it sat idle.  The
+          model checker's mutation smoke test asserts this is caught. *)
+}
 
 let default_config =
-  { params = Types.default_params; revoke_timeout_us = 3_000_000 }
+  {
+    params = Types.default_params;
+    revoke_timeout_us = 3_000_000;
+    bug_slot_reuse = false;
+  }
 
 let hot_key = 0
 
@@ -179,11 +191,41 @@ let owner t inst = inst mod t.n
 
 let conflicting (cmd : Types.cmd) = Types.key_of cmd.op = hot_key
 
+let render_msg = function
+  | MAppend { from; inst; cmd } ->
+      Printf.sprintf "MAppend(f%d i%d %s)" from inst (Types.render_cmd cmd)
+  | MAck { from; inst } -> Printf.sprintf "MAck(f%d i%d)" from inst
+  | MSkip { from; first; upto } ->
+      Printf.sprintf "MSkip(f%d %d..%d)" from first upto
+  | MCommit { inst } -> Printf.sprintf "MCommit(i%d)" inst
+  | MRevoke { from; inst } -> Printf.sprintf "MRevoke(f%d i%d)" from inst
+  | MRevStatus { from; inst; value } ->
+      Printf.sprintf "MRevStatus(f%d i%d %s)" from inst
+        (Types.render_cmd_opt value)
+  | MSkipForce { inst } -> Printf.sprintf "MSkipForce(i%d)" inst
+  | MCatchup { from } -> Printf.sprintf "MCatchup(f%d)" from
+  | MState { slots } ->
+      Printf.sprintf "MState([%s])"
+        (String.concat ";"
+           (List.map
+              (fun (inst, is_skip, cmd, committed) ->
+                Printf.sprintf "%d:%s%s%s" inst
+                  (if is_skip then "S" else "")
+                  (match cmd with Some c -> Types.render_cmd c | None -> "")
+                  (if committed then "!" else ""))
+              (List.sort compare slots)))
+  | Complete { cmd_id; reply } ->
+      Printf.sprintf "Complete(c%d v%s)" cmd_id
+        (match reply.Types.value with
+        | None -> "-"
+        | Some v -> string_of_int v)
+
 (* ---- dispatch ---- *)
 
 let rec send t ~src ~dst msg =
-  Net.send t.net ~src ~dst ~size:(msg_size t msg) (fun () ->
-      handle t t.servers.(dst) msg)
+  Net.send t.net ~src ~dst ~size:(msg_size t msg)
+    ~info:(fun () -> render_msg msg)
+    (fun () -> handle t t.servers.(dst) msg)
 
 and broadcast t srv msg =
   Array.iter
@@ -466,7 +508,8 @@ and handle t srv msg =
 and watchdog t srv =
   if not srv.down then begin
     let stuck = srv.commit_frontier in
-    Engine.schedule t.engine ~delay:t.config.revoke_timeout_us (fun () ->
+    Engine.schedule t.engine ~node:srv.id ~label:"watchdog"
+      ~delay:t.config.revoke_timeout_us (fun () ->
         if
           (not srv.down)
           && srv.commit_frontier = stuck
@@ -509,8 +552,8 @@ and watchdog t srv =
         watchdog t srv)
   end
   else
-    Engine.schedule t.engine ~delay:t.config.revoke_timeout_us (fun () ->
-        watchdog t srv)
+    Engine.schedule t.engine ~node:srv.id ~label:"watchdog"
+      ~delay:t.config.revoke_timeout_us (fun () -> watchdog t srv)
 
 and lowest_live t =
   let rec find i = if i >= t.n || not t.servers.(i).down then i else find (i + 1) in
@@ -520,12 +563,13 @@ and start_own_slot t srv (cmd : Types.cmd) =
   (* Our turn may have been revoked (force-skipped) while we sat on it;
      proposing into a decided slot would overwrite the decision.  Advance
      to the first turn nobody has touched. *)
-  while
-    srv.next_own < Vec.length srv.slots
-    && (slot srv srv.next_own <> Unknown || is_committed srv srv.next_own)
-  do
-    srv.next_own <- srv.next_own + t.n
-  done;
+  if not t.config.bug_slot_reuse then
+    while
+      srv.next_own < Vec.length srv.slots
+      && (slot srv srv.next_own <> Unknown || is_committed srv srv.next_own)
+    do
+      srv.next_own <- srv.next_own + t.n
+    done;
   let inst = srv.next_own in
   srv.next_own <- inst + t.n;
   ensure srv inst;
@@ -599,6 +643,7 @@ let submit_id t ~node op k =
   Span.mark t.spans ~trace:id ~node ~phase:"submit" ~now:(Engine.now t.engine);
   Net.send t.net ~src:node ~dst:node
     ~size:((p t).msg_header_bytes + Types.op_size op)
+    ~info:(fun () -> "Submit(" ^ Types.render_cmd cmd ^ ")")
     (fun () ->
       Span.mark t.spans ~trace:id ~node ~phase:"client_hop"
         ~now:(Engine.now t.engine);
@@ -644,6 +689,109 @@ let dump_slots t ~node =
       if not (is_committed srv i) then Buffer.add_char buf '!')
     srv.slots;
   Buffer.contents buf
+
+(* ---- model-checker inspection hooks ---- *)
+
+let dump_state t ~node =
+  let srv = t.servers.(node) in
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "no%d kf%d cf%d ap%d %s%s|" srv.next_own srv.known_frontier
+    srv.commit_frontier srv.applied
+    (if srv.down then "D" else "U")
+    (if srv.recovering then "R" else "");
+  add "%s" (dump_slots t ~node);
+  let tbl name tbl render =
+    let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+    add "|%s:%s" name
+      (String.concat ";" (List.map render (List.sort compare items)))
+  in
+  let mask a =
+    String.concat "" (Array.to_list (Array.map (fun b -> if b then "1" else "0") a))
+  in
+  tbl "ak" srv.acks (fun (i, a) -> Printf.sprintf "%d=%s" i (mask a));
+  tbl "rv" srv.revocations (fun (i, r) ->
+      Printf.sprintf "%d=%s/%s" i (mask r.seen)
+        (Types.render_cmd_opt r.found));
+  tbl "pm" srv.promised (fun (i, ()) -> string_of_int i);
+  tbl "st" srv.store (fun (k, v) -> Printf.sprintf "%d=%d" k v);
+  tbl "kw" srv.key_writes (fun (k, cell) ->
+      Printf.sprintf "%d=[%s]" k
+        (String.concat ","
+           (List.map string_of_int (List.sort compare !cell))));
+  add "|wt:%s"
+    (String.concat ";"
+       (List.sort compare
+          (List.map
+             (fun (i, c) -> Printf.sprintf "%d:%s" i (Types.render_cmd c))
+             srv.waiting)));
+  add "|bf:%s"
+    (String.concat ","
+       (List.map (fun (c : Types.cmd) -> string_of_int c.id) srv.buffered));
+  Buffer.contents buf
+
+(* Frontiers, the applied prefix, the own-turn cursor and the number of
+   committed slots only ever grow. *)
+let mono_view t ~node =
+  let srv = t.servers.(node) in
+  let committed_count = ref 0 in
+  Vec.iteri (fun _ b -> if b then incr committed_count) srv.committed;
+  [|
+    srv.known_frontier;
+    srv.commit_frontier;
+    srv.applied;
+    srv.next_own;
+    !committed_count;
+  |]
+
+let invariant_violation t =
+  let violation = ref None in
+  let fail fmt =
+    Printf.ksprintf (fun s -> if !violation = None then violation := Some s) fmt
+  in
+  (* Committed-slot agreement (covers skip-soundness): once two replicas
+     have a slot committed and decided, they must agree on Skip vs Value
+     and on the value's identity.  A slot can be committed while still
+     Unknown locally (the commit flag races ahead of the value), which is
+     not a disagreement. *)
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          if a.id < b.id then
+            let upto = min (Vec.length a.slots) (Vec.length b.slots) - 1 in
+            for i = 0 to upto do
+              if is_committed a i && is_committed b i then
+                match (slot a i, slot b i) with
+                | Value ca, Value cb when ca.Types.id <> cb.Types.id ->
+                    fail "slot-agreement: nodes %d,%d slot %d: %s vs %s" a.id
+                      b.id i (Types.render_cmd ca) (Types.render_cmd cb)
+                | Value c, Skip | Skip, Value c ->
+                    fail
+                      "skip-soundness: nodes %d,%d slot %d committed as both \
+                       %s and Skip"
+                      a.id b.id i (Types.render_cmd c)
+                | _ -> ()
+            done)
+        t.servers)
+    t.servers;
+  (* No command may occupy two different committed slots anywhere. *)
+  let placed = Hashtbl.create 64 in
+  Array.iter
+    (fun s ->
+      Vec.iteri
+        (fun i sl ->
+          match sl with
+          | Value cmd when is_committed s i -> (
+              match Hashtbl.find_opt placed cmd.Types.id with
+              | Some j when j <> i ->
+                  fail "dup-command: %s committed at slots %d and %d"
+                    (Types.render_cmd cmd) j i
+              | _ -> Hashtbl.replace placed cmd.Types.id i)
+          | _ -> ())
+        s.slots)
+    t.servers;
+  !violation
 
 let crash t ~node =
   t.servers.(node).down <- true;

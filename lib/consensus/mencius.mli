@@ -29,6 +29,12 @@
 type config = {
   params : Types.params;
   revoke_timeout_us : int;
+  bug_slot_reuse : bool;
+      (** test-only mutation (default [false]): skip the decided-slot
+          check before proposing into the next own turn, re-introducing
+          the slot-reuse-after-revocation bug the fault-injection PR
+          fixed.  Exists so the model checker's mutation smoke test can
+          prove it detects the bug. *)
 }
 
 val default_config : config
@@ -73,3 +79,18 @@ val dump_slots : t -> node:int -> string
 
 val crash : t -> node:int -> unit
 val restart : t -> node:int -> unit
+
+(** {1 Model-checker hooks} *)
+
+val dump_state : t -> node:int -> string
+(** Canonical rendering of every behaviour-relevant field of one replica,
+    for state fingerprinting. *)
+
+val mono_view : t -> node:int -> int array
+(** Non-decreasing components: known/commit frontiers, applied prefix,
+    own-turn cursor, committed-slot count. *)
+
+val invariant_violation : t -> string option
+(** Cluster-wide safety: committed-slot agreement (including
+    skip-soundness — no slot committed as both a value and a skip) and
+    no command committed at two slots. *)

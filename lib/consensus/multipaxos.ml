@@ -6,10 +6,23 @@ module Telemetry = Raftpax_telemetry.Telemetry
 module Metrics = Raftpax_telemetry.Metrics
 module Span = Raftpax_telemetry.Span
 
-type config = { params : Types.params; takeover_timeout_us : int }
+type config = {
+  params : Types.params;
+  takeover_timeout_us : int;
+  bug_no_takeover_after_restart : bool;
+      (** test-only mutation: the watchdog only takes over from a *down*
+          leader, re-introducing the pre-fix livelock where a restarted
+          leader comes back as a non-leader and nobody ever runs Phase 1.
+          The model checker's mutation smoke test asserts this is caught
+          (as goal unreachability under an exhaustively explored scope). *)
+}
 
 let default_config =
-  { params = Types.default_params; takeover_timeout_us = 3_000_000 }
+  {
+    params = Types.default_params;
+    takeover_timeout_us = 3_000_000;
+    bug_no_takeover_after_restart = false;
+  }
 
 type inst = {
   mutable accepted_bal : int;
@@ -121,9 +134,33 @@ let inst srv i =
 (* Ballots are globally unique per server: b = round * n + id. *)
 let next_ballot t srv = ((srv.ballot / t.n) + 1) * t.n + srv.id
 
+let render_msg = function
+  | Prepare { bal; from } -> Printf.sprintf "Prepare(b%d f%d)" bal from
+  | PrepareOk { bal; from; accepted } ->
+      Printf.sprintf "PrepareOk(b%d f%d [%s])" bal from
+        (String.concat ";"
+           (List.map
+              (fun (i, b, c) ->
+                Printf.sprintf "%d:b%d:%s" i b (Types.render_cmd_opt c))
+              (List.sort compare accepted)))
+  | Accept { bal; from; inst; cmd } ->
+      Printf.sprintf "Accept(b%d f%d i%d %s)" bal from inst
+        (Types.render_cmd_opt cmd)
+  | AcceptOk { bal; from; inst } ->
+      Printf.sprintf "AcceptOk(b%d f%d i%d)" bal from inst
+  | Learn { inst; cmd } ->
+      Printf.sprintf "Learn(i%d %s)" inst (Types.render_cmd_opt cmd)
+  | Forward cmd -> "Forward(" ^ Types.render_cmd cmd ^ ")"
+  | Complete { cmd_id; reply } ->
+      Printf.sprintf "Complete(c%d v%s)" cmd_id
+        (match reply.Types.value with
+        | None -> "-"
+        | Some v -> string_of_int v)
+
 let rec send t ~src ~dst msg =
-  Net.send t.net ~src ~dst ~size:(msg_size t msg) (fun () ->
-      handle t t.servers.(dst) msg)
+  Net.send t.net ~src ~dst ~size:(msg_size t msg)
+    ~info:(fun () -> render_msg msg)
+    (fun () -> handle t t.servers.(dst) msg)
 
 and broadcast t srv msg =
   Array.iter
@@ -335,7 +372,8 @@ and handle t srv msg =
    at the gap, so the leader re-broadcasts every unchosen instance below
    its frontier (acceptors re-accept idempotently). *)
 and watchdog t srv =
-  Engine.schedule t.engine ~delay:t.config.takeover_timeout_us (fun () ->
+  Engine.schedule t.engine ~node:srv.id ~label:"watchdog"
+    ~delay:t.config.takeover_timeout_us (fun () ->
       if not srv.down then begin
         let now = Engine.now t.engine in
         let leader = t.servers.(srv.leader_hint) in
@@ -363,7 +401,9 @@ and watchdog t srv =
             end
           done
         else if
-          (leader.down || not leader.is_leader)
+          (leader.down
+          || ((not t.config.bug_no_takeover_after_restart)
+             && not leader.is_leader))
           (* a restarted leader comes back as a non-leader: the cluster
              is leaderless even though nobody is down *)
           && srv.id = lowest_live
@@ -432,6 +472,7 @@ let submit_id t ~node op k =
   Span.mark t.spans ~trace:id ~node ~phase:"submit" ~now:(Engine.now t.engine);
   Net.send t.net ~src:node ~dst:node
     ~size:((p t).msg_header_bytes + Types.op_size op)
+    ~info:(fun () -> "Submit(" ^ Types.render_cmd cmd ^ ")")
     (fun () ->
       Span.mark t.spans ~trace:id ~node ~phase:"client_hop"
         ~now:(Engine.now t.engine);
@@ -477,3 +518,105 @@ let restart t ~node =
   t.servers.(node).down <- false;
   Net.set_node_down t.net node false;
   t.servers.(node).is_leader <- false
+
+(* ---- model-checker inspection hooks ---- *)
+
+let dump_state t ~node =
+  let srv = t.servers.(node) in
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "b%d %s h%d ni%d ex%d sg%d %s|" srv.ballot
+    (if srv.is_leader then "L" else "F")
+    srv.leader_hint srv.next_inst srv.executed srv.last_leader_sign
+    (if srv.down then "D" else "U");
+  Vec.iteri
+    (fun _ it ->
+      add "%d:%s%s;" it.accepted_bal
+        (match it.accepted_cmd with
+        | None -> "_"
+        | Some c -> Types.render_cmd_opt c)
+        (if it.chosen then "!" else ""))
+    srv.insts;
+  let tbl name tbl render =
+    let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+    add "|%s:%s" name
+      (String.concat ";" (List.map render (List.sort compare items)))
+  in
+  let mask a =
+    String.concat ""
+      (Array.to_list (Array.map (fun b -> if b then "1" else "0") a))
+  in
+  tbl "st" srv.store (fun (k, v) -> Printf.sprintf "%d=%d" k v);
+  tbl "po" srv.prepare_oks (fun (k, _) -> string_of_int k);
+  add "|g:%s"
+    (String.concat ";"
+       (List.sort compare
+          (List.map
+             (fun (i, b, c) ->
+               Printf.sprintf "%d:b%d:%s" i b (Types.render_cmd_opt c))
+             srv.gathered)));
+  tbl "ao" srv.accept_oks (fun (i, a) -> Printf.sprintf "%d=%s" i (mask a));
+  tbl "wt" srv.waiters (fun (i, c) ->
+      Printf.sprintf "%d:%s" i (Types.render_cmd c));
+  tbl "pc" srv.proposed_cmds (fun (i, ()) -> string_of_int i);
+  Buffer.contents buf
+
+(* Highest ballot seen, the executed prefix and the chosen count only
+   ever grow. *)
+let mono_view t ~node =
+  let srv = t.servers.(node) in
+  let chosen = ref 0 in
+  Vec.iteri (fun _ it -> if it.chosen then incr chosen) srv.insts;
+  [| srv.ballot; srv.executed; !chosen |]
+
+let invariant_violation t =
+  let violation = ref None in
+  let fail fmt =
+    Printf.ksprintf (fun s -> if !violation = None then violation := Some s) fmt
+  in
+  (* Chosen-instance agreement: two replicas that both consider an
+     instance chosen must hold the same value (this also makes the
+     executed prefixes consistent, since execution requires chosen). *)
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          if a.id < b.id then
+            let upto = min (Vec.length a.insts) (Vec.length b.insts) - 1 in
+            for i = 0 to upto do
+              let ia = Vec.get a.insts i and ib = Vec.get b.insts i in
+              if ia.chosen && ib.chosen then
+                let id_of it =
+                  match it.accepted_cmd with
+                  | Some (Some c) -> Some c.Types.id
+                  | Some None | None -> None
+                in
+                if id_of ia <> id_of ib then
+                  fail "chosen-agreement: nodes %d,%d instance %d: %s vs %s"
+                    a.id b.id i
+                    (match ia.accepted_cmd with
+                    | Some c -> Types.render_cmd_opt c
+                    | None -> "_")
+                    (match ib.accepted_cmd with
+                    | Some c -> Types.render_cmd_opt c
+                    | None -> "_")
+            done)
+        t.servers)
+    t.servers;
+  (* A command must not be chosen at two different instances. *)
+  let placed = Hashtbl.create 64 in
+  Array.iter
+    (fun s ->
+      Vec.iteri
+        (fun i it ->
+          match it.accepted_cmd with
+          | Some (Some c) when it.chosen -> (
+              match Hashtbl.find_opt placed c.Types.id with
+              | Some j when j <> i ->
+                  fail "dup-command: %s chosen at instances %d and %d"
+                    (Types.render_cmd c) j i
+              | _ -> Hashtbl.replace placed c.Types.id i)
+          | _ -> ())
+        s.insts)
+    t.servers;
+  !violation

@@ -14,6 +14,12 @@
 type config = {
   params : Types.params;
   takeover_timeout_us : int;  (** leader-failure detection *)
+  bug_no_takeover_after_restart : bool;
+      (** test-only mutation (default [false]): the takeover watchdog
+          only fires for a *down* leader, re-introducing the
+          restarted-leader livelock the fault-injection PR fixed.  Exists
+          so the model checker's mutation smoke test can prove it detects
+          the bug. *)
 }
 
 val default_config : config
@@ -53,3 +59,16 @@ val applied_value : t -> node:int -> key:int -> int option
 
 val crash : t -> node:int -> unit
 val restart : t -> node:int -> unit
+
+(** {1 Model-checker hooks} *)
+
+val dump_state : t -> node:int -> string
+(** Canonical rendering of every behaviour-relevant field of one replica,
+    for state fingerprinting. *)
+
+val mono_view : t -> node:int -> int array
+(** Non-decreasing components: ballot, executed prefix, chosen count. *)
+
+val invariant_violation : t -> string option
+(** Cluster-wide safety: chosen-instance agreement and no command chosen
+    at two instances. *)

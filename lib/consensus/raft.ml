@@ -180,6 +180,41 @@ let msg_size t = function
   | Complete _ -> (p t).reply_bytes
   | Grant _ | GrantConfirm _ -> (p t).msg_header_bytes
 
+(* ---- canonical message rendering (model-checker fingerprints) ---- *)
+
+let render_msg = function
+  | RequestVote { term; cand; last_idx; last_term } ->
+      Printf.sprintf "RequestVote(t%d c%d li%d lt%d)" term cand last_idx
+        last_term
+  | Vote { term; from; granted; extras } ->
+      Printf.sprintf "Vote(t%d f%d %b [%s])" term from granted
+        (String.concat ";"
+           (List.map
+              (fun (i, e, b) ->
+                Printf.sprintf "%d:%s/b%d" i (Types.render_entry e) b)
+              extras))
+  | Append { term; leader; prev_idx; prev_term; entries; commit } ->
+      Printf.sprintf "Append(t%d l%d p%d/%d c%d [%s])" term leader prev_idx
+        prev_term commit
+        (String.concat ";"
+           (List.map
+              (fun (e, b) -> Printf.sprintf "%s/b%d" (Types.render_entry e) b)
+              entries))
+  | Ack { term; from; success; match_idx; holders } ->
+      Printf.sprintf "Ack(t%d f%d %b m%d [%s])" term from success match_idx
+        (String.concat ";"
+           (List.map (fun (h, d) -> Printf.sprintf "%d@%d" h d) holders))
+  | Forward cmd -> "Forward(" ^ Types.render_cmd cmd ^ ")"
+  | Complete { cmd_id; reply } ->
+      Printf.sprintf "Complete(c%d v%s)" cmd_id
+        (match reply.Types.value with
+        | None -> "-"
+        | Some v -> string_of_int v)
+  | Grant { from; deadline; grantor_last } ->
+      Printf.sprintf "Grant(f%d d%d gl%d)" from deadline grantor_last
+  | GrantConfirm { from; deadline } ->
+      Printf.sprintf "GrantConfirm(f%d d%d)" from deadline
+
 (* ---- log helpers ---- *)
 
 let last_index srv = Vec.length srv.log - 1
@@ -197,8 +232,9 @@ let note_write srv idx (e : Types.entry) =
 (* ---- forward declarations through a mutable dispatcher ---- *)
 
 let rec send t ~src ~dst msg =
-  Net.send t.net ~src ~dst ~size:(msg_size t msg) (fun () ->
-      handle t t.servers.(dst) msg)
+  Net.send t.net ~src ~dst ~size:(msg_size t msg)
+    ~info:(fun () -> render_msg msg)
+    (fun () -> handle t t.servers.(dst) msg)
 
 and broadcast t srv msg =
   Array.iter (fun peer -> if peer.id <> srv.id then send t ~src:srv.id ~dst:peer.id msg) t.servers
@@ -373,7 +409,8 @@ and advance_commit t srv =
           own srv.peer_grants
       in
       if earliest < max_int then
-        Engine.schedule t.engine ~delay:(earliest - now + 1) (fun () ->
+        Engine.schedule t.engine ~node:srv.id ~label:"commit-retry"
+          ~delay:(earliest - now + 1) (fun () ->
             if srv.role = Leader && not srv.down then advance_commit t srv)
   end
 
@@ -470,7 +507,8 @@ and reset_election_timer t srv =
     in
     srv.election_timer <-
       Some
-        (Engine.schedule_cancellable t.engine ~delay:span (fun () ->
+        (Engine.schedule_cancellable t.engine ~node:srv.id ~label:"election"
+           ~delay:span (fun () ->
              if (not srv.down) && srv.role <> Leader then start_election t srv))
 
 and start_election t srv =
@@ -552,8 +590,8 @@ and heartbeat_loop t srv term =
             send_batch t srv peer.id
           end)
       t.servers;
-    Engine.schedule t.engine ~delay:(p t).heartbeat_interval_us (fun () ->
-        heartbeat_loop t srv term)
+    Engine.schedule t.engine ~node:srv.id ~label:"heartbeat"
+      ~delay:(p t).heartbeat_interval_us (fun () -> heartbeat_loop t srv term)
   end
 
 (* ---- message handling ---- *)
@@ -770,7 +808,8 @@ let rec lease_loop t srv =
         end)
       t.servers
   end;
-  Engine.schedule t.engine ~delay:(p t).lease_renew_us (fun () -> lease_loop t srv)
+  Engine.schedule t.engine ~node:srv.id ~label:"lease"
+    ~delay:(p t).lease_renew_us (fun () -> lease_loop t srv)
 
 (* ---- construction ---- *)
 
@@ -860,6 +899,7 @@ let submit_id t ~node op k =
   (* Client-to-colocated-replica hop. *)
   Net.send t.net ~src:node ~dst:node
     ~size:((p t).msg_header_bytes + Types.op_size op)
+    ~info:(fun () -> "Submit(" ^ Types.render_cmd cmd ^ ")")
     (fun () ->
       Span.mark t.spans ~trace:id ~node ~phase:"client_hop"
         ~now:(Engine.now t.engine);
@@ -915,3 +955,213 @@ let restart t ~node =
   Array.iter (fun row -> Array.fill row 0 t.n min_int) srv.peer_grants;
   reset_election_timer t srv;
   if t.config.read_mode = Quorum_lease then lease_loop t srv
+
+(* ---- model-checker inspection hooks ---- *)
+
+let role_char = function Follower -> 'F' | Candidate -> 'C' | Leader -> 'L'
+
+let sorted_tbl tbl render =
+  let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  let items = List.sort compare items in
+  String.concat "," (List.map render items)
+
+let sorted_ints l = List.sort compare l
+
+let dump_state t ~node =
+  let srv = t.servers.(node) in
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "t%d v%s %c h%d ci%d la%d %s|" srv.term
+    (match srv.voted_for with None -> "-" | Some v -> string_of_int v)
+    (role_char srv.role) srv.leader_hint srv.commit_index srv.last_applied
+    (if srv.down then "D" else "U");
+  Vec.iteri
+    (fun _ (e, b) -> add "%s/b%d;" (Types.render_entry e) b)
+    srv.log;
+  add "|st:%s" (sorted_tbl srv.store (fun (k, v) -> Printf.sprintf "%d=%d" k v));
+  add "|kw:%s"
+    (sorted_tbl srv.key_last_write (fun (k, v) -> Printf.sprintf "%d=%d" k v));
+  add "|ap:%s"
+    (String.concat ","
+       (List.map string_of_int
+          (sorted_ints (Hashtbl.fold (fun k () acc -> k :: acc) srv.appended_cmds []))));
+  let ints name a =
+    add "|%s:%s" name
+      (String.concat "," (Array.to_list (Array.map string_of_int a)))
+  in
+  ints "ni" srv.next_index;
+  ints "mi" srv.match_index;
+  ints "if" srv.inflight;
+  add "|vt:%s"
+    (String.concat ""
+       (Array.to_list (Array.map (fun v -> if v then "1" else "0") srv.votes)));
+  add "|vx:%s"
+    (String.concat ";"
+       (List.sort compare
+          (List.map
+             (fun (i, e, b) ->
+               Printf.sprintf "%d:%s/b%d" i (Types.render_entry e) b)
+             srv.vote_extras)));
+  ints "fa" srv.follower_last_ack;
+  add "|ll:%d" srv.leader_lease_until;
+  ints "gf" srv.grant_from;
+  add "|pg:%s"
+    (String.concat ";"
+       (List.sort compare
+          (List.map
+             (fun (f, d, r) -> Printf.sprintf "%d@%d>%d" f d r)
+             srv.pending_grants)));
+  ints "mg" srv.my_grants;
+  ints "cg" srv.confirmed_grants;
+  Array.iter (fun row -> ints "pr" row) srv.peer_grants;
+  add "|rd:%s"
+    (String.concat ","
+       (List.map string_of_int
+          (sorted_ints (List.map fst srv.pending_reads))));
+  Buffer.contents buf
+
+type peek_entry = { pe_term : int; pe_ballot : int; pe_cmd : int option }
+
+type peek = {
+  pk_term : int;
+  pk_is_leader : bool;
+  pk_commit : int;
+  pk_log : peek_entry list;
+}
+
+let peek t ~node =
+  let srv = t.servers.(node) in
+  {
+    pk_term = srv.term;
+    pk_is_leader = (srv.role = Leader);
+    pk_commit = srv.commit_index;
+    pk_log =
+      List.map
+        (fun ((e : Types.entry), b) ->
+          {
+            pe_term = e.term;
+            pe_ballot = b;
+            pe_cmd = Option.map (fun (c : Types.cmd) -> c.id) e.cmd;
+          })
+        (Vec.to_list srv.log);
+  }
+
+(* Components that must never decrease along any execution.  The log
+   block (length, then per-index ballots) is append-only under Raft*
+   only, so vanilla exposes just term and commit index. *)
+let mono_view t ~node =
+  let srv = t.servers.(node) in
+  match t.config.flavor with
+  | Vanilla -> [| srv.term; srv.commit_index |]
+  | Star ->
+      let len = Vec.length srv.log in
+      Array.init (3 + len) (fun i ->
+          if i = 0 then srv.term
+          else if i = 1 then srv.commit_index
+          else if i = 2 then len
+          else snd (Vec.get srv.log (i - 3)))
+
+let entry_eq (e1 : Types.entry) (e2 : Types.entry) =
+  e1.term = e2.term
+  && Option.map (fun (c : Types.cmd) -> c.id) e1.cmd
+     = Option.map (fun (c : Types.cmd) -> c.id) e2.cmd
+
+let invariant_violation t =
+  let violation = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !violation = None then violation := Some s) fmt in
+  (* Election Safety: at most one leader per term (persisted state, so
+     crashed servers' stale roles count too: a second leader in the same
+     term would be a safety bug even if the first is currently down). *)
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          if
+            a.id < b.id && a.role = Leader && b.role = Leader
+            && a.term = b.term
+          then fail "election-safety: nodes %d and %d both lead term %d" a.id b.id a.term)
+        t.servers)
+    t.servers;
+  (* Log Matching (per-index form, valid for both flavors): same creation
+     term at an index implies the same entry.  Vanilla additionally
+     guarantees equal prefixes below a matching index. *)
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          if a.id < b.id then
+            let upto = min (last_index a) (last_index b) in
+            for i = 0 to upto do
+              let ea, _ = Vec.get a.log i and eb, _ = Vec.get b.log i in
+              if ea.Types.term = eb.Types.term && not (entry_eq ea eb) then
+                fail "log-matching: nodes %d,%d index %d term %d: %s vs %s"
+                  a.id b.id i ea.Types.term (Types.render_entry ea)
+                  (Types.render_entry eb);
+              if
+                t.config.flavor = Vanilla
+                && ea.Types.term = eb.Types.term
+                && i > 0
+              then begin
+                let pa, _ = Vec.get a.log (i - 1)
+                and pb, _ = Vec.get b.log (i - 1) in
+                if not (entry_eq pa pb) then
+                  fail
+                    "log-matching-prefix: nodes %d,%d differ at %d below a \
+                     term match at %d"
+                    a.id b.id (i - 1) i
+              end
+            done)
+        t.servers)
+    t.servers;
+  (* Leader Completeness, checkable form: a live leader holding the
+     globally maximal term must contain every entry any server has
+     committed (anything committed was chosen at a term <= that max). *)
+  let max_term = Array.fold_left (fun acc s -> max acc s.term) 0 t.servers in
+  Array.iter
+    (fun l ->
+      if l.role = Leader && (not l.down) && l.term = max_term then
+        Array.iter
+          (fun s ->
+            for i = 0 to s.commit_index do
+              if i > last_index l then
+                fail "leader-completeness: leader %d (term %d) misses committed index %d of node %d"
+                  l.id l.term i s.id
+              else
+                let el, _ = Vec.get l.log i and es, _ = Vec.get s.log i in
+                if not (entry_eq el es) then
+                  fail "leader-completeness: leader %d disagrees with node %d at committed index %d"
+                    l.id s.id i
+            done)
+          t.servers)
+    t.servers;
+  (* State-Machine Safety: commonly committed prefixes are identical. *)
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          if a.id < b.id then
+            for i = 0 to min a.commit_index b.commit_index do
+              let ea, _ = Vec.get a.log i and eb, _ = Vec.get b.log i in
+              if not (entry_eq ea eb) then
+                fail "state-machine-safety: nodes %d,%d disagree at committed index %d"
+                  a.id b.id i
+            done)
+        t.servers)
+    t.servers;
+  (* The Raft* per-entry ballot field: never below the entry's creation
+     term (vanilla degenerates to equality). *)
+  Array.iter
+    (fun s ->
+      Vec.iteri
+        (fun i (e, b) ->
+          let bad =
+            match t.config.flavor with
+            | Vanilla -> b <> e.Types.term
+            | Star -> b < e.Types.term
+          in
+          if bad then
+            fail "ballot-field: node %d index %d ballot %d vs term %d" s.id i
+              b e.Types.term)
+        s.log)
+    t.servers;
+  !violation

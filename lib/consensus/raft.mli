@@ -79,3 +79,34 @@ val crash : t -> node:int -> unit
 val restart : t -> node:int -> unit
 (** Crash-stop and restart with durable state (term, vote, log) retained —
     models a persisted log. *)
+
+(** {1 Model-checker hooks} *)
+
+val dump_state : t -> node:int -> string
+(** Canonical rendering of every behaviour-relevant field of one replica;
+    two replicas with equal dumps are indistinguishable to the protocol.
+    Used by {!Raftpax_mcheck} to fingerprint global states. *)
+
+type peek_entry = { pe_term : int; pe_ballot : int; pe_cmd : int option }
+
+type peek = {
+  pk_term : int;
+  pk_is_leader : bool;
+  pk_commit : int;
+  pk_log : peek_entry list;
+}
+
+val peek : t -> node:int -> peek
+(** Structured snapshot of the refinement-relevant core of a replica. *)
+
+val mono_view : t -> node:int -> int array
+(** Components that must never decrease along any execution: term and
+    commit index, plus (Raft* only, where the log never shortens) log
+    length and per-index ballots.  The checker compares successive views
+    pointwise over their common prefix. *)
+
+val invariant_violation : t -> string option
+(** Evaluates the executable safety invariants over the whole cluster:
+    Election Safety, Log Matching, Leader Completeness (against the
+    max-term live leader), State-Machine Safety, and the Raft* per-entry
+    ballot field bound.  [None] means all hold. *)

@@ -42,6 +42,22 @@ let default_params =
     lease_renew_us = 500_000;
   }
 
+(* Canonical renderings used by the model checker to fingerprint
+   messages and states.  [submitted_us] is deliberately excluded: it only
+   feeds latency accounting, and folding it in would split otherwise
+   identical states. *)
+
+let render_op = function
+  | Get { key } -> Printf.sprintf "G%d" key
+  | Put { key; write_id; _ } -> Printf.sprintf "P%d=%d" key write_id
+
+let render_cmd c = Printf.sprintf "c%d@%d:%s" c.id c.origin (render_op c.op)
+
+let render_cmd_opt = function None -> "noop" | Some c -> render_cmd c
+
+let render_entry e =
+  Printf.sprintf "{t%d %s}" e.term (render_cmd_opt e.cmd)
+
 let entry_bytes params e =
   params.msg_header_bytes
   + match e.cmd with None -> 0 | Some c -> op_size c.op

@@ -48,3 +48,14 @@ val default_params : params
 
 val entry_bytes : params -> entry -> int
 val batch_bytes : params -> entry list -> int
+
+(** {1 Canonical renderings}
+
+    Stable, deterministic strings used by the model checker to
+    fingerprint messages and states.  [submitted_us] is excluded on
+    purpose (it only feeds latency accounting). *)
+
+val render_op : op -> string
+val render_cmd : cmd -> string
+val render_cmd_opt : cmd option -> string
+val render_entry : entry -> string

@@ -1,0 +1,43 @@
+(** Implementation-refines-spec: the Raft* runtime against the paper's
+    MultiPaxos TLA+ transcription ({!Raftpax_core.Spec_multipaxos}).
+
+    Every transition of the {!Scenario.refinement} runtime scope must
+    project — via the Figure-3 state mapping (currentTerm =>
+    highestBallot, role = Leader => isLeader, log length =>
+    logTail + 1, entries with their Raft* ballot => logs) — to a legal
+    sequence of at most [max_hops] spec steps, or be a stutter (the
+    projection unchanged).  Because the runtime and the spec represent
+    in-flight messages differently, a runtime state is tracked against a
+    {e set} of candidate spec states sharing its projection, and the
+    check is a forward simulation over candidate sets (no unioning
+    across distinct runtime paths; subsumed sets are pruned).
+
+    The runtime's bootstrap (a pre-elected leader at term 1 holding the
+    noop) is discharged by a directed spec opening in which another
+    acceptor initiates the election the leader wins — the only shape the
+    spec permits, since [Phase1b] requires [bal > highestBallot] and so
+    the initiating acceptor can never answer its own prepare.  For the
+    same reason runtime elections (where candidates vote for themselves)
+    cannot be discharged at this level and stay out of scope; see
+    DESIGN.md. *)
+
+type failure = {
+  f_schedule : Model.choice list;  (** shortest path to the bad transition *)
+  f_choice : Model.choice;  (** the transition no spec path matches *)
+  f_core : string;  (** the unreachable target projection *)
+}
+
+type result = {
+  r_ok : bool;
+  r_runtime_states : int;
+  r_checked_transitions : int;
+  r_spec_states_touched : int;  (** spec-side BFS work, cache misses only *)
+  r_failure : failure option;
+}
+
+val check : ?max_hops:int -> ?max_states:int -> unit -> result
+(** Exhaustive at the {!Scenario.refinement} scope; [max_hops] bounds
+    how many spec steps one runtime transition may batch (default 4: a
+    follower append discharges as Propose plus per-entry Accepts). *)
+
+val pp_result : Format.formatter -> result -> unit

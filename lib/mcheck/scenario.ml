@@ -1,0 +1,255 @@
+module C = Raftpax_consensus
+module Types = C.Types
+module Net = Raftpax_sim.Net
+module Cluster = Raftpax_nemesis.Cluster
+
+let put key write_id = Types.Put { key; size = 8; write_id }
+let get key = Types.Get { key }
+
+(* Exploration needs path-independent timer deadlines: the election
+   jitter draw advances a per-server RNG on every timer reset, so two
+   interleavings reaching the same logical state would carry different
+   pending deadlines and never merge in the visited set.  Collapsing the
+   jitter window to a point makes the draw always return 0 without
+   touching the runtime code. *)
+let det_params =
+  {
+    Types.default_params with
+    election_timeout_max_us = Types.default_params.election_timeout_min_us;
+  }
+
+let raft_config_for = function
+  | Cluster.Raft -> Some { (C.Raft.raft ~leader:0 ()) with params = det_params }
+  | Cluster.Raft_star ->
+      Some { (C.Raft.raft_star ~leader:0 ()) with params = det_params }
+  | Cluster.Raft_pql ->
+      Some { (C.Raft.raft_pql ~leader:0 ()) with params = det_params }
+  | Cluster.Mencius | Cluster.Multipaxos -> None
+
+(* Steady (crash-free) Raft scopes are about the replication and read
+   paths.  Firing an election timer there opens a full election's worth
+   of extra interleavings (candidate, votes, possible new leader), and a
+   lease fire opens the whole grant/renewal conversation; either
+   multiplies the space a hundredfold.  Heartbeat fires stay in — they
+   interleave retransmission with replication, which is the interesting
+   steady-state timing.  The crash scenarios, which are about leader
+   loss, allow every timer; so does nemesis, which covers the lease
+   paths with the same invariant library as a sanitizer. *)
+let steady_fire_filter = function
+  | Cluster.Raft | Cluster.Raft_star | Cluster.Raft_pql ->
+      Some (fun ~node:_ ~label -> label = "heartbeat")
+  | Cluster.Mencius | Cluster.Multipaxos -> None
+
+let base ?fire_filter name protocol ~ops ~targets ~timer_budget ~crash_budget =
+  {
+    Model.sc_name = name;
+    sc_protocol = protocol;
+    sc_ops = ops;
+    sc_targets = targets;
+    sc_nodes = 3;
+    sc_timer_budget = timer_budget;
+    sc_crash_budget = crash_budget;
+    sc_raft_config = raft_config_for protocol;
+    sc_mencius_config = None;
+    sc_multipaxos_config = None;
+    sc_fire_filter = fire_filter;
+    sc_policy = None;
+  }
+
+(* ---- policy helpers ---- *)
+
+(* First nonempty link in (src, dst) order whose delivery the policy
+   allows.  Policies steer by withholding links, never by inventing
+   choices the model would not offer. *)
+let next_delivery ?(blocked = fun ~src:_ ~dst:_ -> false) w =
+  let n = (Model.cluster w).Cluster.n in
+  let found = ref None in
+  for src = n - 1 downto 0 do
+    for dst = n - 1 downto 0 do
+      if
+        Model.queue_info w ~src ~dst <> []
+        && not (blocked ~src ~dst)
+      then found := Some (Model.Deliver (src, dst))
+    done
+  done;
+  !found
+
+let dump_has_token w ~node tok =
+  let dump = (Model.cluster w).Cluster.dump ~node in
+  List.mem tok (String.split_on_char ' ' dump)
+
+(* ---- clean scenarios ---- *)
+
+(* A write then a read of the same key, submitted at two different
+   replicas: exercises replication, forwarding, commit, the reply path
+   and (under PQL) the lease-grant and commit-waited local read.  One
+   timer fire lets heartbeats / watchdogs / lease renewals interleave
+   anywhere. *)
+let steady protocol =
+  let name =
+    Printf.sprintf "steady-%s"
+      (String.lowercase_ascii (Cluster.protocol_name protocol))
+  in
+  base ?fire_filter:(steady_fire_filter protocol) name protocol
+    ~ops:[ put 11 1; get 11 ]
+    ~targets:[ 0; 1 ] ~timer_budget:1 ~crash_budget:0
+
+(* The crash variant adds one crash anywhere plus restarts; with two
+   timer fires an election can complete after a leader crash. *)
+let crash protocol =
+  let name =
+    Printf.sprintf "crash-%s"
+      (String.lowercase_ascii (Cluster.protocol_name protocol))
+  in
+  base name protocol
+    ~ops:[ put 11 1; get 11 ]
+    ~targets:[ 0; 1 ] ~timer_budget:2 ~crash_budget:1
+
+(* ---- mutation smoke scenarios ---- *)
+
+(* Mencius slot reuse after revocation (the PR-1 bug, re-armed by
+   [bug_slot_reuse]).  The scripted policy steers into the triggering
+   region: node 2's slot 2 gets revoked into a committed skip while
+   node 2 still has a command waiting in its inbox.  Route:
+
+   - A@0, B@1 commit normally; C@1 lands in slot 4 but its append to
+     node 2 is withheld (the (1,2) link is blocked after the two
+     messages B needed), so every commit frontier stalls at slot 2;
+   - D's submission at node 2 is withheld entirely (the (2,2) link);
+   - node 0's watchdog fires twice: the first arms the stall detector,
+     the second starts a revocation of slot 2; nobody saw a value, so
+     the majority answer forces slot 2 to a committed skip everywhere.
+
+   Exploration then delivers D's submission: the clean runtime advances
+   [next_own] past the decided slot and proposes D at slot 5; the mutant
+   proposes D straight into the committed skip, and the committed-slot
+   agreement invariant fails within one choice. *)
+let mencius_slot_reuse ~mutant () =
+  let delivered_12 = ref 0 in
+  let fires = ref 0 in
+  let blocked ~src ~dst =
+    (src = 2 && dst = 2) || (src = 1 && dst = 2 && !delivered_12 >= 2)
+  in
+  let policy w =
+    match next_delivery ~blocked w with
+    | Some (Model.Deliver (1, 2) as d) ->
+        incr delivered_12;
+        Some d
+    | Some d -> Some d
+    | None ->
+        if dump_has_token w ~node:2 "2:S" then None
+        else if !fires < 6 then begin
+          incr fires;
+          Some (Model.Fire (0, "watchdog", 0))
+        end
+        else None
+  in
+  {
+    (base
+       (if mutant then "mencius-slot-reuse" else "mencius-slot-reuse-clean")
+       Cluster.Mencius
+       ~ops:[ put 11 1; put 12 2; put 13 3; put 14 4 ]
+       ~targets:[ 0; 1; 1; 2 ] ~timer_budget:1 ~crash_budget:0)
+    with
+    sc_mencius_config =
+      Some { C.Mencius.default_config with bug_slot_reuse = mutant };
+    sc_policy = Some policy;
+  }
+
+(* MultiPaxos missing takeover from a restarted leader (the PR-1 bug,
+   re-armed by [bug_no_takeover_after_restart]).  The policy commits one
+   command, then crash-restarts the bootstrap leader, which comes back
+   live but demoted — the cluster is leaderless with nobody down.  The
+   second command, submitted at node 1, can only commit if node 0's
+   watchdog notices the demoted leader and re-runs Phase 1.  The clean
+   runtime reaches the all-acked goal; under the mutant the watchdog
+   only reacts to a *down* leader, the forward loop collapses into a
+   fingerprint cycle, and the goal is unreachable with [complete]
+   still true — which is the detection. *)
+let mp_takeover ~mutant () =
+  let crashed = ref false in
+  let policy w =
+    if Model.acked w < 1 then next_delivery w
+    else
+      match next_delivery ~blocked:(fun ~src ~dst -> src = 1 && dst = 1) w with
+      | Some d -> Some d
+      | None ->
+          if not !crashed then begin
+            crashed := true;
+            Some (Model.Crash 0)
+          end
+          else if Net.node_down (Model.net w) 0 then Some (Model.Restart 0)
+          else None
+  in
+  {
+    (base
+       (if mutant then "mp-takeover" else "mp-takeover-clean")
+       Cluster.Multipaxos
+       ~ops:[ put 11 1; put 12 2 ]
+       ~targets:[ 0; 1 ] ~timer_budget:2 ~crash_budget:0)
+    with
+    sc_multipaxos_config =
+      Some
+        {
+          C.Multipaxos.default_config with
+          bug_no_takeover_after_restart = mutant;
+        };
+    sc_policy = Some policy;
+  }
+
+(* ---- refinement scope ---- *)
+
+(* The runtime exploration the refinement checker walks: Raft* with the
+   bootstrap leader, two writes through both the direct and the
+   forwarded path, and zero fault budgets — the scope where every
+   runtime transition must project to legal Spec_multipaxos steps (see
+   {!Refine} and DESIGN.md for why elections stay out of scope). *)
+let refinement () =
+  base "refine-raft-star" Cluster.Raft_star
+    ~ops:[ put 11 1; put 12 2 ]
+    ~targets:[ 0; 1 ] ~timer_budget:0 ~crash_budget:0
+
+(* ---- registry ---- *)
+
+let clean_protocols =
+  [
+    Cluster.Raft;
+    Cluster.Raft_star;
+    Cluster.Raft_pql;
+    Cluster.Mencius;
+    Cluster.Multipaxos;
+  ]
+
+let by_name name =
+  match String.lowercase_ascii name with
+  | "mencius-slot-reuse" -> Some (mencius_slot_reuse ~mutant:true ())
+  | "mencius-slot-reuse-clean" -> Some (mencius_slot_reuse ~mutant:false ())
+  | "mp-takeover" -> Some (mp_takeover ~mutant:true ())
+  | "mp-takeover-clean" -> Some (mp_takeover ~mutant:false ())
+  | "refine-raft-star" -> Some (refinement ())
+  | s -> (
+      let strip prefix =
+        if String.length s > String.length prefix
+           && String.sub s 0 (String.length prefix) = prefix
+        then
+          Some (String.sub s (String.length prefix)
+                  (String.length s - String.length prefix))
+        else None
+      in
+      match strip "steady-" with
+      | Some p -> Option.map steady (Cluster.protocol_of_name p)
+      | None -> (
+          match strip "crash-" with
+          | Some p -> Option.map crash (Cluster.protocol_of_name p)
+          | None -> None))
+
+let names =
+  List.map (fun p -> (steady p).Model.sc_name) clean_protocols
+  @ List.map (fun p -> (crash p).Model.sc_name) clean_protocols
+  @ [
+      "mencius-slot-reuse";
+      "mencius-slot-reuse-clean";
+      "mp-takeover";
+      "mp-takeover-clean";
+      "refine-raft-star";
+    ]

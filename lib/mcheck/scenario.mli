@@ -1,0 +1,41 @@
+(** The scenario library: small-scope checking configurations over the
+    real runtimes.
+
+    Clean scenarios ({!steady}, {!crash}) are explored exhaustively and
+    must end with [complete = true], the goal reached and no violation.
+    The mutation scenarios re-arm two bugs the fault-injection PR fixed
+    (behind test-only config flags) and script the world into the
+    triggering region with a policy prefix; the checker must detect the
+    mutant — by invariant violation (Mencius slot reuse) or by goal
+    unreachability under a complete search (MultiPaxos takeover). *)
+
+val steady : Raftpax_nemesis.Cluster.protocol -> Model.scenario
+(** Write then read the same key at two replicas; one timer fire, no
+    crashes. *)
+
+val crash : Raftpax_nemesis.Cluster.protocol -> Model.scenario
+(** {!steady} plus one crash anywhere and a second timer fire. *)
+
+val mencius_slot_reuse : mutant:bool -> unit -> Model.scenario
+(** Slot-reuse-after-revocation: the policy forces a revocation of
+    node 2's slot 2 into a committed skip while node 2 still holds an
+    unprocessed submission; the mutant then proposes into the decided
+    slot.  Detection: committed-slot agreement violation. *)
+
+val mp_takeover : mutant:bool -> unit -> Model.scenario
+(** Restarted-leader livelock: the policy crash-restarts the bootstrap
+    leader between two commands.  Detection: the all-acked goal becomes
+    unreachable with the search still complete. *)
+
+val refinement : unit -> Model.scenario
+(** The Raft* runtime scope the {!Refine} checker walks (zero fault
+    budgets, bootstrap leader). *)
+
+val clean_protocols : Raftpax_nemesis.Cluster.protocol list
+
+val by_name : string -> Model.scenario option
+(** CLI lookup: ["steady-<protocol>"], ["crash-<protocol>"], the mutation
+    scenarios and ["refine-raft-star"].  Scenario values hold single-use
+    policy state — look up a fresh one per check. *)
+
+val names : string list

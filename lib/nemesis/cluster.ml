@@ -33,6 +33,10 @@ type t = {
   committed_ops : node:int -> Types.op list;
   digest : node:int -> string;
   dump : node:int -> string;
+  state : node:int -> string;
+  mono : node:int -> int array;
+  invariant : unit -> string option;
+  raft_peek : (node:int -> C.Raft.peek) option;
 }
 
 (* Mencius (per its paper) assumes FIFO channels: its skip protocol
@@ -44,15 +48,19 @@ let fifo_required = function
   | Mencius -> true
   | Raft | Raft_star | Raft_pql | Multipaxos -> false
 
-let make ?telemetry protocol net =
+let make ?telemetry ?raft_config ?mencius_config ?multipaxos_config protocol
+    net =
   let n = List.length (Net.nodes net) in
   match protocol with
   | Raft | Raft_star | Raft_pql ->
       let cfg =
-        match protocol with
-        | Raft -> C.Raft.raft ~leader:0 ()
-        | Raft_star -> C.Raft.raft_star ~leader:0 ()
-        | _ -> C.Raft.raft_pql ~leader:0 ()
+        match raft_config with
+        | Some cfg -> cfg
+        | None -> (
+            match protocol with
+            | Raft -> C.Raft.raft ~leader:0 ()
+            | Raft_star -> C.Raft.raft_star ~leader:0 ()
+            | _ -> C.Raft.raft_pql ~leader:0 ())
       in
       let r = C.Raft.create ?telemetry cfg net in
       C.Raft.start r;
@@ -94,9 +102,16 @@ let make ?telemetry protocol net =
                    Printf.sprintf "%d:%s%s" i body
                      (if i > commit then "!" else ""))
                  (C.Raft.log_entries r ~node)));
+        state = (fun ~node -> C.Raft.dump_state r ~node);
+        mono = (fun ~node -> C.Raft.mono_view r ~node);
+        invariant = (fun () -> C.Raft.invariant_violation r);
+        raft_peek = Some (fun ~node -> C.Raft.peek r ~node);
       }
   | Mencius ->
-      let m = C.Mencius.create ?telemetry C.Mencius.default_config net in
+      let cfg =
+        Option.value ~default:C.Mencius.default_config mencius_config
+      in
+      let m = C.Mencius.create ?telemetry cfg net in
       C.Mencius.start m;
       {
         protocol;
@@ -115,11 +130,16 @@ let make ?telemetry protocol net =
               (C.Mencius.slot_count m ~node)
               (C.Mencius.skipped_count m ~node));
         dump = (fun ~node -> C.Mencius.dump_slots m ~node);
+        state = (fun ~node -> C.Mencius.dump_state m ~node);
+        mono = (fun ~node -> C.Mencius.mono_view m ~node);
+        invariant = (fun () -> C.Mencius.invariant_violation m);
+        raft_peek = None;
       }
   | Multipaxos ->
-      let mp =
-        C.Multipaxos.create ?telemetry ~leader:0 C.Multipaxos.default_config net
+      let cfg =
+        Option.value ~default:C.Multipaxos.default_config multipaxos_config
       in
+      let mp = C.Multipaxos.create ?telemetry ~leader:0 cfg net in
       C.Multipaxos.start mp;
       {
         protocol;
@@ -147,4 +167,8 @@ let make ?telemetry protocol net =
                        Printf.sprintf "%d:V(w%d)" i write_id
                    | Types.Get _ -> Printf.sprintf "%d:G" i)
                  (C.Multipaxos.committed_ops mp ~node)));
+        state = (fun ~node -> C.Multipaxos.dump_state mp ~node);
+        mono = (fun ~node -> C.Multipaxos.mono_view mp ~node);
+        invariant = (fun () -> C.Multipaxos.invariant_violation mp);
+        raft_peek = None;
       }

@@ -43,10 +43,31 @@ type t = {
   dump : node:int -> string;
       (** full ordering view (slot/log contents) for diagnosing a
           divergence — appended to the trace when a run fails *)
+  state : node:int -> string;
+      (** canonical full-state rendering (the runtime's [dump_state]) —
+          the model checker's fingerprint input *)
+  mono : node:int -> int array;
+      (** the runtime's [mono_view]: components that must never decrease
+          along any execution *)
+  invariant : unit -> string option;
+      (** the runtime's cluster-wide safety invariants; [None] = all hold.
+          Used by the model checker at every state and by the nemesis
+          sanitizer ([debug_invariants]) at every digest poll *)
+  raft_peek : (node:int -> Raftpax_consensus.Raft.peek) option;
+      (** structured refinement snapshot — Raft-family clusters only *)
 }
 
 val make :
-  ?telemetry:Raftpax_telemetry.Telemetry.t -> protocol -> Raftpax_sim.Net.t -> t
+  ?telemetry:Raftpax_telemetry.Telemetry.t ->
+  ?raft_config:Raftpax_consensus.Raft.config ->
+  ?mencius_config:Raftpax_consensus.Mencius.config ->
+  ?multipaxos_config:Raftpax_consensus.Multipaxos.config ->
+  protocol ->
+  Raftpax_sim.Net.t ->
+  t
 (** Create and start a cluster of the given protocol on the net's nodes
     (single-leader protocols bootstrap with node 0 elected).
-    [?telemetry] is forwarded to the runtime's [create]. *)
+    [?telemetry] is forwarded to the runtime's [create]; the per-protocol
+    config overrides let the model checker inject mutation flags and
+    election-scope configs (each applies only to its own protocol and
+    defaults to the standard config). *)

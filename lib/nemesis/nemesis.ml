@@ -15,11 +15,13 @@ type config = {
   read_pct : int;
   hot_pct : int;
   capture_messages : bool;
+  debug_invariants : bool;
   actions : Schedule.action list;
 }
 
 let config ?(chaos_steps = 30) ?(clients = 4) ?(read_pct = 50) ?(hot_pct = 30)
-    ?(capture_messages = true) ?(actions = Schedule.default) protocol ~seed =
+    ?(capture_messages = true) ?(debug_invariants = true)
+    ?(actions = Schedule.default) protocol ~seed =
   {
     protocol;
     seed;
@@ -28,6 +30,7 @@ let config ?(chaos_steps = 30) ?(clients = 4) ?(read_pct = 50) ?(hot_pct = 30)
     read_pct;
     hot_pct;
     capture_messages;
+    debug_invariants;
     actions;
   }
 
@@ -178,8 +181,12 @@ let run cfg =
       (fun () -> Schedule.step ctx cfg.actions)
   done;
 
-  (* ---- state-transition probe: poll digests, trace changes ---- *)
+  (* ---- state-transition probe: poll digests, trace changes.  When
+     [debug_invariants] is on (the default) the same poll also runs the
+     runtime's cluster-wide invariant library as a continuous sanitizer:
+     every chaos seed doubles as an invariant-checking run. *)
   let last_digest = Array.make n "" in
+  let invariant_failures = ref [] in
   let rec poll () =
     let now = Engine.now engine in
     for node = 0 to n - 1 do
@@ -189,6 +196,14 @@ let run cfg =
         Trace.record trace ~now (Printf.sprintf "STATE node=%d %s" node d)
       end
     done;
+    (if cfg.debug_invariants then
+       match cluster.Cluster.invariant () with
+       | None -> ()
+       | Some v ->
+           if not (List.mem v !invariant_failures) then begin
+             invariant_failures := v :: !invariant_failures;
+             Trace.record trace ~now (Printf.sprintf "INVARIANT %s" v)
+           end);
     if now < final_end then
       Engine.schedule ~kind:Engine.Exact engine ~delay:poll_interval_us poll
   in
@@ -283,6 +298,9 @@ let run cfg =
            ]);
         (if lost_writes = 0 then []
          else [ Printf.sprintf "safety: %d acknowledged writes lost" lost_writes ]);
+        List.rev_map
+          (fun v -> Printf.sprintf "invariant: %s" v)
+          !invariant_failures;
         List.map
           (fun v -> Fmt.str "linearizability: %a" Lin_check.pp_violation v)
           lin.Lin_check.violations;

@@ -26,6 +26,11 @@ type config = {
   read_pct : int;  (** percentage of client ops that are reads *)
   hot_pct : int;  (** percentage of ops on the shared contended key *)
   capture_messages : bool;  (** record every message send in the trace *)
+  debug_invariants : bool;
+      (** run the runtime's cluster-wide invariant library ([Cluster.t]'s
+          [invariant]) at every state poll — the model checker's safety
+          oracles doubling as a continuous sanitizer; a violation is
+          traced as an [INVARIANT] line and fails the run *)
   actions : Schedule.action list;
 }
 
@@ -35,12 +40,14 @@ val config :
   ?read_pct:int ->
   ?hot_pct:int ->
   ?capture_messages:bool ->
+  ?debug_invariants:bool ->
   ?actions:Schedule.action list ->
   Cluster.protocol ->
   seed:int ->
   config
 (** Defaults: 30 chaos steps, 4 clients, 50% reads, 30% hot-key ops,
-    message capture on, {!Schedule.default} actions. *)
+    message capture on, invariant sanitizer on, {!Schedule.default}
+    actions. *)
 
 type report = {
   cfg : config;

@@ -1,12 +1,20 @@
 type kind = Timer | Message | Exact
 
-type event = { time : int; seq : int; run : unit -> unit; mutable dead : bool }
+type event = {
+  time : int;
+  seq : int;
+  run : unit -> unit;
+  mutable dead : bool;
+  node : int;
+  label : string;
+}
 
 (* Binary min-heap on (time, seq). *)
 module Heap = struct
   type t = { mutable a : event array; mutable len : int }
 
-  let dummy = { time = 0; seq = 0; run = ignore; dead = true }
+  let dummy =
+    { time = 0; seq = 0; run = ignore; dead = true; node = -1; label = "" }
   let create () = { a = Array.make 256 dummy; len = 0 }
 
   let less x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
@@ -65,6 +73,14 @@ type t = {
   mutable next_seq : int;
   rng : Rng.t;
   mutable timer_skew : (int -> int) option;
+  (* Manual (model-checking) mode: timers become explicitly fireable
+     choices and message/exact events drain through a FIFO trampoline
+     instead of the time-ordered heap.  The clock only advances when a
+     timer fires (to that timer's nominal deadline), so wall-clock
+     guards inside the runtimes still see time pass. *)
+  mutable manual : bool;
+  mutable manual_timers : event list;
+  manual_queue : event Queue.t;
 }
 
 type timer = event
@@ -76,26 +92,68 @@ let create ?(seed = 42L) () =
     next_seq = 0;
     rng = Rng.create seed;
     timer_skew = None;
+    manual = false;
+    manual_timers = [];
+    manual_queue = Queue.create ();
   }
 
 let now t = t.clock
 let rng t = t.rng
 let set_timer_skew t f = t.timer_skew <- f
+let set_manual t b = t.manual <- b
 
-let schedule_cancellable ?(kind = Timer) t ~delay run =
+let schedule_cancellable ?(kind = Timer) ?(node = -1) ?(label = "") t ~delay run
+    =
   assert (delay >= 0);
   let delay =
     match (kind, t.timer_skew) with
     | Timer, Some warp -> max 0 (warp delay)
     | _ -> delay
   in
-  let e = { time = t.clock + delay; seq = t.next_seq; run; dead = false } in
+  let e =
+    { time = t.clock + delay; seq = t.next_seq; run; dead = false; node; label }
+  in
   t.next_seq <- t.next_seq + 1;
-  Heap.push t.heap e;
+  if t.manual then begin
+    match kind with
+    | Timer -> t.manual_timers <- e :: t.manual_timers
+    | Message | Exact -> Queue.add e t.manual_queue
+  end
+  else Heap.push t.heap e;
   e
 
-let schedule ?kind t ~delay run = ignore (schedule_cancellable ?kind t ~delay run)
+let schedule ?kind ?node ?label t ~delay run =
+  ignore (schedule_cancellable ?kind ?node ?label t ~delay run)
+
 let cancel e = e.dead <- true
+
+(* Drain the manual trampoline: message deliveries and cpu-exec
+   continuations run to quiescence, in FIFO order.  Events enqueued
+   while draining are processed in the same drain. *)
+let manual_drain t =
+  while not (Queue.is_empty t.manual_queue) do
+    let e = Queue.pop t.manual_queue in
+    if not e.dead then e.run ()
+  done
+
+let manual_pending t =
+  t.manual_timers <- List.filter (fun e -> not e.dead) t.manual_timers;
+  List.sort (fun a b -> compare a.seq b.seq) t.manual_timers
+
+let manual_fire t e =
+  if e.dead then false
+  else begin
+    t.manual_timers <- List.filter (fun e' -> e' != e) t.manual_timers;
+    if e.time > t.clock then t.clock <- e.time;
+    e.run ();
+    manual_drain t;
+    true
+  end
+
+let event_seq e = e.seq
+let event_node e = e.node
+let event_label e = e.label
+let event_time e = e.time
 
 let run t ~until =
   let continue = ref true in

@@ -17,12 +17,30 @@ type kind =
   | Message  (** network deliveries — faulted by {!Net}, never skewed here *)
   | Exact  (** harness bookkeeping — never warped *)
 
-val schedule : ?kind:kind -> t -> delay:int -> (unit -> unit) -> unit
+val schedule :
+  ?kind:kind ->
+  ?node:int ->
+  ?label:string ->
+  t ->
+  delay:int ->
+  (unit -> unit) ->
+  unit
 (** Enqueue a callback [delay] µs from now ([delay >= 0]).  [kind]
-    defaults to [Timer]. *)
+    defaults to [Timer].  [node]/[label] are advisory identities used by
+    the model checker's manual mode to name timer choices; they default
+    to [-1]/[""] and are ignored in normal simulation. *)
 
 type timer
-val schedule_cancellable : ?kind:kind -> t -> delay:int -> (unit -> unit) -> timer
+
+val schedule_cancellable :
+  ?kind:kind ->
+  ?node:int ->
+  ?label:string ->
+  t ->
+  delay:int ->
+  (unit -> unit) ->
+  timer
+
 val cancel : timer -> unit
 (** Cancelling an already-fired timer is a no-op. *)
 
@@ -41,6 +59,35 @@ val run_all : t -> unit
 
 val pending : t -> int
 (** Number of queued events (including cancelled-but-unpopped timers). *)
+
+(** {1 Manual mode} — used by the {!Raftpax_mcheck} model checker.
+
+    While manual mode is on, newly scheduled [Timer]-kind events are
+    held in a pending set instead of the heap and only run when
+    explicitly fired; [Message]/[Exact]-kind events go to a FIFO
+    trampoline drained by {!manual_drain} (or automatically after a
+    {!manual_fire}).  Firing a timer advances the clock to that timer's
+    nominal deadline (never backwards), so elapsed-time guards inside
+    the runtimes still observe time passing; everything else runs at the
+    current clock. *)
+
+val set_manual : t -> bool -> unit
+
+val manual_pending : t -> timer list
+(** Live (uncancelled, unfired) manually-held timers, in scheduling
+    order. *)
+
+val manual_fire : t -> timer -> bool
+(** Fire one held timer: advance the clock to [max clock deadline], run
+    it, then drain the trampoline.  Returns [false] if it was already
+    cancelled. *)
+
+val manual_drain : t -> unit
+
+val event_seq : timer -> int
+val event_node : timer -> int
+val event_label : timer -> string
+val event_time : timer -> int
 
 (** {1 Milliseconds helpers} — the protocol code thinks in ms. *)
 

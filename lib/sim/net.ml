@@ -11,6 +11,9 @@ type chaos = {
 
 type monitor = now:int -> src:int -> dst:int -> size:int -> dropped:bool -> unit
 
+type capture =
+  src:int -> dst:int -> size:int -> info:string -> (unit -> unit) -> unit
+
 type probes = {
   sent : Metrics.counter array;  (** net_msgs_sent, per src *)
   dropped_c : Metrics.counter array;  (** net_msgs_dropped, per src *)
@@ -31,6 +34,7 @@ type t = {
   mutable partition : (int -> int -> bool) option;
   mutable chaos : chaos option;
   mutable monitor : monitor option;
+  mutable capture : capture option;
   mutable probes : probes option;
   down : bool array;
   (* FIFO NIC model: the time at which each node's uplink frees up. *)
@@ -57,6 +61,7 @@ let create ?(drop_probability = 0.0) ?(jitter_us = 200) engine ~nodes =
     partition = None;
     chaos = None;
     monitor = None;
+    capture = None;
     probes = None;
     down = Array.make n false;
     uplink_free_at = Array.make n 0;
@@ -72,6 +77,7 @@ let node_site t id = t.sites.(id)
 let set_partition t p = t.partition <- p
 let set_chaos t c = t.chaos <- c
 let set_monitor t m = t.monitor <- m
+let set_capture t c = t.capture <- c
 
 let set_metrics t m =
   if Metrics.enabled m then begin
@@ -94,7 +100,15 @@ let node_down t id = t.down.(id)
 let cut t src dst =
   match t.partition with Some p -> p src dst | None -> false
 
-let send t ~src ~dst ~size deliver =
+let send ?(info = fun () -> "") t ~src ~dst ~size deliver =
+  match t.capture with
+  | Some hook ->
+      (* Model-checker interception: every send becomes an explicit
+         pending message under the checker's control; timing, chaos and
+         probes are bypassed.  A down sender still silently loses the
+         message at send time, mirroring the normal path below. *)
+      if not t.down.(src) then hook ~src ~dst ~size ~info:(info ()) deliver
+  | None ->
   if t.down.(src) then ()
   else begin
     t.sent <- t.sent + 1;

@@ -56,6 +56,17 @@ val set_monitor : t -> monitor option -> unit
     decision ([dropped] covers probability drops, partition cuts and chaos
     drops; a mid-flight crash loss is not reported). *)
 
+type capture =
+  src:int -> dst:int -> size:int -> info:string -> (unit -> unit) -> unit
+
+val set_capture : t -> capture option -> unit
+(** Model-checker interception: while set, {!send} hands every message
+    (its delivery closure plus a rendering of its payload) to the hook
+    instead of scheduling it, bypassing timing, chaos and probes.  The
+    hook decides if/when to invoke the closure.  A down sender is still
+    silenced at send time; delivery-time down/partition checks become
+    the checker's responsibility. *)
+
 val set_metrics : t -> Raftpax_telemetry.Metrics.t -> unit
 (** Attach per-node probes: [net_msgs_sent] / [net_msgs_dropped] /
     [net_bytes_sent] counters and the [net_queue_us] (uplink FIFO wait)
@@ -67,10 +78,19 @@ val set_node_down : t -> int -> bool -> unit
 
 val node_down : t -> int -> bool
 
-val send : t -> src:int -> dst:int -> size:int -> (unit -> unit) -> unit
+val send :
+  ?info:(unit -> string) ->
+  t ->
+  src:int ->
+  dst:int ->
+  size:int ->
+  (unit -> unit) ->
+  unit
 (** [send t ~src ~dst ~size deliver] transmits a message of [size] bytes;
     [deliver] runs at the destination's delivery time unless the message is
-    dropped.  Sending to self delivers after {!Topology.local_us}. *)
+    dropped.  Sending to self delivers after {!Topology.local_us}.
+    [info] lazily renders the payload for the capture hook; it is never
+    forced on the normal path. *)
 
 (** {1 Introspection for tests and benches} *)
 

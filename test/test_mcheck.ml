@@ -1,0 +1,151 @@
+(* The model checker against the real runtimes: clean scenarios must be
+   explored to completion with the goal reached and nothing flagged; the
+   two re-armed PR-1 mutants must be detected — the Mencius slot reuse
+   by an invariant violation with a replayable schedule, the MultiPaxos
+   missing takeover by the goal becoming unreachable under a
+   still-complete search.  A determinism case re-narrates a
+   counterexample schedule and demands identical output. *)
+
+module MC = Raftpax_mcheck
+module Cluster = Raftpax_nemesis.Cluster
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let scenario name =
+  match MC.Scenario.by_name name with
+  | Some sc -> sc
+  | None -> Alcotest.failf "unknown scenario %s" name
+
+let check ?(max_states = 2_000_000) name =
+  MC.Checker.check ~max_states (scenario name)
+
+let assert_clean (r : MC.Checker.result) =
+  (match r.r_violation with
+  | Some v -> Alcotest.failf "%s: unexpected violation: %s" r.r_scenario v.v_reason
+  | None -> ());
+  Alcotest.(check bool) "complete" true r.r_complete;
+  Alcotest.(check bool) "goal reached" true r.r_goal_reached
+
+let steady_case proto () = assert_clean (check ("steady-" ^ proto))
+
+(* A one-command Raft* scope small enough for the quick suite; the full
+   two-command steady space runs in the slow suite and in CI. *)
+let raft_star_tiny_case () =
+  let sc =
+    {
+      (MC.Scenario.steady Cluster.Raft_star) with
+      MC.Model.sc_name = "raft-star-tiny";
+      sc_ops = [ Raftpax_consensus.Types.Put { key = 11; size = 8; write_id = 1 } ];
+      sc_targets = [ 0 ];
+    }
+  in
+  let r = MC.Checker.check ~max_states:2_000_000 sc in
+  assert_clean r;
+  Alcotest.(check bool) "explored more than a handful" true (r.r_states > 50)
+
+let mencius_mutant_case () =
+  let r = check "mencius-slot-reuse" in
+  match r.r_violation with
+  | None -> Alcotest.fail "mutant not detected"
+  | Some v ->
+      Alcotest.(check bool) "non-empty schedule" true (v.v_schedule <> []);
+      Alcotest.(check bool)
+        "invariant names the reused slot" true
+        (contains v.v_reason "slot")
+
+and mencius_clean_case () = assert_clean (check "mencius-slot-reuse-clean")
+
+let mp_mutant_case () =
+  let r = check "mp-takeover" in
+  (match r.r_violation with
+  | Some v -> Alcotest.failf "unexpected violation: %s" v.v_reason
+  | None -> ());
+  Alcotest.(check bool) "goal unreachable" false r.r_goal_reached;
+  Alcotest.(check bool) "search complete" true r.r_complete
+
+and mp_clean_case () = assert_clean (check "mp-takeover-clean")
+
+(* The counterexample schedule is a complete reproduction recipe: a
+   fresh world narrates it to the same trace, and the final state shows
+   the same violation. *)
+let replay_determinism_case () =
+  let r = check "mencius-slot-reuse" in
+  match r.r_violation with
+  | None -> Alcotest.fail "mutant not detected"
+  | Some v ->
+      let n1 = MC.Checker.narrate (scenario "mencius-slot-reuse") v.v_schedule in
+      let n2 = MC.Checker.narrate (scenario "mencius-slot-reuse") v.v_schedule in
+      Alcotest.(check (list string)) "narrations agree" n1 n2;
+      Alcotest.(check bool) "trace matches stored" true (n1 = v.v_trace);
+      let w = MC.Model.build (scenario "mencius-slot-reuse") in
+      List.iter (MC.Model.apply w) v.v_schedule;
+      Alcotest.(check bool)
+        "violation reproduces" true
+        (MC.Model.violation w <> None)
+
+let schedule_roundtrip_case () =
+  let r = check "mencius-slot-reuse" in
+  match r.r_violation with
+  | None -> Alcotest.fail "mutant not detected"
+  | Some v ->
+      let rendered = MC.Model.render_schedule v.v_schedule in
+      Alcotest.(check bool)
+        "parses back" true
+        (MC.Model.parse_schedule rendered = v.v_schedule)
+
+let refinement_case () =
+  let r = MC.Refine.check () in
+  (match r.r_failure with
+  | Some f ->
+      Alcotest.failf "refinement fails on %s after %s"
+        (MC.Model.render_choice f.f_choice)
+        (MC.Model.render_schedule f.f_schedule)
+  | None -> ());
+  Alcotest.(check bool) "walked the runtime space" true (r.r_runtime_states > 100)
+
+(* The invariant library doubles as a sanitizer inside nemesis runs. *)
+let nemesis_sanitizer_case () =
+  let open Raftpax_nemesis in
+  List.iter
+    (fun protocol ->
+      let cfg = Nemesis.config protocol ~seed:4242 ~chaos_steps:10 in
+      let r = Nemesis.run cfg in
+      if not r.Nemesis.ok then Alcotest.failf "%a" Nemesis.pp_report r)
+    [ Cluster.Raft_star; Cluster.Mencius; Cluster.Multipaxos ]
+
+let () =
+  Alcotest.run "mcheck"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "raft-star tiny exhaustive" `Quick
+            raft_star_tiny_case;
+          Alcotest.test_case "steady multipaxos exhaustive" `Quick
+            (steady_case "multipaxos");
+          Alcotest.test_case "steady raft-star exhaustive" `Slow
+            (steady_case "raft-star");
+          Alcotest.test_case "steady mencius exhaustive" `Slow
+            (steady_case "mencius");
+        ] );
+      ( "mutants",
+        [
+          Alcotest.test_case "mencius slot reuse detected" `Quick
+            mencius_mutant_case;
+          Alcotest.test_case "mencius clean passes" `Quick mencius_clean_case;
+          Alcotest.test_case "mp takeover detected" `Quick mp_mutant_case;
+          Alcotest.test_case "mp clean passes" `Quick mp_clean_case;
+        ] );
+      ( "counterexamples",
+        [
+          Alcotest.test_case "replay determinism" `Quick replay_determinism_case;
+          Alcotest.test_case "schedule round-trips" `Quick
+            schedule_roundtrip_case;
+        ] );
+      ( "refinement",
+        [ Alcotest.test_case "raft-star refines multipaxos" `Slow refinement_case ] );
+      ( "sanitizer",
+        [ Alcotest.test_case "nemesis debug invariants" `Quick nemesis_sanitizer_case ] );
+    ]
