@@ -391,12 +391,12 @@ let micro () =
     in
     let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
     let results = Analyze.all ols instance raw in
-    Hashtbl.iter
-      (fun name result ->
-        match Analyze.OLS.estimates result with
-        | Some [ est ] -> Fmt.pr "  %-32s %12.1f ns/run@." name est
-        | _ -> Fmt.pr "  %-32s (no estimate)@." name)
-      results
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.iter (fun (name, result) ->
+           match Analyze.OLS.estimates result with
+           | Some [ est ] -> Fmt.pr "  %-32s %12.1f ns/run@." name est
+           | _ -> Fmt.pr "  %-32s (no estimate)@." name)
   in
   Fmt.pr "== Micro-benchmarks (Bechamel, monotonic clock) ==@.";
   List.iter benchmark tests

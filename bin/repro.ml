@@ -8,7 +8,8 @@
      trace       per-request span waterfalls from a traced run
      nemesis     deterministic fault-injection sweep
      mcheck      explicit-state model checking of the real runtimes
-     topology    print the WAN model *)
+     topology    print the WAN model
+     lint        determinism & protocol-discipline static analysis *)
 
 open Cmdliner
 open Raftpax_core
@@ -17,6 +18,7 @@ module KV = Raftpax_kvstore
 module Nem = Raftpax_nemesis
 module MC = Raftpax_mcheck
 module Tel = Raftpax_telemetry
+module Lint = Raftpax_lint
 
 (* ---- shared arguments ---- *)
 
@@ -574,6 +576,61 @@ let topology_cmd =
     (Cmd.info "topology" ~doc:"Print the WAN model.")
     Term.(const run_topology $ const ())
 
+(* ---- lint ---- *)
+
+let run_lint paths baseline list_rules =
+  if list_rules then begin
+    List.iter
+      (fun (r : Lint.Lint.rule) ->
+        Fmt.pr "%-24s %-7s %s@." r.id
+          (Lint.Finding.severity_name r.severity)
+          r.summary)
+      Lint.Lint.rules;
+    0
+  end
+  else begin
+    let findings = Lint.Lint.lint_paths paths in
+    let bl =
+      match baseline with
+      | None -> Lint.Baseline.empty
+      | Some p -> Lint.Baseline.load p
+    in
+    let unsuppressed =
+      List.filter (fun f -> not (Lint.Baseline.mem bl f)) findings
+    in
+    List.iter (fun f -> print_endline (Lint.Finding.render f)) unsuppressed;
+    List.iter
+      (fun key -> Fmt.pr "stale baseline entry: %s@." key)
+      (Lint.Baseline.stale bl findings);
+    Fmt.pr "lint: %d finding(s) in %d file(s)@."
+      (List.length unsuppressed)
+      (List.length (Lint.Lint.collect_files paths));
+    if unsuppressed = [] then 0 else 1
+  end
+
+let lint_cmd =
+  let paths =
+    Arg.(
+      value
+      & pos_all string [ "lib"; "bin"; "bench" ]
+      & info [] ~docv:"PATH" ~doc:"Files or directories to lint.")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~doc:"Grandfathered-findings file.")
+  in
+  let list_rules =
+    Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule table.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Determinism & protocol-discipline static analysis over the OCaml \
+          sources (exit 1 on any unsuppressed finding).")
+    Term.(const run_lint $ paths $ baseline $ list_rules)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -594,4 +651,5 @@ let () =
             nemesis_cmd;
             mcheck_cmd;
             topology_cmd;
+            lint_cmd;
           ]))

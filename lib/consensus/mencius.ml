@@ -191,19 +191,26 @@ let owner t inst = inst mod t.n
 
 let conflicting (cmd : Types.cmd) = Types.key_of cmd.op = hot_key
 
-let render_msg = function
+(* [rename] is the checker's symmetry renaming.  Note Mencius slot
+   ownership is positional ([owner t inst = inst mod n]), so node ids are
+   load-bearing in slot numbers themselves; symmetry scopes therefore
+   never include Mencius, and the renaming here only keeps the interface
+   uniform with the other protocols. *)
+let render_msg ?(rename = Fun.id) = function
   | MAppend { from; inst; cmd } ->
-      Printf.sprintf "MAppend(f%d i%d %s)" from inst (Types.render_cmd cmd)
-  | MAck { from; inst } -> Printf.sprintf "MAck(f%d i%d)" from inst
+      Printf.sprintf "MAppend(f%d i%d %s)" (rename from) inst
+        (Types.render_cmd ~rename cmd)
+  | MAck { from; inst } -> Printf.sprintf "MAck(f%d i%d)" (rename from) inst
   | MSkip { from; first; upto } ->
-      Printf.sprintf "MSkip(f%d %d..%d)" from first upto
+      Printf.sprintf "MSkip(f%d %d..%d)" (rename from) first upto
   | MCommit { inst } -> Printf.sprintf "MCommit(i%d)" inst
-  | MRevoke { from; inst } -> Printf.sprintf "MRevoke(f%d i%d)" from inst
+  | MRevoke { from; inst } ->
+      Printf.sprintf "MRevoke(f%d i%d)" (rename from) inst
   | MRevStatus { from; inst; value } ->
-      Printf.sprintf "MRevStatus(f%d i%d %s)" from inst
-        (Types.render_cmd_opt value)
+      Printf.sprintf "MRevStatus(f%d i%d %s)" (rename from) inst
+        (Types.render_cmd_opt ~rename value)
   | MSkipForce { inst } -> Printf.sprintf "MSkipForce(i%d)" inst
-  | MCatchup { from } -> Printf.sprintf "MCatchup(f%d)" from
+  | MCatchup { from } -> Printf.sprintf "MCatchup(f%d)" (rename from)
   | MState { slots } ->
       Printf.sprintf "MState([%s])"
         (String.concat ";"
@@ -211,9 +218,11 @@ let render_msg = function
               (fun (inst, is_skip, cmd, committed) ->
                 Printf.sprintf "%d:%s%s%s" inst
                   (if is_skip then "S" else "")
-                  (match cmd with Some c -> Types.render_cmd c | None -> "")
+                  (match cmd with
+                  | Some c -> Types.render_cmd ~rename c
+                  | None -> "")
                   (if committed then "!" else ""))
-              (List.sort compare slots)))
+              (List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) slots)))
   | Complete { cmd_id; reply } ->
       Printf.sprintf "Complete(c%d v%s)" cmd_id
         (match reply.Types.value with
@@ -224,7 +233,7 @@ let render_msg = function
 
 let rec send t ~src ~dst msg =
   Net.send t.net ~src ~dst ~size:(msg_size t msg)
-    ~info:(fun () -> render_msg msg)
+    ~info:(fun rename -> render_msg ~rename msg)
     (fun () -> handle t t.servers.(dst) msg)
 
 and broadcast t srv msg =
@@ -643,7 +652,7 @@ let submit_id t ~node op k =
   Span.mark t.spans ~trace:id ~node ~phase:"submit" ~now:(Engine.now t.engine);
   Net.send t.net ~src:node ~dst:node
     ~size:((p t).msg_header_bytes + Types.op_size op)
-    ~info:(fun () -> "Submit(" ^ Types.render_cmd cmd ^ ")")
+    ~info:(fun rename -> "Submit(" ^ Types.render_cmd ~rename cmd ^ ")")
     (fun () ->
       Span.mark t.spans ~trace:id ~node ~phase:"client_hop"
         ~now:(Engine.now t.engine);
@@ -692,8 +701,13 @@ let dump_slots t ~node =
 
 (* ---- model-checker inspection hooks ---- *)
 
-let dump_state t ~node =
+let dump_state ?(rename = Fun.id) t ~node =
   let srv = t.servers.(node) in
+  let permuted a =
+    let b = Array.copy a in
+    Array.iteri (fun i v -> b.(rename i) <- v) a;
+    b
+  in
   let buf = Buffer.create 256 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "no%d kf%d cf%d ap%d %s%s|" srv.next_own srv.known_frontier
@@ -704,26 +718,31 @@ let dump_state t ~node =
   let tbl name tbl render =
     let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
     add "|%s:%s" name
-      (String.concat ";" (List.map render (List.sort compare items)))
+      (String.concat ";"
+         (List.map render
+            (List.sort (fun (a, _) (b, _) -> Int.compare a b) items)))
   in
   let mask a =
     String.concat "" (Array.to_list (Array.map (fun b -> if b then "1" else "0") a))
   in
-  tbl "ak" srv.acks (fun (i, a) -> Printf.sprintf "%d=%s" i (mask a));
+  tbl "ak" srv.acks (fun (i, a) ->
+      Printf.sprintf "%d=%s" i (mask (permuted a)));
   tbl "rv" srv.revocations (fun (i, r) ->
-      Printf.sprintf "%d=%s/%s" i (mask r.seen)
-        (Types.render_cmd_opt r.found));
+      Printf.sprintf "%d=%s/%s" i
+        (mask (permuted r.seen))
+        (Types.render_cmd_opt ~rename r.found));
   tbl "pm" srv.promised (fun (i, ()) -> string_of_int i);
   tbl "st" srv.store (fun (k, v) -> Printf.sprintf "%d=%d" k v);
   tbl "kw" srv.key_writes (fun (k, cell) ->
       Printf.sprintf "%d=[%s]" k
         (String.concat ","
-           (List.map string_of_int (List.sort compare !cell))));
+           (List.map string_of_int (List.sort Int.compare !cell))));
   add "|wt:%s"
     (String.concat ";"
-       (List.sort compare
+       (List.sort String.compare
           (List.map
-             (fun (i, c) -> Printf.sprintf "%d:%s" i (Types.render_cmd c))
+             (fun (i, c) ->
+               Printf.sprintf "%d:%s" i (Types.render_cmd ~rename c))
              srv.waiting)));
   add "|bf:%s"
     (String.concat ","

@@ -134,23 +134,42 @@ let inst srv i =
 (* Ballots are globally unique per server: b = round * n + id. *)
 let next_ballot t srv = ((srv.ballot / t.n) + 1) * t.n + srv.id
 
-let render_msg = function
-  | Prepare { bal; from } -> Printf.sprintf "Prepare(b%d f%d)" bal from
+(* Symmetry renaming: because a ballot encodes its proposer's id in its
+   low digits, renaming node ids means renaming ballots too — keep the
+   round, map the id.  Negative ballots (the "nothing accepted" marker)
+   carry no id. *)
+let rename_ballot rename ~n b = if b < 0 then b else (b / n * n) + rename (b mod n)
+
+let render_msg ?(rename = Fun.id) ~n = function
+  | Prepare { bal; from } ->
+      Printf.sprintf "Prepare(b%d f%d)" (rename_ballot rename ~n bal)
+        (rename from)
   | PrepareOk { bal; from; accepted } ->
-      Printf.sprintf "PrepareOk(b%d f%d [%s])" bal from
+      Printf.sprintf "PrepareOk(b%d f%d [%s])"
+        (rename_ballot rename ~n bal)
+        (rename from)
         (String.concat ";"
            (List.map
               (fun (i, b, c) ->
-                Printf.sprintf "%d:b%d:%s" i b (Types.render_cmd_opt c))
-              (List.sort compare accepted)))
+                Printf.sprintf "%d:b%d:%s" i
+                  (rename_ballot rename ~n b)
+                  (Types.render_cmd_opt ~rename c))
+              (List.sort
+                 (fun (i1, b1, _) (i2, b2, _) ->
+                   if i1 <> i2 then Int.compare i1 i2 else Int.compare b1 b2)
+                 accepted)))
   | Accept { bal; from; inst; cmd } ->
-      Printf.sprintf "Accept(b%d f%d i%d %s)" bal from inst
-        (Types.render_cmd_opt cmd)
+      Printf.sprintf "Accept(b%d f%d i%d %s)"
+        (rename_ballot rename ~n bal)
+        (rename from) inst
+        (Types.render_cmd_opt ~rename cmd)
   | AcceptOk { bal; from; inst } ->
-      Printf.sprintf "AcceptOk(b%d f%d i%d)" bal from inst
+      Printf.sprintf "AcceptOk(b%d f%d i%d)"
+        (rename_ballot rename ~n bal)
+        (rename from) inst
   | Learn { inst; cmd } ->
-      Printf.sprintf "Learn(i%d %s)" inst (Types.render_cmd_opt cmd)
-  | Forward cmd -> "Forward(" ^ Types.render_cmd cmd ^ ")"
+      Printf.sprintf "Learn(i%d %s)" inst (Types.render_cmd_opt ~rename cmd)
+  | Forward cmd -> "Forward(" ^ Types.render_cmd ~rename cmd ^ ")"
   | Complete { cmd_id; reply } ->
       Printf.sprintf "Complete(c%d v%s)" cmd_id
         (match reply.Types.value with
@@ -159,7 +178,7 @@ let render_msg = function
 
 let rec send t ~src ~dst msg =
   Net.send t.net ~src ~dst ~size:(msg_size t msg)
-    ~info:(fun () -> render_msg msg)
+    ~info:(fun rename -> render_msg ~rename ~n:t.n msg)
     (fun () -> handle t t.servers.(dst) msg)
 
 and broadcast t srv msg =
@@ -472,7 +491,7 @@ let submit_id t ~node op k =
   Span.mark t.spans ~trace:id ~node ~phase:"submit" ~now:(Engine.now t.engine);
   Net.send t.net ~src:node ~dst:node
     ~size:((p t).msg_header_bytes + Types.op_size op)
-    ~info:(fun () -> "Submit(" ^ Types.render_cmd cmd ^ ")")
+    ~info:(fun rename -> "Submit(" ^ Types.render_cmd ~rename cmd ^ ")")
     (fun () ->
       Span.mark t.spans ~trace:id ~node ~phase:"client_hop"
         ~now:(Engine.now t.engine);
@@ -521,43 +540,60 @@ let restart t ~node =
 
 (* ---- model-checker inspection hooks ---- *)
 
-let dump_state t ~node =
+let dump_state ?(rename = Fun.id) t ~node =
   let srv = t.servers.(node) in
+  let rb = rename_ballot rename ~n:t.n in
+  let permuted a =
+    let b = Array.copy a in
+    Array.iteri (fun i v -> b.(rename i) <- v) a;
+    b
+  in
   let buf = Buffer.create 256 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "b%d %s h%d ni%d ex%d sg%d %s|" srv.ballot
+  add "b%d %s h%d ni%d ex%d sg%d %s|" (rb srv.ballot)
     (if srv.is_leader then "L" else "F")
-    srv.leader_hint srv.next_inst srv.executed srv.last_leader_sign
+    (rename srv.leader_hint) srv.next_inst srv.executed srv.last_leader_sign
     (if srv.down then "D" else "U");
   Vec.iteri
     (fun _ it ->
-      add "%d:%s%s;" it.accepted_bal
+      add "%d:%s%s;" (rb it.accepted_bal)
         (match it.accepted_cmd with
         | None -> "_"
-        | Some c -> Types.render_cmd_opt c)
+        | Some c -> Types.render_cmd_opt ~rename c)
         (if it.chosen then "!" else ""))
     srv.insts;
   let tbl name tbl render =
     let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
     add "|%s:%s" name
-      (String.concat ";" (List.map render (List.sort compare items)))
+      (String.concat ";"
+         (List.map render
+            (List.sort (fun (a, _) (b, _) -> Int.compare a b) items)))
   in
   let mask a =
     String.concat ""
       (Array.to_list (Array.map (fun b -> if b then "1" else "0") a))
   in
   tbl "st" srv.store (fun (k, v) -> Printf.sprintf "%d=%d" k v);
-  tbl "po" srv.prepare_oks (fun (k, _) -> string_of_int k);
+  (* keyed by voter node id: sort after renaming, or two symmetric
+     states would render their voter sets in different orders *)
+  add "|po:%s"
+    (String.concat ";"
+       (List.sort String.compare
+          (Hashtbl.fold
+             (fun k _ acc -> string_of_int (rename k) :: acc)
+             srv.prepare_oks [])));
   add "|g:%s"
     (String.concat ";"
-       (List.sort compare
+       (List.sort String.compare
           (List.map
              (fun (i, b, c) ->
-               Printf.sprintf "%d:b%d:%s" i b (Types.render_cmd_opt c))
+               Printf.sprintf "%d:b%d:%s" i (rb b)
+                 (Types.render_cmd_opt ~rename c))
              srv.gathered)));
-  tbl "ao" srv.accept_oks (fun (i, a) -> Printf.sprintf "%d=%s" i (mask a));
+  tbl "ao" srv.accept_oks (fun (i, a) ->
+      Printf.sprintf "%d=%s" i (mask (permuted a)));
   tbl "wt" srv.waiters (fun (i, c) ->
-      Printf.sprintf "%d:%s" i (Types.render_cmd c));
+      Printf.sprintf "%d:%s" i (Types.render_cmd ~rename c));
   tbl "pc" srv.proposed_cmds (fun (i, ()) -> string_of_int i);
   Buffer.contents buf
 

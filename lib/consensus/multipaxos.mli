@@ -62,7 +62,7 @@ val restart : t -> node:int -> unit
 
 (** {1 Model-checker hooks} *)
 
-val dump_state : t -> node:int -> string
+val dump_state : ?rename:(int -> int) -> t -> node:int -> string
 (** Canonical rendering of every behaviour-relevant field of one replica,
     for state fingerprinting. *)
 

@@ -180,40 +180,50 @@ let msg_size t = function
   | Complete _ -> (p t).reply_bytes
   | Grant _ | GrantConfirm _ -> (p t).msg_header_bytes
 
-(* ---- canonical message rendering (model-checker fingerprints) ---- *)
+(* ---- canonical message rendering (model-checker fingerprints) ----
 
-let render_msg = function
+   [rename] maps node ids to their canonical images (symmetry
+   reduction); every id-valued field — candidate, leader, sender, lease
+   holder, command origin — goes through it.  Terms, indexes, per-entry
+   ballots and deadlines carry no node ids in Raft, so they pass
+   through untouched. *)
+
+let render_msg ?(rename = Fun.id) = function
   | RequestVote { term; cand; last_idx; last_term } ->
-      Printf.sprintf "RequestVote(t%d c%d li%d lt%d)" term cand last_idx
-        last_term
+      Printf.sprintf "RequestVote(t%d c%d li%d lt%d)" term (rename cand)
+        last_idx last_term
   | Vote { term; from; granted; extras } ->
-      Printf.sprintf "Vote(t%d f%d %b [%s])" term from granted
+      Printf.sprintf "Vote(t%d f%d %b [%s])" term (rename from) granted
         (String.concat ";"
            (List.map
               (fun (i, e, b) ->
-                Printf.sprintf "%d:%s/b%d" i (Types.render_entry e) b)
+                Printf.sprintf "%d:%s/b%d" i (Types.render_entry ~rename e) b)
               extras))
   | Append { term; leader; prev_idx; prev_term; entries; commit } ->
-      Printf.sprintf "Append(t%d l%d p%d/%d c%d [%s])" term leader prev_idx
-        prev_term commit
+      Printf.sprintf "Append(t%d l%d p%d/%d c%d [%s])" term (rename leader)
+        prev_idx prev_term commit
         (String.concat ";"
            (List.map
-              (fun (e, b) -> Printf.sprintf "%s/b%d" (Types.render_entry e) b)
+              (fun (e, b) ->
+                Printf.sprintf "%s/b%d" (Types.render_entry ~rename e) b)
               entries))
   | Ack { term; from; success; match_idx; holders } ->
-      Printf.sprintf "Ack(t%d f%d %b m%d [%s])" term from success match_idx
+      Printf.sprintf "Ack(t%d f%d %b m%d [%s])" term (rename from) success
+        match_idx
         (String.concat ";"
-           (List.map (fun (h, d) -> Printf.sprintf "%d@%d" h d) holders))
-  | Forward cmd -> "Forward(" ^ Types.render_cmd cmd ^ ")"
+           (List.map
+              (fun (h, d) -> Printf.sprintf "%d@%d" (rename h) d)
+              holders))
+  | Forward cmd -> "Forward(" ^ Types.render_cmd ~rename cmd ^ ")"
   | Complete { cmd_id; reply } ->
       Printf.sprintf "Complete(c%d v%s)" cmd_id
         (match reply.Types.value with
         | None -> "-"
         | Some v -> string_of_int v)
   | Grant { from; deadline; grantor_last } ->
-      Printf.sprintf "Grant(f%d d%d gl%d)" from deadline grantor_last
+      Printf.sprintf "Grant(f%d d%d gl%d)" (rename from) deadline grantor_last
   | GrantConfirm { from; deadline } ->
-      Printf.sprintf "GrantConfirm(f%d d%d)" from deadline
+      Printf.sprintf "GrantConfirm(f%d d%d)" (rename from) deadline
 
 (* ---- log helpers ---- *)
 
@@ -233,7 +243,7 @@ let note_write srv idx (e : Types.entry) =
 
 let rec send t ~src ~dst msg =
   Net.send t.net ~src ~dst ~size:(msg_size t msg)
-    ~info:(fun () -> render_msg msg)
+    ~info:(fun rename -> render_msg ~rename msg)
     (fun () -> handle t t.servers.(dst) msg)
 
 and broadcast t srv msg =
@@ -899,7 +909,7 @@ let submit_id t ~node op k =
   (* Client-to-colocated-replica hop. *)
   Net.send t.net ~src:node ~dst:node
     ~size:((p t).msg_header_bytes + Types.op_size op)
-    ~info:(fun () -> "Submit(" ^ Types.render_cmd cmd ^ ")")
+    ~info:(fun rename -> "Submit(" ^ Types.render_cmd ~rename cmd ^ ")")
     (fun () ->
       Span.mark t.spans ~trace:id ~node ~phase:"client_hop"
         ~now:(Engine.now t.engine);
@@ -962,21 +972,31 @@ let role_char = function Follower -> 'F' | Candidate -> 'C' | Leader -> 'L'
 
 let sorted_tbl tbl render =
   let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
-  let items = List.sort compare items in
+  let items = List.sort (fun (a, _) (b, _) -> Int.compare a b) items in
   String.concat "," (List.map render items)
 
-let sorted_ints l = List.sort compare l
+let sorted_ints l = List.sort Int.compare l
 
-let dump_state t ~node =
+let dump_state ?(rename = Fun.id) t ~node =
   let srv = t.servers.(node) in
+  (* Node-indexed arrays move to canonical positions: slot [rename i]
+     shows node [i]'s value. *)
+  let permuted a =
+    let b = Array.copy a in
+    Array.iteri (fun i v -> b.(rename i) <- v) a;
+    b
+  in
   let buf = Buffer.create 256 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "t%d v%s %c h%d ci%d la%d %s|" srv.term
-    (match srv.voted_for with None -> "-" | Some v -> string_of_int v)
-    (role_char srv.role) srv.leader_hint srv.commit_index srv.last_applied
+    (match srv.voted_for with
+    | None -> "-"
+    | Some v -> string_of_int (rename v))
+    (role_char srv.role) (rename srv.leader_hint) srv.commit_index
+    srv.last_applied
     (if srv.down then "D" else "U");
   Vec.iteri
-    (fun _ (e, b) -> add "%s/b%d;" (Types.render_entry e) b)
+    (fun _ (e, b) -> add "%s/b%d;" (Types.render_entry ~rename e) b)
     srv.log;
   add "|st:%s" (sorted_tbl srv.store (fun (k, v) -> Printf.sprintf "%d=%d" k v));
   add "|kw:%s"
@@ -989,31 +1009,32 @@ let dump_state t ~node =
     add "|%s:%s" name
       (String.concat "," (Array.to_list (Array.map string_of_int a)))
   in
-  ints "ni" srv.next_index;
-  ints "mi" srv.match_index;
-  ints "if" srv.inflight;
+  ints "ni" (permuted srv.next_index);
+  ints "mi" (permuted srv.match_index);
+  ints "if" (permuted srv.inflight);
   add "|vt:%s"
     (String.concat ""
-       (Array.to_list (Array.map (fun v -> if v then "1" else "0") srv.votes)));
+       (Array.to_list
+          (Array.map (fun v -> if v then "1" else "0") (permuted srv.votes))));
   add "|vx:%s"
     (String.concat ";"
-       (List.sort compare
+       (List.sort String.compare
           (List.map
              (fun (i, e, b) ->
-               Printf.sprintf "%d:%s/b%d" i (Types.render_entry e) b)
+               Printf.sprintf "%d:%s/b%d" i (Types.render_entry ~rename e) b)
              srv.vote_extras)));
-  ints "fa" srv.follower_last_ack;
+  ints "fa" (permuted srv.follower_last_ack);
   add "|ll:%d" srv.leader_lease_until;
-  ints "gf" srv.grant_from;
+  ints "gf" (permuted srv.grant_from);
   add "|pg:%s"
     (String.concat ";"
-       (List.sort compare
+       (List.sort String.compare
           (List.map
-             (fun (f, d, r) -> Printf.sprintf "%d@%d>%d" f d r)
+             (fun (f, d, r) -> Printf.sprintf "%d@%d>%d" (rename f) d r)
              srv.pending_grants)));
-  ints "mg" srv.my_grants;
-  ints "cg" srv.confirmed_grants;
-  Array.iter (fun row -> ints "pr" row) srv.peer_grants;
+  ints "mg" (permuted srv.my_grants);
+  ints "cg" (permuted srv.confirmed_grants);
+  Array.iter (fun row -> ints "pr" (permuted row)) (permuted srv.peer_grants);
   add "|rd:%s"
     (String.concat ","
        (List.map string_of_int

@@ -45,18 +45,22 @@ let default_params =
 (* Canonical renderings used by the model checker to fingerprint
    messages and states.  [submitted_us] is deliberately excluded: it only
    feeds latency accounting, and folding it in would split otherwise
-   identical states. *)
+   identical states.  [rename] maps node ids to their canonical images
+   for the checker's symmetry reduction; the default is the identity. *)
 
 let render_op = function
   | Get { key } -> Printf.sprintf "G%d" key
   | Put { key; write_id; _ } -> Printf.sprintf "P%d=%d" key write_id
 
-let render_cmd c = Printf.sprintf "c%d@%d:%s" c.id c.origin (render_op c.op)
+let render_cmd ?(rename = Fun.id) c =
+  Printf.sprintf "c%d@%d:%s" c.id (rename c.origin) (render_op c.op)
 
-let render_cmd_opt = function None -> "noop" | Some c -> render_cmd c
+let render_cmd_opt ?rename = function
+  | None -> "noop"
+  | Some c -> render_cmd ?rename c
 
-let render_entry e =
-  Printf.sprintf "{t%d %s}" e.term (render_cmd_opt e.cmd)
+let render_entry ?rename e =
+  Printf.sprintf "{t%d %s}" e.term (render_cmd_opt ?rename e.cmd)
 
 let entry_bytes params e =
   params.msg_header_bytes

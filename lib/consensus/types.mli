@@ -56,6 +56,11 @@ val batch_bytes : params -> entry list -> int
     purpose (it only feeds latency accounting). *)
 
 val render_op : op -> string
-val render_cmd : cmd -> string
-val render_cmd_opt : cmd option -> string
-val render_entry : entry -> string
+
+val render_cmd : ?rename:(int -> int) -> cmd -> string
+(** [rename] maps node ids (here: the command's origin) to their
+    canonical images, for the model checker's symmetry reduction;
+    it defaults to the identity. *)
+
+val render_cmd_opt : ?rename:(int -> int) -> cmd option -> string
+val render_entry : ?rename:(int -> int) -> entry -> string

@@ -95,9 +95,12 @@ let check ?(max_states = 1_000_000) ?(max_depth = max_int) ?(max_hops = 1)
       action_map =
         Hashtbl.fold
           (fun b tbl acc ->
-            (b, List.of_seq (Hashtbl.to_seq tbl) |> List.sort compare) :: acc)
+            ( b,
+              List.of_seq (Hashtbl.to_seq tbl)
+              |> List.sort (fun (a, _) (b, _) -> String.compare a b) )
+            :: acc)
           action_map []
-        |> List.sort compare;
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b);
     }
   in
   let exception Failed of failure in

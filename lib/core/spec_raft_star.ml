@@ -299,7 +299,7 @@ let propose_entries cfg =
                                values)
                         in
                         Some (Fmt.str "a=%d,i1=%d,i=%d,v=%a" a i1 i V.pp v, s'))
-                      (List.sort_uniq compare [ 0; i ]))
+                      (List.sort_uniq Int.compare [ 0; i ]))
                 (C.value_ids cfg))
         (C.acceptor_ids cfg))
 

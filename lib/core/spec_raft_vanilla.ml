@@ -227,7 +227,7 @@ let propose_entries cfg =
                             ( Fmt.str "a=%d,i1=%d,i=%d,v=%a" a i1 i V.pp v,
                               State.set s "proposedEntries" (V.set_add pe pes)
                             ))
-                      (List.sort_uniq compare [ 0; i ]))
+                      (List.sort_uniq Int.compare [ 0; i ]))
                 (C.value_ids cfg))
         (C.acceptor_ids cfg))
 

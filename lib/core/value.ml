@@ -18,14 +18,14 @@ let type_rank = function
 
 let rec compare a b =
   match (a, b) with
-  | Int x, Int y -> Stdlib.compare x y
-  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Bool x, Bool y -> Bool.compare x y
   | Str x, Str y -> String.compare x y
   | Tuple x, Tuple y -> compare_list x y
   | Set x, Set y -> compare_list x y
   | Map x, Map y -> compare_pairs x y
   | Rec x, Rec y -> compare_fields x y
-  | _ -> Stdlib.compare (type_rank a) (type_rank b)
+  | _ -> Int.compare (type_rank a) (type_rank b)
 
 and compare_list x y =
   match (x, y) with

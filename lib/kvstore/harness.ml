@@ -238,7 +238,7 @@ let median_throughput ?(trials = 3) cfg =
     List.init trials (fun i ->
         (run { cfg with seed = Int64.add cfg.seed (Int64.of_int i) })
           .throughput_ops)
-    |> List.sort compare
+    |> List.sort Float.compare
   in
   List.nth xs (trials / 2)
 

@@ -1,0 +1,41 @@
+module Sset = Set.Make (String)
+
+type t = Sset.t
+
+let empty = Sset.empty
+
+let load path =
+  if not (Sys.file_exists path) then Sset.empty
+  else begin
+    let ic = open_in path in
+    let keys = ref Sset.empty in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then keys := Sset.add line !keys
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !keys
+  end
+
+let mem t f = Sset.mem (Finding.key f) t
+let size t = Sset.cardinal t
+
+let save path findings =
+  let oc = open_out path in
+  output_string oc
+    "# detlint baseline: grandfathered findings, one Finding.key per line.\n\
+     # Keep this empty; prefer [@lint.allow \"rule-id\"] at the site.\n";
+  let keys =
+    List.sort_uniq String.compare (List.map Finding.key findings)
+  in
+  List.iter (fun k -> output_string oc (k ^ "\n")) keys;
+  close_out oc
+
+let stale t findings =
+  let live =
+    List.fold_left (fun acc f -> Sset.add (Finding.key f) acc) Sset.empty
+      findings
+  in
+  Sset.elements (Sset.diff t live)

@@ -1,0 +1,24 @@
+(** Checked-in baseline of grandfathered findings.
+
+    Each line is a {!Finding.key} ([file:line:col:rule]); blank lines and
+    [#]-comments are ignored.  A finding whose key appears in the baseline
+    is reported as grandfathered and does not gate.  The intended steady
+    state is an empty baseline: new code fixes or [@lint.allow]-annotates
+    its findings instead of baselining them. *)
+
+type t
+
+val empty : t
+val load : string -> t
+(** Missing file = empty baseline. *)
+
+val mem : t -> Finding.t -> bool
+val size : t -> int
+
+val save : string -> Finding.t list -> unit
+(** Write the keys of [findings] (sorted, deduplicated) as the new
+    baseline, with a header comment. *)
+
+val stale : t -> Finding.t list -> string list
+(** Baseline keys that no longer match any finding — candidates for
+    deletion, reported so the baseline can only shrink. *)

@@ -1,0 +1,27 @@
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let render f =
+  Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.message
+
+let key f = Printf.sprintf "%s:%d:%d:%s" f.file f.line f.col f.rule
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule

@@ -1,0 +1,23 @@
+(** A single lint finding: a rule violation at a source location. *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;  (** path as given to the linter, '/'-normalized *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  rule : string;  (** rule id, e.g. ["unordered-iteration"] *)
+  severity : severity;
+  message : string;
+}
+
+val severity_name : severity -> string
+
+val render : t -> string
+(** [file:line:col [rule-id] message], the format CI greps for. *)
+
+val key : t -> string
+(** Stable identity used by the baseline file: [file:line:col:rule]. *)
+
+val compare : t -> t -> int
+(** Order by file, line, col, rule — a deterministic report order. *)

@@ -1,0 +1,41 @@
+(** detlint — determinism & protocol-discipline static analysis.
+
+    An AST-driven pass over [.ml] sources (via compiler-libs' parser; no
+    type information) enforcing the discipline the replay/fingerprint
+    subsystems assume.  See DESIGN.md "Determinism discipline" for the
+    rules' rationale; each rule's [summary] is the one-line version.
+
+    Suppression: attach [[@lint.allow "rule-id"]] to an expression,
+    [[@@lint.allow "rule-id"]] to a value binding, or a floating
+    [[@@@lint.allow "rule-id"]] anywhere in a module to exempt the whole
+    file.  Multiple ids may be given ([[@lint.allow "a" "b"]]); the id
+    ["all"] matches every rule.  Grandfathered sites can instead be
+    listed in a checked-in {!Baseline} file, which is expected to stay
+    empty. *)
+
+type rule = {
+  id : string;
+  severity : Finding.severity;
+  summary : string;
+  applies : string -> bool;  (** does the rule run on this (normalized) path? *)
+}
+
+val rules : rule list
+(** All rules, in the order they are documented. *)
+
+val normalize_path : string -> string
+(** '\\' to '/', strip a leading ["./"]. *)
+
+val lint_string : filename:string -> string -> Finding.t list
+(** Lint source text.  [filename] determines rule scoping (rules look
+    for [lib/] and [lib/consensus] segments) and appears in findings.
+    A syntax error yields a single [parse-error] finding. *)
+
+val lint_file : string -> Finding.t list
+
+val collect_files : string list -> string list
+(** Expand files/directories into a sorted list of [.ml] files,
+    skipping [_build], [.git] and other dot-directories. *)
+
+val lint_paths : string list -> Finding.t list
+(** [collect_files] then [lint_file] on each, findings sorted. *)

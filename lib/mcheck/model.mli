@@ -62,6 +62,15 @@ type scenario = {
       (** called repeatedly on a fresh world until it returns [None]; the
           produced choices become the recorded scripted prefix.  Single
           use — construct a fresh scenario per check. *)
+  sc_symmetry : int list;
+      (** node ids the scenario treats interchangeably: {!fingerprint}
+          canonicalizes states under every permutation of these ids, so
+          one representative per symmetry orbit is explored.  Sound only
+          if the scenario itself cannot tell the listed nodes apart —
+          submission targets, fire filters and policies must be invariant
+          under the permutations (and the protocol must not bake node
+          ids into non-renamable structure, which rules out Mencius slot
+          ownership).  [[]] disables the reduction. *)
 }
 
 val build : scenario -> t
@@ -86,7 +95,12 @@ val apply : t -> choice -> unit
 val fingerprint : t -> string
 (** Canonical digest of the global state: every replica's [dump_state],
     every link queue's message renderings, the pending-timer multiset,
-    down flags, the clock and the client's progress counters. *)
+    down flags, the clock and the client's progress counters.  With a
+    nonempty [sc_symmetry] the digest is the minimum over the node-id
+    permutation group, with every node-id-valued field (including
+    MultiPaxos ballots, which encode proposer ids) renamed consistently
+    — states equal up to a permutation of the symmetric nodes collapse
+    to one visited-set key. *)
 
 val goal_reached : t -> bool
 (** Every scenario command acknowledged. *)

@@ -40,7 +40,8 @@ let steady_fire_filter = function
       Some (fun ~node:_ ~label -> label = "heartbeat")
   | Cluster.Mencius | Cluster.Multipaxos -> None
 
-let base ?fire_filter name protocol ~ops ~targets ~timer_budget ~crash_budget =
+let base ?fire_filter ?(symmetry = []) name protocol ~ops ~targets
+    ~timer_budget ~crash_budget =
   {
     Model.sc_name = name;
     sc_protocol = protocol;
@@ -54,6 +55,7 @@ let base ?fire_filter name protocol ~ops ~targets ~timer_budget ~crash_budget =
     sc_multipaxos_config = None;
     sc_fire_filter = fire_filter;
     sc_policy = None;
+    sc_symmetry = symmetry;
   }
 
 (* ---- policy helpers ---- *)
@@ -93,6 +95,32 @@ let steady protocol =
   base ?fire_filter:(steady_fire_filter protocol) name protocol
     ~ops:[ put 11 1; get 11 ]
     ~targets:[ 0; 1 ] ~timer_budget:1 ~crash_budget:0
+
+(* The symmetry variant routes the whole workload through the bootstrap
+   leader, which makes the two followers indistinguishable: nothing in
+   the scenario (targets, fire filter, budgets) mentions node 1 or 2
+   individually, so states that differ only by swapping the followers'
+   roles are one orbit and {!Model.fingerprint} collapses them.  Mencius
+   is excluded — its slot ownership ([inst mod n]) bakes node ids into
+   slot numbers, so no renaming of follower state can be faithful. *)
+let steady_sym protocol =
+  let name =
+    Printf.sprintf "steady-sym-%s"
+      (String.lowercase_ascii (Cluster.protocol_name protocol))
+  in
+  base
+    ?fire_filter:(steady_fire_filter protocol)
+    ~symmetry:[ 1; 2 ] name protocol
+    ~ops:[ put 11 1; get 11 ]
+    ~targets:[ 0; 0 ] ~timer_budget:1 ~crash_budget:0
+
+(* Same scope with the reduction off, for the test that asserts the
+   quotient shrinks the visited set without changing any verdict. *)
+let steady_sym_off protocol =
+  { (steady_sym protocol) with Model.sc_symmetry = [] }
+
+let sym_protocols =
+  [ Cluster.Raft; Cluster.Raft_star; Cluster.Raft_pql; Cluster.Multipaxos ]
 
 (* The crash variant adds one crash anywhere plus restarts; with two
    timer fires an election can complete after a leader crash. *)
@@ -236,15 +264,23 @@ let by_name name =
                   (String.length s - String.length prefix))
         else None
       in
-      match strip "steady-" with
-      | Some p -> Option.map steady (Cluster.protocol_of_name p)
+      match strip "steady-sym-" with
+      | Some p -> (
+          match Cluster.protocol_of_name p with
+          | Some proto when List.mem proto sym_protocols ->
+              Some (steady_sym proto)
+          | _ -> None)
       | None -> (
-          match strip "crash-" with
-          | Some p -> Option.map crash (Cluster.protocol_of_name p)
-          | None -> None))
+          match strip "steady-" with
+          | Some p -> Option.map steady (Cluster.protocol_of_name p)
+          | None -> (
+              match strip "crash-" with
+              | Some p -> Option.map crash (Cluster.protocol_of_name p)
+              | None -> None)))
 
 let names =
   List.map (fun p -> (steady p).Model.sc_name) clean_protocols
+  @ List.map (fun p -> (steady_sym p).Model.sc_name) sym_protocols
   @ List.map (fun p -> (crash p).Model.sc_name) clean_protocols
   @ [
       "mencius-slot-reuse";

@@ -16,6 +16,21 @@ val steady : Raftpax_nemesis.Cluster.protocol -> Model.scenario
 val crash : Raftpax_nemesis.Cluster.protocol -> Model.scenario
 (** {!steady} plus one crash anywhere and a second timer fire. *)
 
+val steady_sym : Raftpax_nemesis.Cluster.protocol -> Model.scenario
+(** {!steady} with both commands at the bootstrap leader and
+    [sc_symmetry = [1; 2]]: the followers are interchangeable, so the
+    checker explores one representative per follower-swap orbit.  Only
+    meaningful for the protocols in {!sym_protocols}. *)
+
+val steady_sym_off : Raftpax_nemesis.Cluster.protocol -> Model.scenario
+(** The same scope with the reduction disabled — the baseline for
+    asserting the quotient shrinks the visited set with identical
+    verdicts. *)
+
+val sym_protocols : Raftpax_nemesis.Cluster.protocol list
+(** Protocols whose node ids are fully renamable (everything but
+    Mencius, whose slot ownership is positional). *)
+
 val mencius_slot_reuse : mutant:bool -> unit -> Model.scenario
 (** Slot-reuse-after-revocation: the policy forces a revocation of
     node 2's slot 2 into a committed skip while node 2 still holds an
@@ -34,8 +49,9 @@ val refinement : unit -> Model.scenario
 val clean_protocols : Raftpax_nemesis.Cluster.protocol list
 
 val by_name : string -> Model.scenario option
-(** CLI lookup: ["steady-<protocol>"], ["crash-<protocol>"], the mutation
-    scenarios and ["refine-raft-star"].  Scenario values hold single-use
-    policy state — look up a fresh one per check. *)
+(** CLI lookup: ["steady-<protocol>"], ["steady-sym-<protocol>"],
+    ["crash-<protocol>"], the mutation scenarios and ["refine-raft-star"].
+    Scenario values hold single-use policy state — look up a fresh one
+    per check. *)
 
 val names : string list

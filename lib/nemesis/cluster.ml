@@ -33,7 +33,7 @@ type t = {
   committed_ops : node:int -> Types.op list;
   digest : node:int -> string;
   dump : node:int -> string;
-  state : node:int -> string;
+  state : rename:(int -> int) -> node:int -> string;
   mono : node:int -> int array;
   invariant : unit -> string option;
   raft_peek : (node:int -> C.Raft.peek) option;
@@ -102,7 +102,7 @@ let make ?telemetry ?raft_config ?mencius_config ?multipaxos_config protocol
                    Printf.sprintf "%d:%s%s" i body
                      (if i > commit then "!" else ""))
                  (C.Raft.log_entries r ~node)));
-        state = (fun ~node -> C.Raft.dump_state r ~node);
+        state = (fun ~rename ~node -> C.Raft.dump_state ~rename r ~node);
         mono = (fun ~node -> C.Raft.mono_view r ~node);
         invariant = (fun () -> C.Raft.invariant_violation r);
         raft_peek = Some (fun ~node -> C.Raft.peek r ~node);
@@ -130,7 +130,7 @@ let make ?telemetry ?raft_config ?mencius_config ?multipaxos_config protocol
               (C.Mencius.slot_count m ~node)
               (C.Mencius.skipped_count m ~node));
         dump = (fun ~node -> C.Mencius.dump_slots m ~node);
-        state = (fun ~node -> C.Mencius.dump_state m ~node);
+        state = (fun ~rename ~node -> C.Mencius.dump_state ~rename m ~node);
         mono = (fun ~node -> C.Mencius.mono_view m ~node);
         invariant = (fun () -> C.Mencius.invariant_violation m);
         raft_peek = None;
@@ -167,7 +167,7 @@ let make ?telemetry ?raft_config ?mencius_config ?multipaxos_config protocol
                        Printf.sprintf "%d:V(w%d)" i write_id
                    | Types.Get _ -> Printf.sprintf "%d:G" i)
                  (C.Multipaxos.committed_ops mp ~node)));
-        state = (fun ~node -> C.Multipaxos.dump_state mp ~node);
+        state = (fun ~rename ~node -> C.Multipaxos.dump_state ~rename mp ~node);
         mono = (fun ~node -> C.Multipaxos.mono_view mp ~node);
         invariant = (fun () -> C.Multipaxos.invariant_violation mp);
         raft_peek = None;

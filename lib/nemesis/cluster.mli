@@ -43,9 +43,11 @@ type t = {
   dump : node:int -> string;
       (** full ordering view (slot/log contents) for diagnosing a
           divergence — appended to the trace when a run fails *)
-  state : node:int -> string;
+  state : rename:(int -> int) -> node:int -> string;
       (** canonical full-state rendering (the runtime's [dump_state]) —
-          the model checker's fingerprint input *)
+          the model checker's fingerprint input.  [rename] maps node ids
+          to canonical images for the checker's symmetry reduction;
+          pass [Fun.id] for the plain rendering *)
   mono : node:int -> int array;
       (** the runtime's [mono_view]: components that must never decrease
           along any execution *)

@@ -14,6 +14,9 @@ type ctx = {
   mutable chaos_active : bool;
   mutable skew_active : bool;
   mutable faults : int;
+  mutable partition_gen : int;  (** heal-window generation counters *)
+  mutable chaos_gen : int;
+  mutable skew_gen : int;
 }
 
 let make_ctx engine net cluster ~rng ~trace =
@@ -28,6 +31,9 @@ let make_ctx engine net cluster ~rng ~trace =
     chaos_active = false;
     skew_active = false;
     faults = 0;
+    partition_gen = 0;
+    chaos_gen = 0;
+    skew_gen = 0;
   }
 
 type action = {
@@ -109,28 +115,27 @@ let crash_leader =
         | _ -> ());
   }
 
-(* Fault windows heal themselves [2s, 6s) later.  A generation counter
-   guards against a stale scheduled heal closing a window that {!heal}
-   already closed and a later action reopened. *)
+(* Fault windows heal themselves [2s, 6s) later.  Per-run generation
+   counters (in ctx, so replays start from zero) guard against a stale
+   scheduled heal closing a window that {!heal} already closed and a
+   later action reopened. *)
 let window_us rng = 2_000_000 + Rng.int rng 4_000_000
 
-let partition_generation = ref 0
-
 let close_partition ctx gen () =
-  if ctx.partition_active && !partition_generation = gen then begin
+  if ctx.partition_active && ctx.partition_gen = gen then begin
     Net.set_partition ctx.net None;
     ctx.partition_active <- false;
     note ctx "HEAL partition"
   end
 
 let open_partition ctx desc cut =
-  incr partition_generation;
+  ctx.partition_gen <- ctx.partition_gen + 1;
   Net.set_partition ctx.net (Some cut);
   ctx.partition_active <- true;
   let span = window_us ctx.rng in
   fault ctx (Printf.sprintf "%s for %dus" desc span);
   Engine.schedule ~kind:Engine.Exact ctx.engine ~delay:span
-    (close_partition ctx !partition_generation)
+    (close_partition ctx ctx.partition_gen)
 
 let partition_symmetric =
   {
@@ -149,7 +154,7 @@ let partition_symmetric =
         let desc =
           Printf.sprintf "partition-sym side=[%s]"
             (String.concat ","
-               (List.map string_of_int (Array.to_list side |> List.sort compare)))
+               (List.map string_of_int (Array.to_list side |> List.sort Int.compare)))
         in
         open_partition ctx desc (fun a b -> in_side a <> in_side b));
   }
@@ -166,8 +171,6 @@ let partition_asymmetric =
           (Printf.sprintf "partition-asym mute=%d" node)
           (fun a b -> a = node && b <> node));
   }
-
-let chaos_generation = ref 0
 
 let message_chaos =
   {
@@ -188,8 +191,8 @@ let message_chaos =
               && not ctx.cluster.Cluster.fifo_required;
           }
         in
-        incr chaos_generation;
-        let gen = !chaos_generation in
+        ctx.chaos_gen <- ctx.chaos_gen + 1;
+        let gen = ctx.chaos_gen in
         Net.set_chaos ctx.net (Some chaos);
         ctx.chaos_active <- true;
         let span = window_us ctx.rng in
@@ -199,14 +202,12 @@ let message_chaos =
              chaos.Net.delay_us chaos.Net.dup_probability
              chaos.Net.drop_probability chaos.Net.reorder span);
         Engine.schedule ~kind:Engine.Exact ctx.engine ~delay:span (fun () ->
-            if ctx.chaos_active && !chaos_generation = gen then begin
+            if ctx.chaos_active && ctx.chaos_gen = gen then begin
               Net.set_chaos ctx.net None;
               ctx.chaos_active <- false;
               note ctx "HEAL message-chaos"
             end));
   }
-
-let skew_generation = ref 0
 
 let clock_skew =
   {
@@ -220,13 +221,13 @@ let clock_skew =
         let skew_rng = Rng.split ctx.rng in
         Engine.set_timer_skew ctx.engine
           (Some (fun d -> d * (700 + Rng.int skew_rng 900) / 1000));
-        incr skew_generation;
-        let gen = !skew_generation in
+        ctx.skew_gen <- ctx.skew_gen + 1;
+        let gen = ctx.skew_gen in
         ctx.skew_active <- true;
         let span = window_us ctx.rng in
         fault ctx (Printf.sprintf "clock-skew 0.7x-1.6x for %dus" span);
         Engine.schedule ~kind:Engine.Exact ctx.engine ~delay:span (fun () ->
-            if ctx.skew_active && !skew_generation = gen then begin
+            if ctx.skew_active && ctx.skew_gen = gen then begin
               Engine.set_timer_skew ctx.engine None;
               ctx.skew_active <- false;
               note ctx "HEAL clock-skew"

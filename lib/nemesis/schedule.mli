@@ -23,6 +23,10 @@ type ctx = {
   mutable chaos_active : bool;
   mutable skew_active : bool;
   mutable faults : int;  (** faults injected so far *)
+  mutable partition_gen : int;
+      (** per-run heal-window generation counters; see the implementation *)
+  mutable chaos_gen : int;
+  mutable skew_gen : int;
 }
 
 val make_ctx :

@@ -138,7 +138,7 @@ let manual_drain t =
 
 let manual_pending t =
   t.manual_timers <- List.filter (fun e -> not e.dead) t.manual_timers;
-  List.sort (fun a b -> compare a.seq b.seq) t.manual_timers
+  List.sort (fun a b -> Int.compare a.seq b.seq) t.manual_timers
 
 let manual_fire t e =
   if e.dead then false

@@ -12,7 +12,12 @@ type chaos = {
 type monitor = now:int -> src:int -> dst:int -> size:int -> dropped:bool -> unit
 
 type capture =
-  src:int -> dst:int -> size:int -> info:string -> (unit -> unit) -> unit
+  src:int ->
+  dst:int ->
+  size:int ->
+  info:((int -> int) -> string) ->
+  (unit -> unit) ->
+  unit
 
 type probes = {
   sent : Metrics.counter array;  (** net_msgs_sent, per src *)
@@ -100,14 +105,14 @@ let node_down t id = t.down.(id)
 let cut t src dst =
   match t.partition with Some p -> p src dst | None -> false
 
-let send ?(info = fun () -> "") t ~src ~dst ~size deliver =
+let send ?(info = fun _ -> "") t ~src ~dst ~size deliver =
   match t.capture with
   | Some hook ->
       (* Model-checker interception: every send becomes an explicit
          pending message under the checker's control; timing, chaos and
          probes are bypassed.  A down sender still silently loses the
          message at send time, mirroring the normal path below. *)
-      if not t.down.(src) then hook ~src ~dst ~size ~info:(info ()) deliver
+      if not t.down.(src) then hook ~src ~dst ~size ~info deliver
   | None ->
   if t.down.(src) then ()
   else begin

@@ -57,15 +57,22 @@ val set_monitor : t -> monitor option -> unit
     drops; a mid-flight crash loss is not reported). *)
 
 type capture =
-  src:int -> dst:int -> size:int -> info:string -> (unit -> unit) -> unit
+  src:int ->
+  dst:int ->
+  size:int ->
+  info:((int -> int) -> string) ->
+  (unit -> unit) ->
+  unit
 
 val set_capture : t -> capture option -> unit
 (** Model-checker interception: while set, {!send} hands every message
-    (its delivery closure plus a rendering of its payload) to the hook
-    instead of scheduling it, bypassing timing, chaos and probes.  The
-    hook decides if/when to invoke the closure.  A down sender is still
-    silenced at send time; delivery-time down/partition checks become
-    the checker's responsibility. *)
+    (its delivery closure plus a payload renderer) to the hook instead
+    of scheduling it, bypassing timing, chaos and probes.  The hook
+    decides if/when to invoke the closure.  The renderer takes a node-id
+    renaming so the checker can re-fingerprint captured messages under a
+    symmetry permutation; pass [Fun.id] for the plain rendering.  A down
+    sender is still silenced at send time; delivery-time down/partition
+    checks become the checker's responsibility. *)
 
 val set_metrics : t -> Raftpax_telemetry.Metrics.t -> unit
 (** Attach per-node probes: [net_msgs_sent] / [net_msgs_dropped] /
@@ -79,7 +86,7 @@ val set_node_down : t -> int -> bool -> unit
 val node_down : t -> int -> bool
 
 val send :
-  ?info:(unit -> string) ->
+  ?info:((int -> int) -> string) ->
   t ->
   src:int ->
   dst:int ->
@@ -89,8 +96,9 @@ val send :
 (** [send t ~src ~dst ~size deliver] transmits a message of [size] bytes;
     [deliver] runs at the destination's delivery time unless the message is
     dropped.  Sending to self delivers after {!Topology.local_us}.
-    [info] lazily renders the payload for the capture hook; it is never
-    forced on the normal path. *)
+    [info] lazily renders the payload for the capture hook, under the
+    node-id renaming it is given (protocols pass it down to their
+    [render_msg ~rename]); it is never forced on the normal path. *)
 
 (** {1 Introspection for tests and benches} *)
 

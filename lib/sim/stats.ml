@@ -42,7 +42,7 @@ let sorted_samples t =
   | Some a -> a
   | None ->
       let a = Array.sub t.latencies 0 t.len in
-      Array.sort compare a;
+      Array.sort Int.compare a;
       t.sorted <- Some a;
       a
 

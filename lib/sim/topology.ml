@@ -60,6 +60,6 @@ let nearest_majority_rtt_ms site =
     sites
     |> List.filter (fun s -> s <> site)
     |> List.map (rtt_ms site)
-    |> List.sort compare
+    |> List.sort Int.compare
   in
   match others with _ :: second :: _ -> second | _ -> 0

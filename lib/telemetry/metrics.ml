@@ -28,11 +28,15 @@ let create ~n =
 
 let dummy_counter = { count = 0 }
 
+(* Shared write-sinks for the disabled registry: absorbed writes are
+   never read back, so the cross-run sharing is harmless by design. *)
 let dummy_histogram =
   { buckets = Array.make n_buckets 0; total = 0; sum = 0; max_seen = 0 }
+[@@lint.allow "escaping-mutable-state"]
 
 let disabled =
   { n = 1; live = false; counters = Hashtbl.create 1; histograms = Hashtbl.create 1 }
+[@@lint.allow "escaping-mutable-state"]
 
 let enabled t = t.live
 
@@ -138,7 +142,9 @@ type snapshot = {
 }
 
 let snapshot t =
-  let sorted_keys tbl = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []) in
+  let sorted_keys tbl =
+    List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+  in
   {
     s_n = t.n;
     s_counters =

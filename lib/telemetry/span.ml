@@ -6,7 +6,10 @@ type t = {
 }
 
 let create () = { live = true; traces = Hashtbl.create 1024 }
-let disabled = { live = false; traces = Hashtbl.create 1 }
+(* Never written while [live = false]; shared on purpose. *)
+let disabled =
+  { live = false; traces = Hashtbl.create 1 }
+[@@lint.allow "escaping-mutable-state"]
 let enabled t = t.live
 
 let mark t ~trace ~node ~phase ~now =
@@ -22,7 +25,7 @@ let marks t ~trace =
   | None -> []
 
 let trace_ids t =
-  List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.traces [])
+  List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.traces [])
 
 let trace_count t = Hashtbl.length t.traces
 

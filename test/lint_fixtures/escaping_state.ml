@@ -1,0 +1,16 @@
+(* detlint fixture: escaping-mutable-state.
+   Linted as lib/fx_escaping.ml.  Expected hits: 3. *)
+
+let bad_cache = Hashtbl.create 16
+let bad_counter = ref 0
+let bad_buf = Buffer.create 80
+
+(* Negative: allocation happens per call, not at module init. *)
+let ok_per_call () = Hashtbl.create 16
+
+(* Negative: immutable top-level values are fine. *)
+let ok_const = 42
+let ok_list = [ 1; 2; 3 ]
+
+(* Suppressed on the binding: must NOT be reported. *)
+let ok_suppressed = Hashtbl.create 1 [@@lint.allow "escaping-mutable-state"]

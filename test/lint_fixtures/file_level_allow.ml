@@ -1,0 +1,7 @@
+(* detlint fixture: a floating [@@@lint.allow] silences the named rules
+   for the whole file.  Expected hits: 0 when linted as lib/fx_allow.ml. *)
+
+[@@@lint.allow "forbidden-effects" "escaping-mutable-state"]
+
+let silenced_random () = Random.int 6
+let silenced_state = ref 0

@@ -1,0 +1,14 @@
+(* detlint fixture: forbidden-effects.
+   Linted with the synthetic filename lib/fx_forbidden.ml so the
+   lib/-scoped rule applies.  Expected hits: 4. *)
+
+let bad_random () = Random.int 6
+let bad_unix () = Unix.gettimeofday ()
+let bad_sys_time () = Sys.time ()
+let bad_hash x = Hashtbl.hash x
+
+(* Suppressed at the expression: must NOT be reported. *)
+let ok_suppressed () = (Random.bits () [@lint.allow "forbidden-effects"])
+
+(* Sys.* other than Sys.time is allowed. *)
+let ok_sys_argv () = Array.length Sys.argv

@@ -1,0 +1,19 @@
+(* detlint fixture: polymorphic-compare.
+   Linted as lib/fx_polycmp.ml.  Expected hits: 3.
+   NOTE: do not bind any value named [compare] in this file -- a local
+   shadowing definition sanctions bare [compare] file-wide. *)
+
+let bad_sort xs = List.sort compare xs
+let bad_stdlib xs = List.sort Stdlib.compare xs
+
+(* Structural (=) applied to a literal function. *)
+let bad_fn_eq f = f = fun x -> x
+
+(* Negative: monomorphic comparator. *)
+let ok_int xs = List.sort Int.compare xs
+
+(* Negative: (=) on ordinary operands is fine. *)
+let ok_eq a b = a = b
+
+(* Suppressed at the expression: must NOT be reported. *)
+let ok_suppressed xs = (List.sort compare xs [@lint.allow "polymorphic-compare"])

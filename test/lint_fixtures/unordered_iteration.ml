@@ -1,0 +1,26 @@
+(* detlint fixture: unordered-iteration.
+   Linted as lib/fx_unordered.ml.  Expected hits: 2. *)
+
+(* Positive: iteration order leaks straight into output. *)
+let bad_iter tbl = Hashtbl.iter (fun k v -> Printf.printf "%d %d\n" k v) tbl
+
+(* Positive: folded list escapes without a sort. *)
+let bad_fold tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+(* Negative: commutative accumulation is order-insensitive. *)
+let ok_sum tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
+
+(* Negative: result flows directly into a sort. *)
+let ok_direct tbl = List.sort Int.compare (Hashtbl.fold (fun k _ a -> k :: a) tbl [])
+
+(* Negative: result is piped into a sort. *)
+let ok_pipe tbl = Hashtbl.fold (fun k _ a -> k :: a) tbl [] |> List.sort Int.compare
+
+(* Negative: bound then sorted before use. *)
+let ok_sorted tbl =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  List.sort Int.compare keys
+
+(* Suppressed at the expression: must NOT be reported. *)
+let ok_suppressed tbl =
+  (Hashtbl.iter (fun _ _ -> ()) tbl) [@lint.allow "unordered-iteration"]

@@ -1,0 +1,21 @@
+(* detlint fixture: wildcard-message-match.
+   Linted as lib/consensus/fx_wildcard.ml (the rule only applies under
+   lib/consensus/).  Expected hits: 2. *)
+
+type msg = Ping of int | Pong of int | Stop
+
+(* Positive: catch-all in a dispatch that names msg constructors. *)
+let bad_dispatch m = match m with Ping n -> n | _ -> 0
+
+(* Positive: or-pattern ending in a wildcard. *)
+let bad_function = function Ping n -> n | Pong _ | _ -> 0
+
+(* Negative: exhaustive dispatch. *)
+let ok_exhaustive m = match m with Ping n -> n | Pong n -> n | Stop -> 0
+
+(* Negative: match not over the message type. *)
+let ok_unrelated x = match x with Some v -> v | None -> 0
+
+(* Suppressed on the catch-all pattern: must NOT be reported. *)
+let ok_suppressed m =
+  match m with Ping n -> n | (_ [@lint.allow "wildcard-message-match"]) -> 1

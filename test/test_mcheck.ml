@@ -96,6 +96,27 @@ let schedule_roundtrip_case () =
         "parses back" true
         (MC.Model.parse_schedule rendered = v.v_schedule)
 
+(* Node-id symmetry reduction: on a scope where the two followers are
+   interchangeable, quotienting by the follower swap must shrink the
+   visited set strictly — and must not change any verdict.  The clean
+   run's counts come from the identical scenario with [sc_symmetry]
+   emptied, so the two searches differ only in the fingerprint. *)
+let symmetry_case proto () =
+  let on = MC.Checker.check ~max_states:2_000_000 (MC.Scenario.steady_sym proto) in
+  let off =
+    MC.Checker.check ~max_states:2_000_000 (MC.Scenario.steady_sym_off proto)
+  in
+  assert_clean on;
+  assert_clean off;
+  Alcotest.(check bool)
+    (Printf.sprintf "visited shrank (%d sym vs %d plain)" on.r_states
+       off.r_states)
+    true
+    (on.r_states < off.r_states);
+  Alcotest.(check bool) "verdicts agree" true
+    (on.r_goal_reached = off.r_goal_reached
+    && on.r_complete = off.r_complete)
+
 let refinement_case () =
   let r = MC.Refine.check () in
   (match r.r_failure with
@@ -129,6 +150,17 @@ let () =
             (steady_case "raft-star");
           Alcotest.test_case "steady mencius exhaustive" `Slow
             (steady_case "mencius");
+        ] );
+      ( "symmetry",
+        [
+          Alcotest.test_case "raft follower-swap quotient" `Quick
+            (symmetry_case Cluster.Raft);
+          Alcotest.test_case "multipaxos follower-swap quotient" `Quick
+            (symmetry_case Cluster.Multipaxos);
+          Alcotest.test_case "raft-star follower-swap quotient" `Slow
+            (symmetry_case Cluster.Raft_star);
+          Alcotest.test_case "raft-pql follower-swap quotient" `Slow
+            (symmetry_case Cluster.Raft_pql);
         ] );
       ( "mutants",
         [
