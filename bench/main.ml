@@ -252,6 +252,89 @@ let fig10_latency ~value_size ~label () =
       pp_lat_row "followers" r.H.write_follower)
     fig10_systems
 
+(* ---- sharded serving: aggregate throughput scaling (ours) ---- *)
+
+(* The sweep the million-user trajectory tracks: M consensus groups over
+   the hash-partitioned store, leaders placed nearest-majority, under a
+   write-heavy 4 KB load that saturates a single group's leader uplink —
+   so aggregate throughput must scale with the group count.  [--shards M]
+   restricts the sweep to one group count. *)
+
+let shards_override = ref None
+
+let fig_shard () =
+  let group_counts =
+    match !shards_override with
+    | Some m -> [ m ]
+    | None -> if !quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ]
+  in
+  let client_sweep = if !quick then [ 100; 400 ] else [ 100; 400; 1200 ] in
+  let wl clients =
+    {
+      W.read_fraction = 0.0;
+      conflict_rate = 0.0;
+      value_size = 4096;
+      records = 100_000;
+      clients_per_region = clients;
+    }
+  in
+  let shard_run ?(protocols = [ H.Raft_star ]) m clients =
+    let cfg =
+      Shard.config ~protocols ~duration_s:(duration ()) ~warmup_s:(trim ())
+        ~cooldown_s:(trim ()) ~telemetry:true ~shards:m (wl clients)
+    in
+    let r = Shard.run cfg in
+    recorded := Shard.result_to_json cfg r :: !recorded;
+    assert (r.Shard.violations = 0);
+    r
+  in
+  Fmt.pr
+    "== Sharded serving: aggregate throughput (ops/s) vs group count, 4KB \
+     writes, nearest-majority leaders ==@.";
+  Fmt.pr "%-8s" "groups";
+  List.iter (fun c -> Fmt.pr " %8dc" c) client_sweep;
+  Fmt.pr "@.";
+  let peak_by_groups =
+    List.map
+      (fun m ->
+        Fmt.pr "%-8d" m;
+        let tputs =
+          List.map
+            (fun clients ->
+              let r = shard_run m clients in
+              Fmt.pr " %9.0f" r.Shard.throughput_ops;
+              r.Shard.throughput_ops)
+            client_sweep
+        in
+        Fmt.pr "@.";
+        (m, List.fold_left max 0.0 tputs))
+      group_counts
+  in
+  (match peak_by_groups with
+  | (m0, t0) :: rest when rest <> [] ->
+      Fmt.pr "scaling vs %d group(s):" m0;
+      List.iter
+        (fun (m, t) -> Fmt.pr " %dx groups=%.2fx tput" (m / m0) (t /. t0))
+        rest;
+      Fmt.pr "@.";
+      (* the acceptance gate: aggregate peak throughput must increase
+         monotonically with the group count *)
+      let rec monotonic = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a < b && monotonic rest
+        | _ -> true
+      in
+      assert (monotonic peak_by_groups)
+  | _ -> ());
+  (* one heterogeneous deployment at the widest sweep point: mixed
+     protocol groups must serve the same routed load *)
+  let m = List.fold_left max 1 group_counts in
+  let r =
+    shard_run ~protocols:[ H.Raft_star; H.Mencius; H.Multipaxos ] m
+      (List.hd client_sweep)
+  in
+  Fmt.pr "heterogeneous mix (%d groups, Raft*/Mencius/MultiPaxos): %.0f ops/s@."
+    m r.Shard.throughput_ops
+
 (* ---- network cost table (ours): egress distribution per protocol ---- *)
 
 let netcost () =
@@ -413,6 +496,7 @@ let figures =
     ("fig10b", fun () -> fig10_throughput ~value_size:4096 ~label:"b" ());
     ("fig10c", fun () -> fig10_latency ~value_size:8 ~label:"c" ());
     ("fig10d", fun () -> fig10_latency ~value_size:4096 ~label:"d" ());
+    ("shard", fig_shard);
     ("netcost", netcost);
     ("ablation-lease", ablation_lease_duration);
     ("ablation-pipeline", ablation_pipeline_window);
@@ -438,6 +522,13 @@ let () =
         take_out acc rest
     | a :: rest when String.length a > 6 && String.sub a 0 6 = "--out=" ->
         out_dir := strip_trailing_slash (String.sub a 6 (String.length a - 6));
+        take_out acc rest
+    | "--shards" :: m :: rest ->
+        shards_override := int_of_string_opt m;
+        take_out acc rest
+    | a :: rest when String.length a > 9 && String.sub a 0 9 = "--shards=" ->
+        shards_override :=
+          int_of_string_opt (String.sub a 9 (String.length a - 9));
         take_out acc rest
     | a :: rest -> take_out (a :: acc) rest
   in

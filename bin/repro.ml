@@ -6,6 +6,7 @@
      port        run the porting pipeline and its Figure-5 obligations
      simulate    run a protocol under the YCSB-like workload
      trace       per-request span waterfalls from a traced run
+     shard       sharded multi-group run with per-group lin oracles
      nemesis     deterministic fault-injection sweep
      mcheck      explicit-state model checking of the real runtimes
      topology    print the WAN model
@@ -334,6 +335,147 @@ let trace_cmd =
           were recorded.")
     Term.(const run_trace $ proto $ seed $ requests $ read_pct)
 
+(* ---- shard ---- *)
+
+let parse_protocols s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun name ->
+         match List.assoc_opt (String.lowercase_ascii name) harness_protocols with
+         | Some p -> p
+         | None ->
+             Fmt.epr "unknown protocol %S (try %s)@." name
+               (String.concat ", " (List.map fst harness_protocols));
+             exit 2)
+
+let parse_placement s =
+  match String.lowercase_ascii s with
+  | "round-robin" | "rr" -> KV.Shard.Round_robin
+  | "nearest" | "nearest-majority" -> KV.Shard.Nearest_majority
+  | site -> (
+      match
+        List.find_opt
+          (fun x -> String.lowercase_ascii (Sim.Topology.site_name x) = site)
+          Sim.Topology.sites
+      with
+      | Some x -> KV.Shard.Fixed x
+      | None ->
+          Fmt.epr
+            "unknown placement %S (try round-robin, nearest-majority, or a \
+             site name)@."
+            s;
+          exit 2)
+
+let run_shard shards protocols placement seed duration clients read_pct
+    conflict_pct size replay =
+  let workload =
+    {
+      KV.Workload.read_fraction = float_of_int read_pct /. 100.0;
+      conflict_rate = float_of_int conflict_pct /. 100.0;
+      value_size = size;
+      records = 100_000;
+      clients_per_region = clients;
+    }
+  in
+  let trim = max 0 (min 2 (duration / 3)) in
+  let cfg =
+    KV.Shard.config
+      ~protocols:(parse_protocols protocols)
+      ~placement:(parse_placement placement) ~duration_s:duration
+      ~warmup_s:trim ~cooldown_s:trim ~seed:(Int64.of_int seed)
+      ~telemetry:true ~shards workload
+  in
+  let r = KV.Shard.run cfg in
+  Fmt.pr "%d group(s), placement %s, seed %d: aggregate %.0f ops/s@." shards
+    (KV.Shard.placement_name cfg.KV.Shard.placement)
+    seed r.KV.Shard.throughput_ops;
+  Fmt.pr "%-5s %-14s %-8s %8s %9s %9s %7s %7s %8s %4s@." "group" "protocol"
+    "leader" "ops" "committed" "tput" "p50ms" "p99ms" "retries" "viol";
+  Array.iteri
+    (fun i (g : KV.Shard.group_result) ->
+      let stats = Sim.Stats.merge [ g.KV.Shard.g_read; g.KV.Shard.g_write ] in
+      Fmt.pr "%-5d %-14s %-8s %8d %9d %9.0f %7.1f %7.1f %8d %4d@." i
+        (KV.Harness.protocol_name g.KV.Shard.g_protocol)
+        (Sim.Topology.site_name g.KV.Shard.g_leader_site)
+        g.KV.Shard.g_ops g.KV.Shard.g_committed g.KV.Shard.g_throughput_ops
+        (float_of_int (Sim.Stats.percentile_us stats 0.50) /. 1000.0)
+        (float_of_int (Sim.Stats.percentile_us stats 0.99) /. 1000.0)
+        g.KV.Shard.g_retries g.KV.Shard.g_violations)
+    r.KV.Shard.groups;
+  Fmt.pr "retries %d, reads checked %d, lin violations %d@." r.KV.Shard.retries
+    r.KV.Shard.reads_checked r.KV.Shard.violations;
+  let replay_ok =
+    if not replay then true
+    else begin
+      let r2 = KV.Shard.run cfg in
+      let a = KV.Shard.snapshot_string cfg r
+      and b = KV.Shard.snapshot_string cfg r2 in
+      if String.equal a b then begin
+        Fmt.pr "replay: snapshot byte-identical (%d bytes)@." (String.length a);
+        true
+      end
+      else begin
+        Fmt.pr "replay: MISMATCH — sharded run is not deterministic@.";
+        false
+      end
+    end
+  in
+  if r.KV.Shard.violations = 0 && replay_ok then 0 else 1
+
+let shard_cmd =
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~doc:"Number of consensus groups.")
+  in
+  let protocols =
+    Arg.(
+      value
+      & opt string "raft-star"
+      & info [ "protocols" ]
+          ~doc:
+            "Comma-separated protocol list, cycled over groups (e.g. \
+             raft,mencius,multipaxos for a heterogeneous mix).")
+  in
+  let placement =
+    Arg.(
+      value
+      & opt string "nearest-majority"
+      & info [ "placement" ]
+          ~doc:
+            "Leader placement: round-robin, nearest-majority, or a site \
+             name for fixed placement.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let duration =
+    Arg.(value & opt int 6 & info [ "duration" ] ~doc:"Seconds of simulated time.")
+  in
+  let clients =
+    Arg.(value & opt int 50 & info [ "clients" ] ~doc:"Clients per region.")
+  in
+  let read_pct = Arg.(value & opt int 90 & info [ "reads" ] ~doc:"Read percentage.") in
+  let conflict_pct =
+    Arg.(value & opt int 5 & info [ "conflict" ] ~doc:"Conflict percentage.")
+  in
+  let size = Arg.(value & opt int 8 & info [ "size" ] ~doc:"Value bytes.") in
+  let replay =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "Run the same config twice and require byte-identical canonical \
+             snapshots (the sharded determinism gate).")
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Seeded sharded run: M consensus groups (heterogeneous protocol \
+          mixes allowed) over a hash-partitioned key space, per-group \
+          leader placement, cross-shard client routing, per-group \
+          linearizability oracles.")
+    Term.(
+      const run_shard $ shards $ protocols $ placement $ seed $ duration
+      $ clients $ read_pct $ conflict_pct $ size $ replay)
+
 (* ---- nemesis ---- *)
 
 let run_nemesis proto_name seed seeds chaos_steps clients dump_trace =
@@ -648,6 +790,7 @@ let () =
             port_cmd;
             simulate_cmd;
             trace_cmd;
+            shard_cmd;
             nemesis_cmd;
             mcheck_cmd;
             topology_cmd;

@@ -73,7 +73,7 @@ type instance = {
   committed_ops : node:int -> Types.op list;
 }
 
-let make_instance ?telemetry protocol net leader =
+let make_instance ?telemetry protocol net ~leader =
   match protocol with
   | Raft | Raft_star | Raft_ll | Raft_pql ->
       let cfg =
@@ -131,7 +131,7 @@ let run cfg =
   (match tel with
   | Some tel -> Net.set_metrics net tel.Telemetry.metrics
   | None -> ());
-  let inst = make_instance ?telemetry:tel cfg.protocol net leader in
+  let inst = make_instance ?telemetry:tel cfg.protocol net ~leader in
   let wl = Workload.create ~seed:cfg.seed ~regions cfg.workload in
   let read_leader = Stats.create ()
   and read_follower = Stats.create ()

@@ -69,6 +69,33 @@ type result = {
       (** completed requests in completion order (tracing runs only) *)
 }
 
+(** {1 Protocol instances}
+
+    A running protocol reduced to what a serving layer needs; the
+    sharded harness ({!Shard}) builds one per consensus group. *)
+
+type instance = {
+  submit :
+    node:int ->
+    Raftpax_consensus.Types.op ->
+    (Raftpax_consensus.Types.reply -> unit) ->
+    int;
+      (** submit at a replica's colocated entry point; returns the
+          command id (the span trace id) *)
+  committed_ops : node:int -> Raftpax_consensus.Types.op list;
+      (** the replica's committed command order — the lin-check oracle *)
+}
+
+val make_instance :
+  ?telemetry:Raftpax_telemetry.Telemetry.t ->
+  protocol ->
+  Raftpax_sim.Net.t ->
+  leader:int ->
+  instance
+(** Create, start and reduce a protocol runtime over [net] with the
+    initial leader at replica [leader] (ignored by Mencius, which has no
+    distinguished leader). *)
+
 val run : config -> result
 
 val median_throughput : ?trials:int -> config -> float

@@ -82,6 +82,26 @@ let check ~committed_order events =
     events;
   { reads_checked = !reads_checked; violations = List.rev !violations }
 
+let check_sharded ~committed_orders ~group_of_key events =
+  (* Every event concerns exactly one key, every key is owned by exactly
+     one group, and groups commit independently — so the sharded oracle
+     is the per-group oracle over the per-group event slice. *)
+  let shards = Array.length committed_orders in
+  let slices = Array.make shards [] in
+  List.iter
+    (fun ev ->
+      let key =
+        match ev with
+        | Write_complete { key; _ } -> key
+        | Read { key; _ } -> key
+      in
+      let g = group_of_key key in
+      slices.(g) <- ev :: slices.(g))
+    events;
+  Array.mapi
+    (fun g order -> check ~committed_order:order (List.rev slices.(g)))
+    committed_orders
+
 let pp_violation ppf v =
   Fmt.pf ppf
     "read of key %d at t=%dus returned %a but write %d was already \

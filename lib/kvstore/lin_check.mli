@@ -30,4 +30,16 @@ type result = { reads_checked : int; violations : violation list }
 val check :
   committed_order:Raftpax_consensus.Types.op list -> event list -> result
 
+val check_sharded :
+  committed_orders:Raftpax_consensus.Types.op list array ->
+  group_of_key:(int -> int) ->
+  event list ->
+  result array
+(** Per-group oracles for a sharded run: slices the events by key
+    ownership ([group_of_key]) and runs {!check} for each group against
+    that group's own committed order ([committed_orders.(g)]).  Sound for
+    the same reason the single-group check is — each key lives in exactly
+    one group's state machine, so per-key linearizability is decided
+    entirely by that group's order. *)
+
 val pp_violation : Format.formatter -> violation -> unit

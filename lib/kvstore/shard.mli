@@ -1,0 +1,99 @@
+(** Sharded multi-group serving layer (Multi-Raft style).
+
+    The key space is hash-partitioned ({!Workload.group_of_key}) over M
+    independent consensus groups, each running its own protocol runtime
+    (any of the harness protocols; heterogeneous mixes are allowed) over
+    its own replica set on the five WAN sites — all multiplexed onto one
+    deterministic simulation engine so a sharded run is still a pure
+    function of its seed.  A request enters at its client's site and is
+    routed to the owning group's replica there, which forwards to that
+    group's leader; per-group leaders are placed by a {!placement}
+    policy (CD-Raft-style nearest-majority placement puts each group's
+    leader where a commit round is cheapest). *)
+
+type placement =
+  | Fixed of Raftpax_sim.Topology.site
+      (** every group's leader at one site — the unsharded baseline
+          placement *)
+  | Round_robin  (** group [g]'s leader at site [g mod 5] *)
+  | Nearest_majority
+      (** groups round-robin over the sites ranked by
+          {!Raftpax_sim.Topology.nearest_majority_rtt_ms}, so leaders
+          concentrate where majorities are cheapest while still
+          spreading across sites (CD-Raft's placement objective) *)
+
+val placement_name : placement -> string
+
+val leader_sites : placement -> shards:int -> Raftpax_sim.Topology.site array
+(** The per-group leader placement the policy induces. *)
+
+type config = {
+  shards : int;  (** number of consensus groups, >= 1 *)
+  protocols : Harness.protocol list;
+      (** cycled over groups: group [g] runs the [g mod length]-th entry;
+          a singleton list is a homogeneous deployment *)
+  placement : placement;
+  workload : Workload.spec;
+  duration_s : int;
+  warmup_s : int;
+  cooldown_s : int;
+  seed : int64;
+  telemetry : bool;  (** per-group metric registries *)
+}
+
+val config :
+  ?protocols:Harness.protocol list ->
+  ?placement:placement ->
+  ?duration_s:int ->
+  ?warmup_s:int ->
+  ?cooldown_s:int ->
+  ?seed:int64 ->
+  ?telemetry:bool ->
+  shards:int ->
+  Workload.spec ->
+  config
+(** Defaults: homogeneous Raft*, nearest-majority placement, 10 s runs
+    with 2 s warm-up/cool-down, seed 1, telemetry off.  Raises
+    [Invalid_argument] on [shards < 1] or an empty protocol list. *)
+
+val group_protocol : config -> int -> Harness.protocol
+
+type group_result = {
+  g_protocol : Harness.protocol;
+  g_leader_site : Raftpax_sim.Topology.site;
+  g_ops : int;  (** completed operations routed to this group *)
+  g_throughput_ops : float;  (** completed ops/s inside the window *)
+  g_read : Raftpax_sim.Stats.t;
+  g_write : Raftpax_sim.Stats.t;
+  g_retries : int;
+  g_reads_checked : int;
+  g_violations : int;
+      (** per-group {!Lin_check} violations against the group's own
+          committed order *)
+  g_committed : int;  (** committed commands at the group's leader *)
+  g_messages : int;  (** protocol messages on this group's wire *)
+  g_telemetry : Raftpax_telemetry.Telemetry.t option;
+}
+
+type result = {
+  throughput_ops : float;  (** aggregate completed ops/s in the window *)
+  retries : int;
+  reads_checked : int;
+  violations : int;  (** total across groups — must be 0 *)
+  messages : int;
+  groups : group_result array;
+}
+
+val run : config -> result
+
+val snapshot_string : config -> result -> string
+(** Canonical single-string rendering of the aggregate numbers, the
+    per-group table and (when telemetry is on) every group's metric
+    snapshot — byte-identical across runs of the same config; the
+    sharded determinism test's and [repro shard --replay]'s oracle. *)
+
+val result_to_json : config -> result -> Raftpax_telemetry.Json.t
+(** The [BENCH_shard.json] run schema: config, aggregate throughput and
+    rolled-up counters (summed over groups and replicas), plus a
+    per-group array with placement, latency percentiles and each group's
+    own counters. *)

@@ -50,3 +50,15 @@ let next_op t ~region =
   end
 
 let writes_issued t = t.next_write_id - 1
+
+(* Key ownership for the sharded serving layer.  A pure function of the
+   key alone — no RNG, no run state — so the partition is total (every
+   key owned by exactly one group) and stable under reseeding.  The
+   multiplicative mix spreads each region's contiguous key range across
+   the groups instead of handing whole ranges to one group. *)
+let group_of_key ~shards key =
+  if shards <= 1 then 0
+  else begin
+    let h = (key * 0x9E3779B1) lxor (key lsr 16) in
+    (h land max_int) mod shards
+  end

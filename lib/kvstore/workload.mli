@@ -29,3 +29,9 @@ val hot_key : int
 (** Equal to {!Raftpax_consensus.Mencius.hot_key}. *)
 
 val writes_issued : t -> int
+
+val group_of_key : shards:int -> int -> int
+(** [group_of_key ~shards key] is the consensus group that owns [key] in
+    a [shards]-group deployment: a pure multiplicative-hash partition in
+    [0, shards), total over the key space and independent of any seed, so
+    the same key always routes to the same group across runs. *)

@@ -63,3 +63,10 @@ let nearest_majority_rtt_ms site =
     |> List.sort Int.compare
   in
   match others with _ :: second :: _ -> second | _ -> 0
+
+let ranked_by_nearest_majority =
+  (* stable sort: ties keep the canonical site order *)
+  List.stable_sort
+    (fun a b ->
+      Int.compare (nearest_majority_rtt_ms a) (nearest_majority_rtt_ms b))
+    sites

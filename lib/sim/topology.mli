@@ -26,3 +26,9 @@ val nearest_majority_rtt_ms : site -> int
 (** RTT needed to assemble a majority (3 of 5) from this site: the 2nd
     smallest RTT to the other sites — what a leader at this site pays per
     commit round. *)
+
+val ranked_by_nearest_majority : site list
+(** The sites ordered by ascending {!nearest_majority_rtt_ms} (ties keep
+    canonical site order) — the CD-Raft-style preference list a sharded
+    deployment uses to place per-group leaders where a commit round is
+    cheapest. *)

@@ -114,6 +114,165 @@ let test_median_throughput () =
   let m = Harness.median_throughput ~trials:3 cfg in
   Alcotest.(check bool) "median positive" true (m > 10.0)
 
+(* ---- sharded serving layer ---- *)
+
+let shard_workload =
+  {
+    Workload.default with
+    Workload.clients_per_region = 5;
+    records = 500;
+  }
+
+let shard_cfg ?(protocols = [ Harness.Raft_star ]) ?(seed = 1L) shards =
+  Shard.config ~protocols ~duration_s:4 ~warmup_s:1 ~cooldown_s:1 ~seed
+    ~shards shard_workload
+
+(* Every key routes to exactly one group, the partition is total over the
+   key space, and it is a pure function of the key — independent of any
+   seed, so reseeding a run cannot move keys between groups. *)
+let test_shard_routing_total_and_stable () =
+  let keys = List.init 10_000 (fun i -> i + 1) in
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun key ->
+          let g = Workload.group_of_key ~shards key in
+          Alcotest.(check bool)
+            (Fmt.str "key %d in [0,%d)" key shards)
+            true
+            (g >= 0 && g < shards);
+          Alcotest.(check int)
+            (Fmt.str "key %d stable" key)
+            g
+            (Workload.group_of_key ~shards key))
+        keys)
+    [ 1; 2; 3; 4; 8 ]
+
+let test_shard_routing_balanced () =
+  let shards = 4 in
+  let total = 10_000 in
+  let counts = Array.make shards 0 in
+  for key = 1 to total do
+    let g = Workload.group_of_key ~shards key in
+    counts.(g) <- counts.(g) + 1
+  done;
+  Alcotest.(check int) "partition is total" total (Array.fold_left ( + ) 0 counts);
+  Array.iteri
+    (fun g n ->
+      Alcotest.(check bool)
+        (Fmt.str "group %d holds a fair share (%d)" g n)
+        true
+        (n > total * 15 / 100 && n < total * 35 / 100))
+    counts
+
+(* A heterogeneous deployment — different protocols per group — must
+   commit in every group under the routed load. *)
+let test_shard_heterogeneous_mix_commits () =
+  let cfg =
+    shard_cfg ~protocols:[ Harness.Raft; Harness.Mencius; Harness.Multipaxos ] 3
+  in
+  let r = Shard.run cfg in
+  Alcotest.(check int) "three groups" 3 (Array.length r.Shard.groups);
+  Array.iteri
+    (fun i (g : Shard.group_result) ->
+      let name = Harness.protocol_name g.Shard.g_protocol in
+      Alcotest.(check bool)
+        (Fmt.str "group %d (%s) completed ops" i name)
+        true (g.Shard.g_ops > 0);
+      Alcotest.(check bool)
+        (Fmt.str "group %d (%s) committed" i name)
+        true
+        (g.Shard.g_committed > 0))
+    r.Shard.groups;
+  Alcotest.(check int) "no violations" 0 r.Shard.violations
+
+(* Cross-shard linearizability: per-group Lin_check oracles over a
+   3-shard × 3-protocol × multi-seed matrix must find zero violations. *)
+let test_shard_lin_matrix () =
+  let mixes =
+    [
+      [ Harness.Raft; Harness.Mencius; Harness.Multipaxos ];
+      [ Harness.Raft_star; Harness.Raft_pql; Harness.Raft ];
+      [ Harness.Multipaxos; Harness.Raft_ll; Harness.Mencius ];
+    ]
+  in
+  let reads_checked = ref 0 in
+  List.iter
+    (fun protocols ->
+      List.iter
+        (fun seed ->
+          let r = Shard.run (shard_cfg ~protocols ~seed 3) in
+          Array.iteri
+            (fun i (g : Shard.group_result) ->
+              Alcotest.(check int)
+                (Fmt.str "seed %Ld group %d (%s): zero violations" seed i
+                   (Harness.protocol_name g.Shard.g_protocol))
+                0 g.Shard.g_violations)
+            r.Shard.groups;
+          reads_checked := !reads_checked + r.Shard.reads_checked)
+        [ 1L; 2L; 3L ])
+    mixes;
+  Alcotest.(check bool) "oracles actually checked reads" true
+    (!reads_checked > 1000)
+
+(* Same seed + same shard config ⇒ byte-identical canonical snapshot and
+   bench JSON, including every per-shard metric registry — the same
+   discipline test_chaos enforces for nemesis traces. *)
+let test_shard_deterministic () =
+  let cfg =
+    Shard.config
+      ~protocols:[ Harness.Raft_star; Harness.Multipaxos ]
+      ~duration_s:4 ~warmup_s:1 ~cooldown_s:1 ~seed:7L ~telemetry:true
+      ~shards:2 shard_workload
+  in
+  let a = Shard.run cfg and b = Shard.run cfg in
+  Alcotest.(check string)
+    "canonical snapshots byte-identical"
+    (Shard.snapshot_string cfg a)
+    (Shard.snapshot_string cfg b);
+  Alcotest.(check string)
+    "bench JSON byte-identical"
+    (Raftpax_telemetry.Json.to_string (Shard.result_to_json cfg a))
+    (Raftpax_telemetry.Json.to_string (Shard.result_to_json cfg b));
+  let c = Shard.run { cfg with Shard.seed = 8L } in
+  Alcotest.(check bool) "different seed diverges" true
+    (Shard.snapshot_string cfg a
+    <> Shard.snapshot_string { cfg with Shard.seed = 8L } c)
+
+let test_shard_placement () =
+  let site_names sites =
+    Array.to_list (Array.map Sim.Topology.site_name sites)
+  in
+  Alcotest.(check (list string))
+    "fixed placement pins every leader"
+    [ "Seoul"; "Seoul"; "Seoul" ]
+    (site_names (Shard.leader_sites (Shard.Fixed Sim.Topology.Seoul) ~shards:3));
+  Alcotest.(check (list string))
+    "round-robin cycles the sites"
+    [ "Oregon"; "Ohio"; "Ireland"; "Canada"; "Seoul"; "Oregon"; "Ohio" ]
+    (site_names (Shard.leader_sites Shard.Round_robin ~shards:7));
+  let nm = Shard.leader_sites Shard.Nearest_majority ~shards:5 in
+  let rtts =
+    Array.to_list (Array.map Sim.Topology.nearest_majority_rtt_ms nm)
+  in
+  Alcotest.(check (list int))
+    "nearest-majority ranks sites by commit RTT"
+    (List.sort Int.compare rtts)
+    rtts;
+  Alcotest.(check string)
+    "cheapest-majority site leads the ranking"
+    (Sim.Topology.site_name (List.hd Sim.Topology.ranked_by_nearest_majority))
+    (Sim.Topology.site_name nm.(0))
+
+let test_shard_protocol_cycling () =
+  let cfg =
+    shard_cfg ~protocols:[ Harness.Raft; Harness.Mencius ] 5
+  in
+  Alcotest.(check (list string))
+    "protocols cycle over groups"
+    [ "Raft"; "Raft*-Mencius"; "Raft"; "Raft*-Mencius"; "Raft" ]
+    (List.init 5 (fun g -> Harness.protocol_name (Shard.group_protocol cfg g)))
+
 let () =
   Alcotest.run "kvstore"
     [
@@ -132,5 +291,17 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_harness_seed_changes_run;
           Alcotest.test_case "pql read advantage" `Slow test_pql_beats_raft_on_reads;
           Alcotest.test_case "median" `Slow test_median_throughput;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "routing total and stable" `Quick
+            test_shard_routing_total_and_stable;
+          Alcotest.test_case "routing balanced" `Quick test_shard_routing_balanced;
+          Alcotest.test_case "placement policies" `Quick test_shard_placement;
+          Alcotest.test_case "protocol cycling" `Quick test_shard_protocol_cycling;
+          Alcotest.test_case "heterogeneous mix commits" `Slow
+            test_shard_heterogeneous_mix_commits;
+          Alcotest.test_case "cross-shard lin matrix" `Slow test_shard_lin_matrix;
+          Alcotest.test_case "deterministic" `Slow test_shard_deterministic;
         ] );
     ]
