@@ -34,6 +34,7 @@ let run_cfg ?leader_site ?(clients = 50) ?(read_fraction = 0.9)
       value_size;
       records = 100_000;
       clients_per_region = clients;
+      key_dist = W.Uniform;
     }
 
 (* ---- machine-readable artifacts ----
@@ -276,6 +277,7 @@ let fig_shard () =
       value_size = 4096;
       records = 100_000;
       clients_per_region = clients;
+      key_dist = W.Uniform;
     }
   in
   let shard_run ?(protocols = [ H.Raft_star ]) m clients =
@@ -484,6 +486,58 @@ let micro () =
   Fmt.pr "== Micro-benchmarks (Bechamel, monotonic clock) ==@.";
   List.iter benchmark tests
 
+(* ---- net: wall-clock throughput/latency over the real runtime ----
+
+   Unlike every figure above, this one leaves the simulator: each run
+   spawns a 3-node loopback cluster of server.exe processes and drives
+   closed-loop clients over real TCP sockets.  Numbers are wall-clock
+   ops/s and microseconds, so they measure the transport shell and the
+   kernel loopback path, not the simulated WAN. *)
+
+module Driver = Raftpax_netshell.Driver
+
+let fig_net () =
+  Fmt.pr "== net: real-network loopback throughput/latency ==@.";
+  let protocols =
+    if !quick then [ "raft"; "multipaxos" ]
+    else [ "raft"; "raft-star"; "raft-ll"; "raft-pql"; "mencius"; "multipaxos" ]
+  in
+  let client_sweep = if !quick then [ 1; 4 ] else [ 1; 4; 16 ] in
+  let duration_s = if !quick then 2.0 else 10.0 in
+  let n = 3 in
+  List.iter
+    (fun protocol_name ->
+      List.iter
+        (fun clients_per_node ->
+          let b =
+            Driver.bench_run ~protocol_name ~n ~clients_per_node ~duration_s
+              ~seed:7
+          in
+          Fmt.pr "%-12s clients=%2d %9.1f ops/s  p50=%ams p99=%ams retries=%d@."
+            protocol_name (clients_per_node * n) b.Driver.b_throughput_ops
+            pp_ms b.Driver.b_p50_us pp_ms b.Driver.b_p99_us b.Driver.b_retries;
+          recorded :=
+            Json.Obj
+              [
+                ("protocol", Json.String b.Driver.b_protocol);
+                ( "config",
+                  Json.Obj
+                    [
+                      ("nodes", Json.Int b.Driver.b_nodes);
+                      ("clients_per_node", Json.Int b.Driver.b_clients);
+                      ("duration_s", Json.Float duration_s);
+                      ("seed", Json.Int 7);
+                    ] );
+                ("completed", Json.Int b.Driver.b_completed);
+                ("retries", Json.Int b.Driver.b_retries);
+                ("throughput_ops", Json.Float b.Driver.b_throughput_ops);
+                ("p50_us", Json.Int b.Driver.b_p50_us);
+                ("p99_us", Json.Int b.Driver.b_p99_us);
+              ]
+            :: !recorded)
+        client_sweep)
+    protocols
+
 (* ---- driver ---- *)
 
 let figures =
@@ -498,6 +552,7 @@ let figures =
     ("fig10d", fun () -> fig10_latency ~value_size:4096 ~label:"d" ());
     ("shard", fig_shard);
     ("netcost", netcost);
+    ("net", fig_net);
     ("ablation-lease", ablation_lease_duration);
     ("ablation-pipeline", ablation_pipeline_window);
     ("micro", micro);

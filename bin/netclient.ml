@@ -1,0 +1,73 @@
+(* Minimal interactive client for a running replica:
+
+     netclient.exe HOST:PORT get KEY
+     netclient.exe HOST:PORT put KEY WRITE_ID
+     netclient.exe HOST:PORT snapshot *)
+
+module Transport = Raftpax_netshell.Transport
+module Wire = Raftpax_netcore.Wire
+module Snapshot = Raftpax_netcore.Snapshot
+module Types = Raftpax_consensus.Types
+
+let usage () =
+  prerr_endline "usage: netclient.exe HOST:PORT (get KEY | put KEY WRITE_ID | snapshot)";
+  exit 2
+
+let await_reply c ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let result = ref None in
+  while !result = None && Unix.gettimeofday () < deadline && Transport.alive c do
+    Transport.flush c;
+    (match Unix.select [ Transport.fd c ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Transport.recv c with
+        | [] -> ()
+        | f :: _ -> result := Some f)
+    | exception Unix.Unix_error (EINTR, _, _) -> ())
+  done;
+  !result
+
+let () =
+  let argv = Sys.argv in
+  if Array.length argv < 3 then usage ();
+  let host, port =
+    match String.split_on_char ':' argv.(1) with
+    | [ h; p ] -> (h, int_of_string p)
+    | _ -> usage ()
+  in
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port));
+  let c = Transport.of_fd fd in
+  Transport.send c Wire.Client_hello;
+  let req =
+    match (argv.(2), Array.length argv) with
+    | "get", 4 ->
+        Wire.Client_req { req_id = 0; op = Types.Get { key = int_of_string argv.(3) } }
+    | "put", 5 ->
+        Wire.Client_req
+          {
+            req_id = 0;
+            op =
+              Types.Put
+                {
+                  key = int_of_string argv.(3);
+                  size = 8;
+                  write_id = int_of_string argv.(4);
+                };
+          }
+    | "snapshot", 3 -> Wire.Snapshot_req
+    | _ -> usage ()
+  in
+  Transport.send c req;
+  (match await_reply c ~timeout_s:10.0 with
+  | Some (Wire.Client_reply { value; _ }) ->
+      print_endline
+        (match value with None -> "ok" | Some v -> "ok value=" ^ string_of_int v)
+  | Some (Wire.Snapshot_reply { node; committed; snapshot }) ->
+      Printf.printf "node=%d committed=%d digest=%s\n" node committed
+        (Snapshot.digest snapshot)
+  | Some _ | None ->
+      prerr_endline "no reply within 10s";
+      exit 1);
+  Transport.close c

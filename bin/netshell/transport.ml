@@ -1,0 +1,252 @@
+(* Nonblocking framed TCP transport: connections with buffered writes,
+   frame reassembly on reads, and reconnecting outbound peer links with
+   capped exponential backoff.  This is the effectful half of the
+   real-network runtime — the pure codec lives in lib/netcore, everything
+   that touches a socket lives here under bin/. *)
+
+module Framing = Raftpax_netcore.Framing
+module Wire = Raftpax_netcore.Wire
+module Codec = Raftpax_netcore.Codec
+
+(* A connection never buffers more than this; past it, whole frames are
+   dropped.  Consensus tolerates loss — every runtime retransmits — so
+   shedding load beats unbounded memory under backpressure. *)
+let max_buffered = 4 * 1024 * 1024
+let read_chunk = 65536
+
+type conn = {
+  fd : Unix.file_descr;
+  reasm : Framing.reassembler;
+  outq : string Queue.t;
+  mutable out_head_off : int;  (** written prefix of the queue head *)
+  mutable out_bytes : int;
+  mutable alive : bool;
+}
+
+let of_fd fd =
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> () (* not a TCP socket, e.g. a test pipe *));
+  {
+    fd;
+    reasm = Framing.reassembler ();
+    outq = Queue.create ();
+    out_head_off = 0;
+    out_bytes = 0;
+    alive = true;
+  }
+
+let alive c = c.alive
+let fd c = c.fd
+let pending_out c = c.out_bytes > 0
+
+let close c =
+  if c.alive then begin
+    c.alive <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let flush c =
+  if c.alive then begin
+    try
+      while not (Queue.is_empty c.outq) do
+        let head = Queue.peek c.outq in
+        let off = c.out_head_off in
+        let n = Unix.write_substring c.fd head off (String.length head - off) in
+        c.out_bytes <- c.out_bytes - n;
+        if off + n >= String.length head then begin
+          ignore (Queue.pop c.outq);
+          c.out_head_off <- 0
+        end
+        else begin
+          c.out_head_off <- off + n;
+          raise Exit (* kernel buffer full; wait for writability *)
+        end
+      done
+    with
+    | Exit -> ()
+    | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | Unix.Unix_error _ -> close c
+  end
+
+let send c frame =
+  if c.alive then begin
+    let payload = Framing.encode (Wire.encode_frame frame) in
+    if c.out_bytes + String.length payload <= max_buffered then begin
+      Queue.add payload c.outq;
+      c.out_bytes <- c.out_bytes + String.length payload
+    end;
+    (* else: drop the frame — the protocols retransmit *)
+    flush c
+  end
+
+(* Read until EAGAIN; returns decoded frames in arrival order.  A frame
+   that fails to decode, or an oversized length prefix, poisons the
+   stream and drops the connection. *)
+let recv c =
+  if not c.alive then []
+  else begin
+    let buf = Bytes.create read_chunk in
+    let frames = ref [] in
+    let continue = ref true in
+    (try
+       while !continue do
+         let n = Unix.read c.fd buf 0 read_chunk in
+         if n = 0 then begin
+           close c;
+           continue := false
+         end
+         else
+           match Framing.feed c.reasm (Bytes.sub_string buf 0 n) with
+           | Ok payloads -> frames := List.rev_append payloads !frames
+           | Error (Framing.Frame_too_large _) ->
+               close c;
+               continue := false
+       done
+     with
+    | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | Unix.Unix_error _ -> close c);
+    let payloads = List.rev !frames in
+    let decoded =
+      List.filter_map
+        (fun p ->
+          match Wire.decode_frame p with
+          | Ok f -> Some f
+          | Error _ ->
+              close c;
+              None)
+        payloads
+    in
+    decoded
+  end
+
+(* ---- listening ---- *)
+
+let listen_on ?(host = "127.0.0.1") port =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  fd
+
+let bound_port fd =
+  match Unix.getsockname fd with
+  | ADDR_INET (_, p) -> p
+  | ADDR_UNIX _ -> invalid_arg "bound_port"
+
+let accept listen_fd =
+  match Unix.accept listen_fd with
+  | fd, _ -> Some (of_fd fd)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> None
+  | exception Unix.Unix_error _ -> None
+
+(* ---- reconnecting outbound links ---- *)
+
+type link_state = Down | Dialing of Unix.file_descr | Up of conn
+
+type link = {
+  host : string;
+  l_port : int;
+  hello : Wire.frame;  (** re-sent first on every (re)connect *)
+  mutable state : link_state;
+  mutable backoff_ms : int;
+  mutable next_attempt_us : int;
+  pending : string Queue.t;
+      (** encoded frames queued while the link is down, flushed after the
+          hello on (re)connect; without this, messages sent during the
+          initial dial — e.g. a Raft Forward, which is never retransmitted —
+          would be lost *)
+  mutable pending_bytes : int;
+}
+
+let backoff_min_ms = 50
+let backoff_max_ms = 2_000
+
+let link ~host ~port ~hello =
+  {
+    host;
+    l_port = port;
+    hello;
+    state = Down;
+    backoff_ms = backoff_min_ms;
+    next_attempt_us = 0;
+    pending = Queue.create ();
+    pending_bytes = 0;
+  }
+
+let link_up l ~now_us fd =
+  let c = of_fd fd in
+  l.state <- Up c;
+  l.backoff_ms <- backoff_min_ms;
+  ignore now_us;
+  send c l.hello;
+  while not (Queue.is_empty l.pending) do
+    let payload = Queue.pop l.pending in
+    l.pending_bytes <- l.pending_bytes - String.length payload;
+    if c.out_bytes + String.length payload <= max_buffered then begin
+      Queue.add payload c.outq;
+      c.out_bytes <- c.out_bytes + String.length payload
+    end
+  done;
+  flush c
+
+let link_down l ~now_us =
+  (match l.state with
+  | Up c -> close c
+  | Dialing fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | Down -> ());
+  l.state <- Down;
+  l.next_attempt_us <- now_us + (l.backoff_ms * 1000);
+  l.backoff_ms <- min backoff_max_ms (l.backoff_ms * 2)
+
+(* Advance the link state machine: start a dial when due, detect a died
+   connection.  Call once per event-loop iteration. *)
+let link_poll l ~now_us =
+  match l.state with
+  | Up c -> if not c.alive then link_down l ~now_us
+  | Dialing _ -> ()
+  | Down ->
+      if now_us >= l.next_attempt_us then begin
+        let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+        Unix.set_nonblock fd;
+        match
+          Unix.connect fd
+            (ADDR_INET (Unix.inet_addr_of_string l.host, l.l_port))
+        with
+        | () -> link_up l ~now_us fd
+        | exception Unix.Unix_error (EINPROGRESS, _, _) ->
+            l.state <- Dialing fd
+        | exception Unix.Unix_error _ ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            l.state <- Down;
+            l.next_attempt_us <- now_us + (l.backoff_ms * 1000);
+            l.backoff_ms <- min backoff_max_ms (l.backoff_ms * 2)
+      end
+
+(* After select reports the dialing fd writable: resolve the connect. *)
+let link_dial_done l ~now_us =
+  match l.state with
+  | Dialing fd -> (
+      match Unix.getsockopt_error fd with
+      | None -> link_up l ~now_us fd
+      | Some _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          l.state <- Down;
+          l.next_attempt_us <- now_us + (l.backoff_ms * 1000);
+          l.backoff_ms <- min backoff_max_ms (l.backoff_ms * 2))
+  | Up _ | Down -> ()
+
+let link_send l frame =
+  match l.state with
+  | Up c -> send c frame
+  | Dialing _ | Down ->
+      let payload = Framing.encode (Wire.encode_frame frame) in
+      if l.pending_bytes + String.length payload <= max_buffered then begin
+        Queue.add payload l.pending;
+        l.pending_bytes <- l.pending_bytes + String.length payload
+      end
+(* past the cap the frame is dropped — the protocols retransmit *)
+
+let link_conn l = match l.state with Up c -> Some c | _ -> None
+let link_dialing_fd l = match l.state with Dialing fd -> Some fd | _ -> None

@@ -10,7 +10,8 @@
      nemesis     deterministic fault-injection sweep
      mcheck      explicit-state model checking of the real runtimes
      topology    print the WAN model
-     lint        determinism & protocol-discipline static analysis *)
+     lint        determinism & protocol-discipline static analysis
+     net         real-network loopback demo / sim-vs-net cross-check *)
 
 open Cmdliner
 open Raftpax_core
@@ -188,6 +189,7 @@ let run_simulate proto duration clients read_pct conflict_pct size leader_site =
       value_size = size;
       records = 100_000;
       clients_per_region = clients;
+      key_dist = KV.Workload.Uniform;
     }
   in
   let leader_site =
@@ -260,6 +262,7 @@ let run_trace proto seed requests read_pct =
       value_size = 8;
       records = 100_000;
       clients_per_region = 1;
+      key_dist = KV.Workload.Uniform;
     }
   in
   let cfg =
@@ -376,6 +379,7 @@ let run_shard shards protocols placement seed duration clients read_pct
       value_size = size;
       records = 100_000;
       clients_per_region = clients;
+      key_dist = KV.Workload.Uniform;
     }
   in
   let trim = max 0 (min 2 (duration / 3)) in
@@ -773,7 +777,101 @@ let lint_cmd =
           sources (exit 1 on any unsuppressed finding).")
     Term.(const run_lint $ paths $ baseline $ list_rules)
 
+(* ---- net: the real-network runtime ---- *)
+
+let net_cmd =
+  let mode =
+    Arg.(
+      value
+      & pos 0 (enum [ ("demo", `Demo); ("crosscheck", `Crosscheck) ]) `Demo
+      & info [] ~docv:"MODE" ~doc:"$(b,demo) or $(b,crosscheck).")
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt string "raft"
+      & info [ "protocol" ]
+          ~doc:"raft|raft-star|raft-ll|raft-pql|mencius|multipaxos.")
+  in
+  let nodes = Arg.(value & opt int 3 & info [ "nodes" ] ~doc:"Cluster size.") in
+  let ops =
+    Arg.(value & opt int 1000 & info [ "ops" ] ~doc:"Committed-op target.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 4 & info [ "clients" ] ~doc:"Closed-loop clients per node.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Run seed.") in
+  let run mode protocol nodes ops clients seed =
+    let module Driver = Raftpax_netshell.Driver in
+    match mode with
+    | `Demo ->
+        let r =
+          Driver.demo ~protocol_name:protocol ~n:nodes ~ops
+            ~clients_per_node:clients ~seed
+        in
+        Fmt.pr "net demo: %s %d-node loopback cluster@." protocol nodes;
+        Fmt.pr "  completed=%d retries=%d throughput=%.1f ops/s@." r.d_completed
+          r.d_retries r.d_throughput;
+        Array.iter
+          (fun (node, committed, snap) ->
+            Fmt.pr "  node %d: committed=%d snapshot=%s@." node committed
+              (Raftpax_netcore.Snapshot.digest snap))
+          r.d_snapshots;
+        if r.d_ok then begin
+          Fmt.pr "  all replicas agree: byte-identical snapshots@.";
+          0
+        end
+        else begin
+          Fmt.pr "  FAILED: snapshot disagreement or op target missed@.";
+          1
+        end
+    | `Crosscheck ->
+        let r = Driver.crosscheck ~protocol_name:protocol ~n:nodes ~ops ~seed in
+        Fmt.pr "net crosscheck: %s %d-node, %d sequential ops@." protocol nodes
+          r.c_ops;
+        Fmt.pr "  net snapshot %s / sim snapshot %s@." r.c_net_digest
+          r.c_sim_digest;
+        if r.c_ok then begin
+          Fmt.pr "  identical applied state@.";
+          0
+        end
+        else begin
+          Fmt.pr "  FAILED: sim and net applied states differ@.";
+          1
+        end
+  in
+  Cmd.v
+    (Cmd.info "net"
+       ~doc:
+         "Real-network runtime: spawn a loopback multi-process cluster over \
+          TCP and verify replica convergence (demo), or feed one command \
+          stream through both the simulator and the network and assert \
+          identical applied state (crosscheck).")
+    Term.(const run $ mode $ protocol $ nodes $ ops $ clients $ seed)
+
+let subcommand_names =
+  [
+    "check"; "refine"; "port"; "simulate"; "trace"; "shard"; "nemesis";
+    "mcheck"; "topology"; "lint"; "net";
+  ]
+
 let () =
+  (* Friendlier than cmdliner's default for a mistyped subcommand: one
+     usage line enumerating every subcommand, exit 2. *)
+  (if Array.length Sys.argv > 1 then begin
+     let first = Sys.argv.(1) in
+     if
+       String.length first > 0
+       && (not (Char.equal first.[0] '-'))
+       && not (List.mem first subcommand_names)
+     then begin
+       Fmt.epr "raftpax: unknown subcommand '%s'@." first;
+       Fmt.epr "usage: repro <%s> [OPTION]...@."
+         (String.concat "|" subcommand_names);
+       exit 2
+     end
+   end);
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
     Cmd.info "raftpax" ~version:"1.0.0"
@@ -795,4 +893,5 @@ let () =
             mcheck_cmd;
             topology_cmd;
             lint_cmd;
+            net_cmd;
           ]))

@@ -22,6 +22,7 @@ let () =
       value_size = 8;
       records = 100_000;
       clients_per_region = 50;
+      key_dist = Workload.Uniform;
     }
   in
   Fmt.pr "=== Raft with the leader in Oregon (best placement) ===@.";

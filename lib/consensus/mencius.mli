@@ -39,6 +39,25 @@ type config = {
 
 val default_config : config
 
+(** {1 Wire messages} — exposed for the {!Raftpax_netcore} codec. *)
+
+type msg =
+  | MAppend of { from : int; inst : int; cmd : Types.cmd }
+  | MAck of { from : int; inst : int }
+  | MSkip of { from : int; first : int; upto : int }
+      (** [from]'s turns in [[first, upto)] are no-ops *)
+  | MCommit of { inst : int }
+  | MRevoke of { from : int; inst : int }
+  | MRevStatus of { from : int; inst : int; value : Types.cmd option }
+  | MSkipForce of { inst : int }
+  | MCatchup of { from : int }
+  | MState of {
+      slots : (int * bool * Types.cmd option * bool) list;
+          (** (instance, is_skip, value, committed) for every decided or
+              known slot *)
+    }
+  | Complete of { cmd_id : int; reply : Types.reply }
+
 type t
 
 val create :
@@ -56,6 +75,12 @@ val submit : t -> node:int -> Types.op -> (Types.reply -> unit) -> unit
 
 val submit_id : t -> node:int -> Types.op -> (Types.reply -> unit) -> int
 (** Like {!submit} but returns the command id (the span trace id). *)
+
+(** {1 Network-shell hooks} — see {!Raft.set_wire}; same contract. *)
+
+val set_wire : t -> (src:int -> dst:int -> size:int -> msg -> unit) option -> unit
+val deliver : t -> node:int -> msg -> unit
+val set_cmd_ids : t -> base:int -> stride:int -> unit
 
 (** {1 Introspection} *)
 

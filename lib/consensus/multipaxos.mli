@@ -24,6 +24,22 @@ type config = {
 
 val default_config : config
 
+(** {1 Wire messages} — exposed for the {!Raftpax_netcore} codec. *)
+
+type msg =
+  | Prepare of { bal : int; from : int }
+  | PrepareOk of {
+      bal : int;
+      from : int;
+      accepted : (int * int * Types.cmd option) list;
+          (** (instance, ballot, value) for every accepted instance *)
+    }
+  | Accept of { bal : int; from : int; inst : int; cmd : Types.cmd option }
+  | AcceptOk of { bal : int; from : int; inst : int }
+  | Learn of { inst : int; cmd : Types.cmd option }
+  | Forward of Types.cmd
+  | Complete of { cmd_id : int; reply : Types.reply }
+
 type t
 
 val create :
@@ -42,6 +58,12 @@ val submit : t -> node:int -> Types.op -> (Types.reply -> unit) -> unit
 
 val submit_id : t -> node:int -> Types.op -> (Types.reply -> unit) -> int
 (** Like {!submit} but returns the command id (the span trace id). *)
+
+(** {1 Network-shell hooks} — see {!Raft.set_wire}; same contract. *)
+
+val set_wire : t -> (src:int -> dst:int -> size:int -> msg -> unit) option -> unit
+val deliver : t -> node:int -> msg -> unit
+val set_cmd_ids : t -> base:int -> stride:int -> unit
 
 val leader_of : t -> int
 val ballot_of : t -> node:int -> int

@@ -159,6 +159,10 @@ type t = {
   servers : server array;
   completions : (int, Types.reply -> unit) Hashtbl.t;
   mutable next_cmd_id : int;
+  mutable cmd_id_stride : int;
+  mutable wire : (src:int -> dst:int -> size:int -> msg -> unit) option;
+      (** network-shell hook: when set, cross-replica messages are handed
+          to the transport instead of the simulated {!Net} *)
   spans : Span.t;
 }
 
@@ -242,9 +246,12 @@ let note_write srv idx (e : Types.entry) =
 (* ---- forward declarations through a mutable dispatcher ---- *)
 
 let rec send t ~src ~dst msg =
-  Net.send t.net ~src ~dst ~size:(msg_size t msg)
-    ~info:(fun rename -> render_msg ~rename msg)
-    (fun () -> handle t t.servers.(dst) msg)
+  match t.wire with
+  | Some wire when src <> dst -> wire ~src ~dst ~size:(msg_size t msg) msg
+  | _ ->
+      Net.send t.net ~src ~dst ~size:(msg_size t msg)
+        ~info:(fun rename -> render_msg ~rename msg)
+        (fun () -> handle t t.servers.(dst) msg)
 
 and broadcast t srv msg =
   Array.iter (fun peer -> if peer.id <> srv.id then send t ~src:srv.id ~dst:peer.id msg) t.servers
@@ -871,6 +878,8 @@ let create ?(telemetry = Telemetry.disabled) config net =
       servers;
       completions = Hashtbl.create 4096;
       next_cmd_id = 0;
+      cmd_id_stride = 1;
+      wire = None;
       spans = telemetry.Telemetry.spans;
     }
   in
@@ -900,7 +909,7 @@ let start t =
 
 let submit_id t ~node op k =
   let id = t.next_cmd_id in
-  t.next_cmd_id <- id + 1;
+  t.next_cmd_id <- id + t.cmd_id_stride;
   Hashtbl.replace t.completions id k;
   let cmd =
     { Types.id; op; origin = node; submitted_us = Engine.now t.engine }
@@ -917,6 +926,15 @@ let submit_id t ~node op k =
   id
 
 let submit t ~node op k = ignore (submit_id t ~node op k)
+
+(* ---- network-shell hooks ---- *)
+
+let set_wire t f = t.wire <- f
+let deliver t ~node msg = handle t t.servers.(node) msg
+
+let set_cmd_ids t ~base ~stride =
+  t.next_cmd_id <- base;
+  t.cmd_id_stride <- stride
 
 let leader_of t =
   let found = ref None in

@@ -39,6 +39,43 @@ val raft_star : ?leader:int -> unit -> config
 val raft_ll : ?leader:int -> unit -> config
 val raft_pql : ?leader:int -> unit -> config
 
+(** {1 Wire messages}
+
+    Exposed (rather than abstract) so the real-network runtime's codec in
+    {!Raftpax_netcore} can serialize them; the simulated harness never
+    inspects them. *)
+
+type msg =
+  | RequestVote of { term : int; cand : int; last_idx : int; last_term : int }
+  | Vote of {
+      term : int;
+      from : int;
+      granted : bool;
+      extras : (int * Types.entry * int) list;
+          (** Raft*: (index, entry, ballot) beyond the candidate's log *)
+    }
+  | Append of {
+      term : int;
+      leader : int;
+      prev_idx : int;
+      prev_term : int;
+      entries : (Types.entry * int) list;  (** entry with its ballot *)
+      commit : int;
+    }
+  | Ack of {
+      term : int;
+      from : int;
+      success : bool;
+      match_idx : int;
+      holders : (int * int) list;
+          (** quorum-lease mode: (holder, deadline) leases granted by the
+              acker and still valid *)
+    }
+  | Forward of Types.cmd
+  | Complete of { cmd_id : int; reply : Types.reply }
+  | Grant of { from : int; deadline : int; grantor_last : int }
+  | GrantConfirm of { from : int; deadline : int }
+
 type t
 
 val create :
@@ -59,6 +96,24 @@ val submit : t -> node:int -> Types.op -> (Types.reply -> unit) -> unit
 val submit_id : t -> node:int -> Types.op -> (Types.reply -> unit) -> int
 (** Like {!submit} but returns the command id — the span trace id, for
     correlating harness-side latency with the tracer's waterfall. *)
+
+(** {1 Network-shell hooks}
+
+    The real-network runtime hosts one [t] per process but keeps only the
+    local replica live: [set_wire] intercepts every cross-replica message
+    (self-sends still go through the local engine), the transport carries
+    it, and the receiving process injects it with [deliver].  The
+    runtime's protocol logic is unchanged — same state machine, two
+    transports. *)
+
+val set_wire : t -> (src:int -> dst:int -> size:int -> msg -> unit) option -> unit
+val deliver : t -> node:int -> msg -> unit
+(** Hand a transport-received message to replica [node]'s handler. *)
+
+val set_cmd_ids : t -> base:int -> stride:int -> unit
+(** Partition the command-id space across processes (process [i] of [n]
+    uses [base:i stride:n]) so ids stay globally unique — the leader
+    dedups forwarded commands by id. *)
 
 (** {1 Introspection} *)
 

@@ -6,6 +6,7 @@ module Stats = Sim.Stats
 module C = Raftpax_consensus
 module Types = C.Types
 module Telemetry = Raftpax_telemetry.Telemetry
+module Wire = Raftpax_netcore.Wire
 
 type protocol = Raft | Raft_star | Raft_ll | Raft_pql | Mencius | Multipaxos
 
@@ -73,7 +74,22 @@ type instance = {
   committed_ops : node:int -> Types.op list;
 }
 
-let make_instance ?telemetry protocol net ~leader =
+(* The network shell's view of a runtime: the client-facing [instance]
+   plus the transport hooks — intercept outgoing cross-replica messages
+   ([w_set_wire], wrapped in the protocol-agnostic
+   {!Raftpax_netcore.Wire.protocol_msg} envelope), inject received ones
+   ([w_deliver]), and partition the command-id space across processes
+   ([w_set_cmd_ids]). *)
+type wired = {
+  w_instance : instance;
+  w_set_wire :
+    (src:int -> dst:int -> size:int -> Wire.protocol_msg -> unit) option ->
+    unit;
+  w_deliver : node:int -> Wire.protocol_msg -> unit;
+  w_set_cmd_ids : base:int -> stride:int -> unit;
+}
+
+let make_wired ?telemetry protocol net ~leader =
   match protocol with
   | Raft | Raft_star | Raft_ll | Raft_pql ->
       let cfg =
@@ -87,21 +103,55 @@ let make_instance ?telemetry protocol net ~leader =
       let t = C.Raft.create ?telemetry cfg net in
       C.Raft.start t;
       {
-        submit = (fun ~node op k -> C.Raft.submit_id t ~node op k);
-        committed_ops =
-          (fun ~node ->
-            let commit = C.Raft.commit_index t ~node in
-            C.Raft.log_entries t ~node
-            |> List.filteri (fun i _ -> i <= commit)
-            |> List.filter_map (fun (e : Types.entry) ->
-                   Option.map (fun (c : Types.cmd) -> c.op) e.cmd));
+        w_instance =
+          {
+            submit = (fun ~node op k -> C.Raft.submit_id t ~node op k);
+            committed_ops =
+              (fun ~node ->
+                let commit = C.Raft.commit_index t ~node in
+                C.Raft.log_entries t ~node
+                |> List.filteri (fun i _ -> i <= commit)
+                |> List.filter_map (fun (e : Types.entry) ->
+                       Option.map (fun (c : Types.cmd) -> c.op) e.cmd));
+          };
+        w_set_wire =
+          (fun hook ->
+            C.Raft.set_wire t
+              (Option.map
+                 (fun f ~src ~dst ~size m ->
+                   f ~src ~dst ~size (Wire.Raft_msg m))
+                 hook));
+        w_deliver =
+          (fun ~node m ->
+            match m with
+            | Wire.Raft_msg m -> C.Raft.deliver t ~node m
+            | Wire.Mencius_msg _ | Wire.Multipaxos_msg _ -> ());
+        w_set_cmd_ids =
+          (fun ~base ~stride -> C.Raft.set_cmd_ids t ~base ~stride);
       }
   | Mencius ->
       let t = C.Mencius.create ?telemetry C.Mencius.default_config net in
       C.Mencius.start t;
       {
-        submit = (fun ~node op k -> C.Mencius.submit_id t ~node op k);
-        committed_ops = (fun ~node -> C.Mencius.committed_ops t ~node);
+        w_instance =
+          {
+            submit = (fun ~node op k -> C.Mencius.submit_id t ~node op k);
+            committed_ops = (fun ~node -> C.Mencius.committed_ops t ~node);
+          };
+        w_set_wire =
+          (fun hook ->
+            C.Mencius.set_wire t
+              (Option.map
+                 (fun f ~src ~dst ~size m ->
+                   f ~src ~dst ~size (Wire.Mencius_msg m))
+                 hook));
+        w_deliver =
+          (fun ~node m ->
+            match m with
+            | Wire.Mencius_msg m -> C.Mencius.deliver t ~node m
+            | Wire.Raft_msg _ | Wire.Multipaxos_msg _ -> ());
+        w_set_cmd_ids =
+          (fun ~base ~stride -> C.Mencius.set_cmd_ids t ~base ~stride);
       }
   | Multipaxos ->
       let t =
@@ -109,9 +159,29 @@ let make_instance ?telemetry protocol net ~leader =
       in
       C.Multipaxos.start t;
       {
-        submit = (fun ~node op k -> C.Multipaxos.submit_id t ~node op k);
-        committed_ops = (fun ~node -> C.Multipaxos.committed_ops t ~node);
+        w_instance =
+          {
+            submit = (fun ~node op k -> C.Multipaxos.submit_id t ~node op k);
+            committed_ops = (fun ~node -> C.Multipaxos.committed_ops t ~node);
+          };
+        w_set_wire =
+          (fun hook ->
+            C.Multipaxos.set_wire t
+              (Option.map
+                 (fun f ~src ~dst ~size m ->
+                   f ~src ~dst ~size (Wire.Multipaxos_msg m))
+                 hook));
+        w_deliver =
+          (fun ~node m ->
+            match m with
+            | Wire.Multipaxos_msg m -> C.Multipaxos.deliver t ~node m
+            | Wire.Raft_msg _ | Wire.Mencius_msg _ -> ());
+        w_set_cmd_ids =
+          (fun ~base ~stride -> C.Multipaxos.set_cmd_ids t ~base ~stride);
       }
+
+let make_instance ?telemetry protocol net ~leader =
+  (make_wired ?telemetry protocol net ~leader).w_instance
 
 let retry_timeout_us = 20_000_000
 

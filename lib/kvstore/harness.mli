@@ -96,6 +96,40 @@ val make_instance :
     initial leader at replica [leader] (ignored by Mencius, which has no
     distinguished leader). *)
 
+(** {1 Wired instances — the real-network runtime's entry point}
+
+    The network shell ([bin/]) hosts one full runtime per process but
+    keeps only the local replica live.  [w_set_wire] intercepts every
+    cross-replica message before the simulated {!Raftpax_sim.Net} sees
+    it, wrapped in the protocol-agnostic
+    {!Raftpax_netcore.Wire.protocol_msg} envelope; the transport carries
+    the encoded bytes and the receiving process injects them with
+    [w_deliver].  [w_set_cmd_ids] partitions the command-id space across
+    processes (process [i] of [n]: [base:i stride:n]) so leader-side
+    dedup by id stays sound. *)
+
+type wired = {
+  w_instance : instance;
+  w_set_wire :
+    (src:int ->
+    dst:int ->
+    size:int ->
+    Raftpax_netcore.Wire.protocol_msg ->
+    unit)
+    option ->
+    unit;
+  w_deliver : node:int -> Raftpax_netcore.Wire.protocol_msg -> unit;
+      (** a message of the wrong protocol is silently dropped *)
+  w_set_cmd_ids : base:int -> stride:int -> unit;
+}
+
+val make_wired :
+  ?telemetry:Raftpax_telemetry.Telemetry.t ->
+  protocol ->
+  Raftpax_sim.Net.t ->
+  leader:int ->
+  wired
+
 val run : config -> result
 
 val median_throughput : ?trials:int -> config -> float

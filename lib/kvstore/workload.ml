@@ -1,12 +1,15 @@
 module Rng = Raftpax_sim.Rng
 module Types = Raftpax_consensus.Types
 
+type key_dist = Uniform | Zipfian of float
+
 type spec = {
   read_fraction : float;
   conflict_rate : float;
   value_size : int;
   records : int;
   clients_per_region : int;
+  key_dist : key_dist;
 }
 
 let default =
@@ -16,19 +19,68 @@ let default =
     value_size = 8;
     records = 100_000;
     clients_per_region = 50;
+    key_dist = Uniform;
   }
+
+(* YCSB's zipfian generator (Gray et al.'s rejection-free form): draws a
+   rank in [1, n] where rank r has probability proportional to 1/r^theta.
+   zetan is precomputed once at workload creation. *)
+type zipf = { zn : int; theta : float; alpha : float; zetan : float; eta : float }
+
+let zeta n theta =
+  let s = ref 0.0 in
+  for i = 1 to n do
+    s := !s +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !s
+
+let make_zipf ~n ~theta =
+  let n = max 1 n in
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  {
+    zn = n;
+    theta;
+    alpha = 1.0 /. (1.0 -. theta);
+    zetan;
+    eta =
+      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+      /. (1.0 -. (zeta2 /. zetan));
+  }
+
+(* Rank in [1, z.zn], skewed toward 1. *)
+let zipf_rank z rng =
+  let u = Rng.float rng 1.0 in
+  let uz = u *. z.zetan in
+  if uz < 1.0 then 1
+  else if uz < 1.0 +. Float.pow 0.5 z.theta then 2
+  else begin
+    let r =
+      1
+      + int_of_float
+          (float_of_int z.zn *. Float.pow ((z.eta *. u) -. z.eta +. 1.0) z.alpha)
+    in
+    if r < 1 then 1 else if r > z.zn then z.zn else r
+  end
 
 type t = {
   spec : spec;
   regions : int;
   rng : Rng.t;
+  zipf : zipf option;
   mutable next_write_id : int;
 }
 
 let hot_key = Raftpax_consensus.Mencius.hot_key
 
 let create ~seed ~regions spec =
-  { spec; regions; rng = Rng.create seed; next_write_id = 1 }
+  let zipf =
+    match spec.key_dist with
+    | Uniform -> None
+    | Zipfian theta ->
+        Some (make_zipf ~n:(spec.records / max 1 regions) ~theta)
+  in
+  { spec; regions; rng = Rng.create seed; zipf; next_write_id = 1 }
 
 let spec t = t.spec
 
@@ -37,7 +89,11 @@ let pick_key t ~region =
   else begin
     (* Keys 1 .. records, pre-partitioned evenly among the regions. *)
     let per_region = t.spec.records / t.regions in
-    1 + (region * per_region) + Rng.int t.rng (max 1 per_region)
+    match t.zipf with
+    | None -> 1 + (region * per_region) + Rng.int t.rng (max 1 per_region)
+    | Some z ->
+        (* Rank 1 (most popular) maps to the region's first key. *)
+        (region * per_region) + min (zipf_rank z t.rng) (max 1 per_region)
   end
 
 let next_op t ~region =

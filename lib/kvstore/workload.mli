@@ -4,12 +4,21 @@
     key); otherwise it draws uniformly from its own region's partition of
     the key space. *)
 
+type key_dist =
+  | Uniform  (** the paper's workload: uniform within the region partition *)
+  | Zipfian of float
+      (** YCSB-style zipfian skew with parameter theta in [0, 1) (YCSB
+          default 0.99): rank-r key drawn with probability ∝ 1/r^theta
+          within the region partition, rank 1 at the partition's first
+          key.  Usable by both the sim and real-network harnesses. *)
+
 type spec = {
   read_fraction : float;
   conflict_rate : float;
   value_size : int;  (** put payload bytes (paper: 8 B and 4 KB) *)
   records : int;  (** total key-space size (paper: 100K) *)
   clients_per_region : int;
+  key_dist : key_dist;
 }
 
 val default : spec

@@ -1,0 +1,118 @@
+(* Pure binary encoding primitives for the wire format: zigzag LEB128
+   varints, length-prefixed strings, options and lists.  No Marshal, no
+   effects — the format is fixed by this file alone, so it is stable
+   across compiler versions and fuzzable from raw bytes. *)
+
+type error = Truncated | Malformed of string
+
+exception Err of error
+
+let malformed what = raise (Err (Malformed what))
+
+(* ---- writing ---- *)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+let to_string = Buffer.contents
+let put_byte w v = Buffer.add_char w (Char.chr (v land 0xff))
+
+(* Unsigned LEB128 over the int's 63-bit pattern (at most 9 bytes). *)
+let put_uvarint w v =
+  let v = ref v in
+  let fin = ref false in
+  while not !fin do
+    let b = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      put_byte w b;
+      fin := true
+    end
+    else put_byte w (b lor 0x80)
+  done
+
+(* Zigzag maps small negatives to small codes: 0,-1,1,-2,... -> 0,1,2,3. *)
+let put_int w v = put_uvarint w ((v lsl 1) lxor (v asr 62))
+let put_bool w b = put_byte w (if b then 1 else 0)
+
+let put_string w s =
+  put_uvarint w (String.length s);
+  Buffer.add_string w s
+
+let put_option put w = function
+  | None -> put_byte w 0
+  | Some v ->
+      put_byte w 1;
+      put w v
+
+let put_list put w xs =
+  put_uvarint w (List.length xs);
+  List.iter (put w) xs
+
+(* ---- reading ---- *)
+
+type reader = { data : string; mutable pos : int; limit : int }
+
+let reader s = { data = s; pos = 0; limit = String.length s }
+
+let u8 r =
+  if r.pos >= r.limit then raise (Err Truncated)
+  else begin
+    let c = Char.code (String.unsafe_get r.data r.pos) in
+    r.pos <- r.pos + 1;
+    c
+  end
+
+let get_uvarint r =
+  let acc = ref 0 in
+  let shift = ref 0 in
+  let fin = ref false in
+  while not !fin do
+    if !shift > 56 then malformed "varint too long";
+    let b = u8 r in
+    acc := !acc lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then fin := true
+  done;
+  !acc
+
+let get_int r =
+  let u = get_uvarint r in
+  (u lsr 1) lxor (-(u land 1))
+
+let get_bool r =
+  match u8 r with 0 -> false | 1 -> true | _ -> malformed "bool"
+
+let get_string r =
+  let n = get_uvarint r in
+  if n < 0 || r.pos + n > r.limit then raise (Err Truncated);
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_option get r =
+  match u8 r with 0 -> None | 1 -> Some (get r) | _ -> malformed "option"
+
+(* Bound list lengths well above anything the runtimes produce but far
+   below anything that would let a corrupt length allocate unboundedly. *)
+let max_list_len = 1_000_000
+
+let get_list get r =
+  let n = get_uvarint r in
+  if n > max_list_len then malformed "list too long";
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (get r :: acc) in
+  go n []
+
+let at_end r = r.pos >= r.limit
+
+(* ---- entry point ---- *)
+
+let decode f s =
+  let r = reader s in
+  match f r with
+  | v -> if at_end r then Ok v else Error (Malformed "trailing bytes")
+  | exception Err e -> Error e
+
+let error_to_string = function
+  | Truncated -> "truncated"
+  | Malformed what -> "malformed " ^ what

@@ -1,0 +1,53 @@
+(** Pure binary encoding primitives for the wire format.
+
+    Integers are zigzag LEB128 varints over OCaml's 63-bit pattern (at
+    most 9 bytes, small magnitudes in one); strings are varint-length
+    prefixed; options are a presence byte; lists a varint count.  No
+    [Marshal]: the byte format is defined entirely here and in {!Wire},
+    so it is stable, versionable and fuzzable. *)
+
+type error = Truncated | Malformed of string
+
+val error_to_string : error -> string
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : unit -> writer
+val to_string : writer -> string
+val put_byte : writer -> int -> unit
+(** Low 8 bits, verbatim — used for tags and version bytes. *)
+
+val put_uvarint : writer -> int -> unit
+val put_int : writer -> int -> unit
+val put_bool : writer -> bool -> unit
+val put_string : writer -> string -> unit
+val put_option : (writer -> 'a -> unit) -> writer -> 'a option -> unit
+val put_list : (writer -> 'a -> unit) -> writer -> 'a list -> unit
+
+(** {1 Reading}
+
+    Readers raise an internal exception on truncated or malformed input;
+    only {!decode} catches it, so combinators compose without threading
+    results. *)
+
+type reader
+
+val reader : string -> reader
+val u8 : reader -> int
+val get_uvarint : reader -> int
+val get_int : reader -> int
+val get_bool : reader -> bool
+val get_string : reader -> string
+val get_option : (reader -> 'a) -> reader -> 'a option
+val get_list : (reader -> 'a) -> reader -> 'a list
+val at_end : reader -> bool
+
+val malformed : string -> 'a
+(** Raise the internal malformed-input exception (for {!Wire}'s tag
+    dispatch); escapes only through {!decode}. *)
+
+val decode : (reader -> 'a) -> string -> ('a, error) result
+(** Run a parser over a whole string: trailing bytes are an error, so a
+    frame either decodes exactly or is rejected. *)

@@ -1,0 +1,48 @@
+(* Length-prefixed framing over a byte stream: 4-byte big-endian payload
+   length, then the payload.  The reassembler turns arbitrary read(2)
+   chunk boundaries back into whole frames. *)
+
+let max_frame = 1 lsl 24
+
+type error = Frame_too_large of int
+
+exception Err of error
+
+let encode payload =
+  let n = String.length payload in
+  if n >= max_frame then invalid_arg "Framing.encode: payload too large";
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+type reassembler = { mutable acc : string }
+
+let reassembler () = { acc = "" }
+let buffered t = String.length t.acc
+
+let feed t chunk =
+  t.acc <- (if String.length t.acc = 0 then chunk else t.acc ^ chunk);
+  let rec pop acc frames =
+    let len = String.length acc in
+    if len < 4 then (acc, List.rev frames)
+    else begin
+      let n =
+        (Char.code acc.[0] lsl 24)
+        lor (Char.code acc.[1] lsl 16)
+        lor (Char.code acc.[2] lsl 8)
+        lor Char.code acc.[3]
+      in
+      if n >= max_frame then raise (Err (Frame_too_large n))
+      else if len < 4 + n then (acc, List.rev frames)
+      else pop (String.sub acc (4 + n) (len - 4 - n)) (String.sub acc 4 n :: frames)
+    end
+  in
+  match pop t.acc [] with
+  | rest, frames ->
+      t.acc <- rest;
+      Ok frames
+  | exception Err e -> Error e

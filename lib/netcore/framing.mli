@@ -1,0 +1,26 @@
+(** Length-prefixed framing over a byte stream: 4-byte big-endian payload
+    length, then the payload. *)
+
+val max_frame : int
+(** Hard upper bound on a payload (16 MB); a declared length at or above
+    it is treated as stream corruption, not a pending big frame. *)
+
+val encode : string -> string
+(** Prefix a payload with its length.  @raise Invalid_argument if the
+    payload is [max_frame] bytes or larger. *)
+
+type error = Frame_too_large of int
+
+type reassembler
+(** Per-connection accumulator turning arbitrary read-chunk boundaries
+    back into whole frames. *)
+
+val reassembler : unit -> reassembler
+
+val feed : reassembler -> string -> (string list, error) result
+(** Append a chunk; return every now-complete frame payload in arrival
+    order.  An oversized declared length poisons the stream — the caller
+    should drop the connection. *)
+
+val buffered : reassembler -> int
+(** Bytes currently held waiting for a frame to complete. *)

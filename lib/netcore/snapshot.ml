@@ -1,0 +1,49 @@
+(* Canonical applied-state snapshot: a replica's committed operation
+   sequence rendered to a stable text form, followed by the key-value
+   image that sequence produces.  Two replicas agree byte-for-byte iff
+   they committed the same operations in the same order — the agreement
+   oracle for the loopback demo and the sim-vs-net cross-check. *)
+
+module Types = Raftpax_consensus.Types
+
+let of_ops (ops : Types.op list) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "raftpax-snapshot v1\n";
+  Buffer.add_string buf (Printf.sprintf "ops %d\n" (List.length ops));
+  List.iter
+    (fun op ->
+      Buffer.add_string buf (Types.render_op op);
+      Buffer.add_char buf '\n')
+    ops;
+  (* Final store image: last write per key, dumped in sorted key order.
+     Derived by replaying the op list, so it is deterministic — the local
+     hashtable is only probed pointwise, never iterated. *)
+  let store = Hashtbl.create 256 in
+  let written =
+    List.filter_map
+      (function
+        | Types.Put { key; write_id; _ } ->
+            Hashtbl.replace store key write_id;
+            Some key
+        | Types.Get _ -> None)
+      ops
+  in
+  Buffer.add_string buf "store\n";
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt store key with
+      | Some write_id ->
+          Buffer.add_string buf (Printf.sprintf "%d=%d\n" key write_id);
+          Hashtbl.remove store key
+      | None -> ())
+    (List.sort_uniq Int.compare written);
+  Buffer.contents buf
+
+(* FNV-1a 64-bit, for compact logging of snapshot identity. *)
+let digest s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h

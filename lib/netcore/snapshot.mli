@@ -1,0 +1,13 @@
+(** Canonical applied-state snapshots.
+
+    [of_ops ops] renders a replica's committed operation sequence (in
+    commit order, no-ops excluded) plus the final key→write_id image it
+    produces.  Pure and deterministic: two replicas produce byte-identical
+    snapshots iff they committed the same operations in the same order —
+    the agreement oracle for the loopback demo and the sim-vs-net
+    cross-check. *)
+
+val of_ops : Raftpax_consensus.Types.op list -> string
+
+val digest : string -> string
+(** FNV-1a 64-bit hex of a snapshot, for compact log lines. *)

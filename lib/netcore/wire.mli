@@ -1,0 +1,29 @@
+(** Versioned binary wire format: every consensus protocol message plus
+    the peer/client session frames the network shell speaks.
+
+    Layout: [version byte | frame tag | fields]; a [Peer_msg] nests a
+    protocol byte and a constructor tag.  Decoding rejects wrong
+    versions, unknown tags, truncation and trailing bytes.  The codec is
+    pure (detlint-checked) — sockets live entirely in [bin/]. *)
+
+val version : int
+
+type protocol_msg =
+  | Raft_msg of Raftpax_consensus.Raft.msg
+  | Mencius_msg of Raftpax_consensus.Mencius.msg
+  | Multipaxos_msg of Raftpax_consensus.Multipaxos.msg
+
+type frame =
+  | Peer_hello of { node : int }
+      (** first frame on a replica-to-replica connection: who is dialing *)
+  | Peer_msg of { src : int; dst : int; msg : protocol_msg }
+  | Client_hello  (** first frame on a client connection *)
+  | Client_req of { req_id : int; op : Raftpax_consensus.Types.op }
+  | Client_reply of { req_id : int; value : int option }
+  | Snapshot_req
+  | Snapshot_reply of { node : int; committed : int; snapshot : string }
+      (** canonical applied-state snapshot (see {!Snapshot}) with the
+          committed-op count it covers *)
+
+val encode_frame : frame -> string
+val decode_frame : string -> (frame, Codec.error) result

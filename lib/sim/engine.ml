@@ -181,5 +181,8 @@ let run_all t =
   done
 
 let pending t = t.heap.Heap.len
+
+let next_deadline t =
+  if t.heap.Heap.len = 0 then None else Some t.heap.Heap.a.(0).time
 let ms x = x * 1000
 let us_to_ms us = float_of_int us /. 1000.0

@@ -60,6 +60,11 @@ val run_all : t -> unit
 val pending : t -> int
 (** Number of queued events (including cancelled-but-unpopped timers). *)
 
+val next_deadline : t -> int option
+(** Virtual time of the earliest queued event, if any.  May name a
+    cancelled event (waking early is harmless); used by the network
+    shell to size its [select] timeout. *)
+
 (** {1 Manual mode} — used by the {!Raftpax_mcheck} model checker.
 
     While manual mode is on, newly scheduled [Timer]-kind events are

@@ -1,0 +1,12 @@
+(* detlint fixture: socket effects leaking into the codec layer.
+   Linted as lib/netcore/fx_socket.ml the forbidden-effects rule fires on
+   every Unix touch — the wire codec must stay pure; the same source under
+   bin/netshell/ is clean, because the transport shell is where sockets
+   belong.  Expected hits under lib/: 3. *)
+
+let bad_socket () = Unix.socket PF_INET SOCK_STREAM 0
+let bad_select fds = Unix.select fds [] [] 0.1
+let bad_clock () = Unix.gettimeofday ()
+
+(* Suppressed at the expression: must NOT be reported. *)
+let ok_suppressed () = (Unix.getpid () [@lint.allow "forbidden-effects"])

@@ -50,6 +50,50 @@ let test_write_ids_unique () =
   Alcotest.(check int) "all unique" (List.length ids)
     (List.length (List.sort_uniq compare ids))
 
+let test_zipfian_skew () =
+  (* Under Zipfian 0.99 the head of the per-region key range dominates;
+     under Uniform no key does.  conflict_rate 0 so the hot-key path
+     doesn't pollute the histogram. *)
+  let base = { (spec_with ~read_fraction:0.0 ~conflict_rate:0.0 ()) with Workload.records = 1000 } in
+  let top_share key_dist =
+    let wl = Workload.create ~seed:11L ~regions:5 { base with Workload.key_dist } in
+    let counts = Hashtbl.create 256 in
+    let n = 5000 in
+    for _ = 1 to n do
+      let key = Types.key_of (Workload.next_op wl ~region:2) in
+      Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+    done;
+    let top = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+    float_of_int top /. float_of_int n
+  in
+  let zipf = top_share (Workload.Zipfian 0.99) in
+  let unif = top_share Workload.Uniform in
+  Alcotest.(check bool)
+    (Fmt.str "zipf head %.3f >> uniform head %.3f" zipf unif)
+    true
+    (zipf > 0.05 && unif < 0.03)
+
+let test_zipfian_partition_and_determinism () =
+  let spec =
+    { (spec_with ~conflict_rate:0.0 ()) with Workload.key_dist = Workload.Zipfian 0.99 }
+  in
+  let seq () =
+    let wl = Workload.create ~seed:3L ~regions:5 spec in
+    List.init 500 (fun i -> Workload.next_op wl ~region:(i mod 5))
+  in
+  Alcotest.(check bool) "same seed, same stream" true (seq () = seq ());
+  let per_region = spec.Workload.records / 5 in
+  List.iteri
+    (fun i op ->
+      let region = i mod 5 in
+      let key = Types.key_of op in
+      let lo = 1 + (region * per_region) and hi = (region + 1) * per_region in
+      Alcotest.(check bool)
+        (Fmt.str "key %d in region %d partition" key region)
+        true
+        (key >= lo && key <= hi))
+    (seq ())
+
 let test_value_size_respected () =
   let spec = { (spec_with ~read_fraction:0.0 ()) with Workload.value_size = 4096 } in
   let ops = draw 100 spec in
@@ -283,6 +327,9 @@ let () =
           Alcotest.test_case "region partition" `Quick test_region_partitioning;
           Alcotest.test_case "unique write ids" `Quick test_write_ids_unique;
           Alcotest.test_case "value size" `Quick test_value_size_respected;
+          Alcotest.test_case "zipfian skew" `Quick test_zipfian_skew;
+          Alcotest.test_case "zipfian partition + determinism" `Quick
+            test_zipfian_partition_and_determinism;
         ] );
       ( "harness",
         [

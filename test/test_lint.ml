@@ -84,6 +84,18 @@ let test_wildcard_scoping () =
   let fs = lint_fixture ~filename:"lib/fx_wildcard.ml" "wildcard_match.ml" in
   check_rule_count ~rule:"wildcard-message-match" ~expect:0 fs
 
+let test_socket_effects () =
+  (* The wire codec layer (lib/netcore) must stay socket-free. *)
+  let fs = lint_fixture ~filename:"lib/netcore/fx_socket.ml" "socket_effects.ml" in
+  check_rule_count ~rule:"forbidden-effects" ~expect:3 fs
+
+let test_socket_effects_bin () =
+  (* The same effects are sanctioned in the transport shell under bin/. *)
+  let fs =
+    lint_fixture ~filename:"bin/netshell/fx_socket.ml" "socket_effects.ml"
+  in
+  check_rule_count ~rule:"forbidden-effects" ~expect:0 fs
+
 let test_escaping () =
   let fs = lint_fixture ~filename:"lib/fx_escaping.ml" "escaping_state.ml" in
   check_rule_count ~rule:"escaping-mutable-state" ~expect:3 fs
@@ -170,6 +182,33 @@ let test_clean_tree () =
       (String.concat "\n" (List.map Finding.render findings))
   end
 
+let rec ml_files dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.concat_map (fun e ->
+         let p = Filename.concat dir e in
+         if Sys.is_directory p then ml_files p
+         else if Filename.check_suffix p ".ml" || Filename.check_suffix p ".mli"
+         then [ p ]
+         else [])
+
+let test_netcore_pure () =
+  (* The shipped codec layer is lint-clean, and no source under lib/
+     anywhere so much as names the Unix module — every socket, clock and
+     select lives in bin/ (the netshell transport, and repro/bench). *)
+  if Sys.file_exists "../lib/netcore" && Sys.is_directory "../lib/netcore"
+  then begin
+    let findings = Lint.lint_paths [ "../lib/netcore" ] in
+    Alcotest.(check string)
+      "netcore lint-clean" ""
+      (String.concat "\n" (List.map Finding.render findings));
+    List.iter
+      (fun f ->
+        Alcotest.(check bool)
+          (f ^ " is Unix-free") false
+          (contains ~sub:"Unix." (read_file f)))
+      (ml_files "../lib")
+  end
+
 let () =
   Alcotest.run "lint"
     [
@@ -186,6 +225,10 @@ let () =
           Alcotest.test_case "wildcard-message-match scoping" `Quick
             test_wildcard_scoping;
           Alcotest.test_case "escaping-mutable-state" `Quick test_escaping;
+          Alcotest.test_case "socket effects in lib/netcore" `Quick
+            test_socket_effects;
+          Alcotest.test_case "socket effects sanctioned in bin/" `Quick
+            test_socket_effects_bin;
         ] );
       ( "suppression",
         [
@@ -199,5 +242,10 @@ let () =
           Alcotest.test_case "render format" `Quick test_render_format;
           Alcotest.test_case "baseline roundtrip" `Quick test_baseline_roundtrip;
         ] );
-      ( "tree", [ Alcotest.test_case "clean tree" `Quick test_clean_tree ] );
+      ( "tree",
+        [
+          Alcotest.test_case "clean tree" `Quick test_clean_tree;
+          Alcotest.test_case "netcore pure, Unix confined to bin" `Quick
+            test_netcore_pure;
+        ] );
     ]

@@ -159,6 +159,7 @@ let prop_mencius_consistency =
           value_size = 8;
           records = 50;
           clients_per_region = 3;
+          key_dist = Workload.Uniform;
         }
       in
       let cfg =

@@ -1,0 +1,386 @@
+(* Tests for lib/netcore: codec primitives, wire roundtrips covering
+   every message constructor of every protocol, rejection of truncated
+   and corrupted input, framing reassembly across arbitrary chunk
+   boundaries, and snapshot canonicality.  A golden byte vector pins the
+   format: if encoding changes, the pin must be bumped consciously
+   together with [Wire.version]. *)
+
+module Codec = Raftpax_netcore.Codec
+module Wire = Raftpax_netcore.Wire
+module Framing = Raftpax_netcore.Framing
+module Snapshot = Raftpax_netcore.Snapshot
+module Types = Raftpax_consensus.Types
+module Raft = Raftpax_consensus.Raft
+module Mencius = Raftpax_consensus.Mencius
+module Multipaxos = Raftpax_consensus.Multipaxos
+
+(* ---- generators ---- *)
+
+open QCheck
+
+let gen_op =
+  Gen.(
+    oneof
+      [
+        map (fun key -> Types.Get { key }) (int_bound 10_000);
+        map3
+          (fun key size write_id -> Types.Put { key; size; write_id })
+          (int_bound 10_000) (int_bound 4096) (int_bound 1_000_000);
+      ])
+
+let gen_cmd =
+  Gen.(
+    map2
+      (fun (id, origin) (op, submitted_us) ->
+        { Types.id; op; origin; submitted_us })
+      (pair (int_bound 1_000_000) (int_bound 8))
+      (pair gen_op (int_bound 100_000_000)))
+
+let gen_entry =
+  Gen.(
+    map2
+      (fun term cmd -> { Types.term; cmd })
+      (int_bound 50) (option gen_cmd))
+
+let gen_reply = Gen.(map (fun value -> { Types.value }) (option small_nat))
+
+let gen_raft_msg =
+  Gen.(
+    oneof
+      [
+        map
+          (fun (term, cand, last_idx, last_term) ->
+            Raft.RequestVote { term; cand; last_idx; last_term })
+          (quad (int_bound 50) (int_bound 8) (int_bound 1000) (int_bound 50));
+        map
+          (fun ((term, from, granted), extras) ->
+            Raft.Vote { term; from; granted; extras })
+          (pair
+             (triple (int_bound 50) (int_bound 8) bool)
+             (small_list (triple (int_bound 1000) gen_entry (int_bound 50))));
+        map
+          (fun ((term, leader, prev_idx), (prev_term, entries, commit)) ->
+            Raft.Append { term; leader; prev_idx; prev_term; entries; commit })
+          (pair
+             (triple (int_bound 50) (int_bound 8) (int_bound 1000))
+             (triple (int_bound 50)
+                (small_list (pair gen_entry (int_bound 50)))
+                (int_bound 1000)));
+        map
+          (fun ((term, from, success), (match_idx, holders)) ->
+            Raft.Ack { term; from; success; match_idx; holders })
+          (pair
+             (triple (int_bound 50) (int_bound 8) bool)
+             (pair (int_bound 1000)
+                (small_list (pair (int_bound 8) (int_bound 100_000_000)))));
+        map (fun c -> Raft.Forward c) gen_cmd;
+        map2
+          (fun cmd_id reply -> Raft.Complete { cmd_id; reply })
+          (int_bound 1_000_000) gen_reply;
+        map
+          (fun (from, deadline, grantor_last) ->
+            Raft.Grant { from; deadline; grantor_last })
+          (triple (int_bound 8) (int_bound 100_000_000) (int_bound 1000));
+        map2
+          (fun from deadline -> Raft.GrantConfirm { from; deadline })
+          (int_bound 8) (int_bound 100_000_000);
+      ])
+
+let gen_mencius_msg =
+  Gen.(
+    oneof
+      [
+        map
+          (fun (from, inst, cmd) -> Mencius.MAppend { from; inst; cmd })
+          (triple (int_bound 8) (int_bound 1000) gen_cmd);
+        map2 (fun from inst -> Mencius.MAck { from; inst }) (int_bound 8)
+          (int_bound 1000);
+        map
+          (fun (from, first, upto) -> Mencius.MSkip { from; first; upto })
+          (triple (int_bound 8) (int_bound 1000) (int_bound 1000));
+        map (fun inst -> Mencius.MCommit { inst }) (int_bound 1000);
+        map2 (fun from inst -> Mencius.MRevoke { from; inst }) (int_bound 8)
+          (int_bound 1000);
+        map
+          (fun (from, inst, value) -> Mencius.MRevStatus { from; inst; value })
+          (triple (int_bound 8) (int_bound 1000) (option gen_cmd));
+        map (fun inst -> Mencius.MSkipForce { inst }) (int_bound 1000);
+        map (fun from -> Mencius.MCatchup { from }) (int_bound 8);
+        map
+          (fun slots -> Mencius.MState { slots })
+          (small_list
+             (quad (int_bound 1000) bool (option gen_cmd) bool));
+        map2
+          (fun cmd_id reply -> Mencius.Complete { cmd_id; reply })
+          (int_bound 1_000_000) gen_reply;
+      ])
+
+let gen_multipaxos_msg =
+  Gen.(
+    oneof
+      [
+        map2 (fun bal from -> Multipaxos.Prepare { bal; from }) (int_bound 50)
+          (int_bound 8);
+        map
+          (fun (bal, from, accepted) ->
+            Multipaxos.PrepareOk { bal; from; accepted })
+          (triple (int_bound 50) (int_bound 8)
+             (small_list (triple (int_bound 1000) (int_bound 50) (option gen_cmd))));
+        map
+          (fun ((bal, from), (inst, cmd)) ->
+            Multipaxos.Accept { bal; from; inst; cmd })
+          (pair (pair (int_bound 50) (int_bound 8))
+             (pair (int_bound 1000) (option gen_cmd)));
+        map
+          (fun (bal, from, inst) -> Multipaxos.AcceptOk { bal; from; inst })
+          (triple (int_bound 50) (int_bound 8) (int_bound 1000));
+        map2
+          (fun inst cmd -> Multipaxos.Learn { inst; cmd })
+          (int_bound 1000) (option gen_cmd);
+        map (fun c -> Multipaxos.Forward c) gen_cmd;
+        map2
+          (fun cmd_id reply -> Multipaxos.Complete { cmd_id; reply })
+          (int_bound 1_000_000) gen_reply;
+      ])
+
+let gen_protocol_msg =
+  Gen.(
+    oneof
+      [
+        map (fun m -> Wire.Raft_msg m) gen_raft_msg;
+        map (fun m -> Wire.Mencius_msg m) gen_mencius_msg;
+        map (fun m -> Wire.Multipaxos_msg m) gen_multipaxos_msg;
+      ])
+
+let gen_frame =
+  Gen.(
+    oneof
+      [
+        map (fun node -> Wire.Peer_hello { node }) (int_bound 8);
+        map
+          (fun (src, dst, msg) -> Wire.Peer_msg { src; dst; msg })
+          (triple (int_bound 8) (int_bound 8) gen_protocol_msg);
+        return Wire.Client_hello;
+        map2
+          (fun req_id op -> Wire.Client_req { req_id; op })
+          (int_bound 1_000_000) gen_op;
+        map2
+          (fun req_id value -> Wire.Client_reply { req_id; value })
+          (int_bound 1_000_000) (option small_nat);
+        return Wire.Snapshot_req;
+        map
+          (fun (node, committed, snapshot) ->
+            Wire.Snapshot_reply { node; committed; snapshot })
+          (triple (int_bound 8) (int_bound 100_000) (small_string ~gen:Gen.char));
+      ])
+
+let arb_frame = make ~print:(fun _ -> "<frame>") gen_frame
+
+(* ---- codec primitives ---- *)
+
+let int_roundtrip =
+  Test.make ~name:"codec int zigzag roundtrip" ~count:500 int (fun v ->
+      let w = Codec.writer () in
+      Codec.put_int w v;
+      Codec.decode Codec.get_int (Codec.to_string w) = Ok v)
+
+let test_int_extremes () =
+  List.iter
+    (fun v ->
+      let w = Codec.writer () in
+      Codec.put_int w v;
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %d" v)
+        true
+        (Codec.decode Codec.get_int (Codec.to_string w) = Ok v))
+    [ 0; 1; -1; 63; -64; max_int; min_int; 1 lsl 40; -(1 lsl 40) ]
+
+let string_roundtrip =
+  Test.make ~name:"codec string roundtrip" ~count:200
+    (string_gen Gen.char)
+    (fun s ->
+      let w = Codec.writer () in
+      Codec.put_string w s;
+      Codec.decode Codec.get_string (Codec.to_string w) = Ok s)
+
+let test_trailing_rejected () =
+  let w = Codec.writer () in
+  Codec.put_int w 42;
+  let s = Codec.to_string w ^ "\x00" in
+  Alcotest.(check bool)
+    "trailing byte rejected" true
+    (match Codec.decode Codec.get_int s with Error _ -> true | Ok _ -> false)
+
+(* ---- wire roundtrips and rejection ---- *)
+
+let frame_roundtrip =
+  Test.make ~name:"wire frame roundtrip" ~count:500 arb_frame (fun f ->
+      Wire.decode_frame (Wire.encode_frame f) = Ok f)
+
+let frame_truncation =
+  (* Every strict prefix of a valid encoding must be rejected, never
+     silently decoded as something shorter. *)
+  Test.make ~name:"wire strict prefixes rejected" ~count:100 arb_frame
+    (fun f ->
+      let s = Wire.encode_frame f in
+      let ok = ref true in
+      for len = 0 to String.length s - 1 do
+        match Wire.decode_frame (String.sub s 0 len) with
+        | Ok _ -> ok := false
+        | Error _ -> ()
+      done;
+      !ok)
+
+let test_bad_version () =
+  let s = Wire.encode_frame Wire.Client_hello in
+  let b = Bytes.of_string s in
+  Bytes.set b 0 (Char.chr (Wire.version + 1));
+  Alcotest.(check bool)
+    "wrong version rejected" true
+    (match Wire.decode_frame (Bytes.to_string b) with
+    | Error _ -> true
+    | Ok _ -> false);
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (match Wire.decode_frame "\xff\xfe\xfd\xfc" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ---- golden vector ----
+
+   Pins the byte format of a representative nested frame.  A change here
+   is a wire-format break: bump [Wire.version] and regenerate. *)
+
+let golden_frame =
+  Wire.Peer_msg
+    {
+      src = 1;
+      dst = 2;
+      msg =
+        Wire.Raft_msg
+          (Raft.Append
+             {
+               term = 3;
+               leader = 1;
+               prev_idx = 7;
+               prev_term = 2;
+               entries =
+                 [
+                   ( {
+                       Types.term = 3;
+                       cmd =
+                         Some
+                           {
+                             Types.id = 41;
+                             op = Types.Put { key = 5; size = 8; write_id = 9 };
+                             origin = 1;
+                             submitted_us = 1500;
+                           };
+                     },
+                     3 );
+                 ];
+               commit = 6;
+             });
+    }
+
+let golden_hex = "01010204000206020e0401060152010a101202b817060c"
+
+let hex_of s =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.of_seq (String.to_seq s))))
+
+let test_golden () =
+  Alcotest.(check string)
+    "golden bytes" golden_hex
+    (hex_of (Wire.encode_frame golden_frame));
+  Alcotest.(check bool)
+    "golden decodes" true
+    (Wire.decode_frame (Wire.encode_frame golden_frame) = Ok golden_frame)
+
+(* ---- framing ---- *)
+
+let framing_chunks =
+  (* Concatenate several framed payloads, split the byte stream at
+     arbitrary boundaries, and check the reassembler returns exactly the
+     original payloads in order. *)
+  Test.make ~name:"framing reassembly at arbitrary boundaries" ~count:200
+    (pair (small_list (string_gen Gen.char)) (list_of_size (Gen.int_bound 20) small_nat))
+    (fun (payloads, cuts) ->
+      let stream = String.concat "" (List.map Framing.encode payloads) in
+      let n = String.length stream in
+      let cuts = List.sort_uniq Int.compare (List.filter (fun c -> c > 0 && c < n) cuts) in
+      let chunks =
+        let rec go start = function
+          | [] -> if start < n then [ String.sub stream start (n - start) ] else []
+          | c :: rest -> String.sub stream start (c - start) :: go c rest
+        in
+        go 0 cuts
+      in
+      let r = Framing.reassembler () in
+      let got =
+        List.concat_map
+          (fun chunk ->
+            match Framing.feed r chunk with
+            | Ok fs -> fs
+            | Error (Framing.Frame_too_large _) -> [])
+          chunks
+      in
+      got = payloads && Framing.buffered r = 0)
+
+let test_frame_too_large () =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int Framing.max_frame);
+  let r = Framing.reassembler () in
+  Alcotest.(check bool)
+    "oversized length poisons the stream" true
+    (match Framing.feed r (Bytes.to_string b) with
+    | Error (Framing.Frame_too_large _) -> true
+    | Ok _ -> false)
+
+(* ---- snapshots ---- *)
+
+let test_snapshot_canonical () =
+  let put key write_id = Types.Put { key; size = 8; write_id } in
+  let ops = [ put 3 1; put 1 2; put 3 3 ] in
+  let a = Snapshot.of_ops ops and b = Snapshot.of_ops ops in
+  Alcotest.(check string) "deterministic" a b;
+  Alcotest.(check bool)
+    "order-sensitive" true
+    (not (String.equal a (Snapshot.of_ops [ put 1 2; put 3 1; put 3 3 ])));
+  (* final image: key 3 keeps the last write in commit order *)
+  Alcotest.(check bool) "last write wins" true
+    (let rec contains_sub s sub i =
+       i + String.length sub <= String.length s
+       && (String.equal (String.sub s i (String.length sub)) sub
+          || contains_sub s sub (i + 1))
+     in
+     contains_sub a "3=3" 0);
+  Alcotest.(check string)
+    "digest stable" (Snapshot.digest a) (Snapshot.digest b)
+
+let () =
+  Alcotest.run "netcore"
+    [
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest int_roundtrip;
+          QCheck_alcotest.to_alcotest string_roundtrip;
+          Alcotest.test_case "int extremes" `Quick test_int_extremes;
+          Alcotest.test_case "trailing bytes rejected" `Quick
+            test_trailing_rejected;
+        ] );
+      ( "wire",
+        [
+          QCheck_alcotest.to_alcotest frame_roundtrip;
+          QCheck_alcotest.to_alcotest frame_truncation;
+          Alcotest.test_case "version and garbage rejected" `Quick
+            test_bad_version;
+          Alcotest.test_case "golden byte vector" `Quick test_golden;
+        ] );
+      ( "framing",
+        [
+          QCheck_alcotest.to_alcotest framing_chunks;
+          Alcotest.test_case "frame too large" `Quick test_frame_too_large;
+        ] );
+      ( "snapshot",
+        [ Alcotest.test_case "canonical form" `Quick test_snapshot_canonical ] );
+    ]

@@ -278,6 +278,7 @@ let prop_no_stale_reads =
           value_size = 8;
           records = 100;
           clients_per_region = 4;
+          key_dist = Workload.Uniform;
         }
       in
       let cfg =

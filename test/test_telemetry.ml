@@ -28,6 +28,7 @@ let workload =
     value_size = 8;
     records = 1000;
     clients_per_region = 2;
+    key_dist = W.Uniform;
   }
 
 let traced_run proto seed =
