@@ -4,76 +4,7 @@
    Lints every .ml under the given files/directories (default:
    lib bin bench) and exits 1 on any unsuppressed finding. *)
 
-module Lint = Raftpax_lint.Lint
-module Finding = Raftpax_lint.Finding
-module Baseline = Raftpax_lint.Baseline
-
 let () =
-  let baseline_path = ref "" in
-  let update_baseline = ref false in
-  let only_rules = ref [] in
-  let list_rules = ref false in
-  let quiet = ref false in
-  let paths = ref [] in
-  let spec =
-    [
-      ( "--baseline",
-        Arg.Set_string baseline_path,
-        "FILE grandfathered-findings file (missing file = empty)" );
-      ( "--update-baseline",
-        Arg.Set update_baseline,
-        " rewrite the baseline to the current findings and exit 0" );
-      ( "--rule",
-        Arg.String (fun r -> only_rules := r :: !only_rules),
-        "ID only report this rule (repeatable)" );
-      ("--list-rules", Arg.Set list_rules, " print the rule table and exit");
-      ("-q", Arg.Set quiet, " only print the summary line");
-    ]
-  in
-  let usage =
-    "detlint [options] [paths...]  — determinism & protocol-discipline lint"
-  in
-  Arg.parse spec (fun p -> paths := p :: !paths) usage;
-  if !list_rules then begin
-    List.iter
-      (fun (r : Lint.rule) ->
-        Printf.printf "%-24s %-7s %s\n" r.id
-          (Finding.severity_name r.severity)
-          r.summary)
-      Lint.rules;
-    exit 0
-  end;
-  let paths =
-    match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
-  in
-  let findings = Lint.lint_paths paths in
-  let findings =
-    match !only_rules with
-    | [] -> findings
-    | ids -> List.filter (fun (f : Finding.t) -> List.mem f.rule ids) findings
-  in
-  if !update_baseline then begin
-    let path =
-      if !baseline_path = "" then "detlint.baseline" else !baseline_path
-    in
-    Baseline.save path findings;
-    Printf.printf "detlint: wrote %d finding(s) to %s\n" (List.length findings)
-      path;
-    exit 0
-  end;
-  let baseline =
-    if !baseline_path = "" then Baseline.empty else Baseline.load !baseline_path
-  in
-  let unsuppressed, grandfathered =
-    List.partition (fun f -> not (Baseline.mem baseline f)) findings
-  in
-  if not !quiet then
-    List.iter (fun f -> print_endline (Finding.render f)) unsuppressed;
-  List.iter
-    (fun key -> Printf.printf "detlint: stale baseline entry: %s\n" key)
-    (Baseline.stale baseline findings);
-  Printf.printf "detlint: %d file(s), %d finding(s) (%d grandfathered)\n"
-    (List.length (Lint.collect_files paths))
-    (List.length unsuppressed)
-    (List.length grandfathered);
-  exit (if unsuppressed = [] then 0 else 1)
+  Raftpax_lint.Cli.run ~tool:"detlint"
+    ~default_paths:[ "lib"; "bin"; "bench" ]
+    ~rules:Raftpax_lint.Lint.rules ~lint_paths:Raftpax_lint.Lint.lint_paths ()

@@ -724,33 +724,49 @@ let topology_cmd =
 
 (* ---- lint ---- *)
 
-let run_lint paths baseline list_rules =
+let run_lint paths baseline perf_baseline list_rules json =
   if list_rules then begin
-    List.iter
-      (fun (r : Lint.Lint.rule) ->
-        Fmt.pr "%-24s %-7s %s@." r.id
-          (Lint.Finding.severity_name r.severity)
-          r.summary)
-      Lint.Lint.rules;
+    let table tool rules =
+      Fmt.pr "%s:@." tool;
+      List.iter
+        (fun (r : Lint.Lint.rule) ->
+          Fmt.pr "  %-26s %-7s %s@." r.id
+            (Lint.Finding.severity_name r.severity)
+            r.summary)
+        rules
+    in
+    table "detlint" Lint.Lint.rules;
+    table "perflint" Lint.Perflint.rules;
     0
   end
   else begin
-    let findings = Lint.Lint.lint_paths paths in
-    let bl =
-      match baseline with
-      | None -> Lint.Baseline.empty
-      | Some p -> Lint.Baseline.load p
+    (* Both passes run over the same paths; each rule self-scopes by
+       path, so perflint contributes nothing outside lib/. *)
+    let pass lint_paths baseline =
+      let findings = lint_paths paths in
+      let bl =
+        match baseline with
+        | None -> Lint.Baseline.empty
+        | Some p -> Lint.Baseline.load p
+      in
+      let unsuppressed =
+        List.filter (fun f -> not (Lint.Baseline.mem bl f)) findings
+      in
+      (unsuppressed, Lint.Baseline.stale bl findings)
     in
-    let unsuppressed =
-      List.filter (fun f -> not (Lint.Baseline.mem bl f)) findings
-    in
-    List.iter (fun f -> print_endline (Lint.Finding.render f)) unsuppressed;
-    List.iter
-      (fun key -> Fmt.pr "stale baseline entry: %s@." key)
-      (Lint.Baseline.stale bl findings);
-    Fmt.pr "lint: %d finding(s) in %d file(s)@."
-      (List.length unsuppressed)
-      (List.length (Lint.Lint.collect_files paths));
+    let det, det_stale = pass Lint.Lint.lint_paths baseline in
+    let perf, perf_stale = pass Lint.Perflint.lint_paths perf_baseline in
+    let unsuppressed = List.sort Lint.Finding.compare (det @ perf) in
+    if json then print_endline (Lint.Finding.render_json unsuppressed)
+    else begin
+      List.iter (fun f -> print_endline (Lint.Finding.render f)) unsuppressed;
+      List.iter
+        (fun key -> Fmt.pr "stale baseline entry: %s@." key)
+        (det_stale @ perf_stale);
+      Fmt.pr "lint: %d finding(s) in %d file(s)@."
+        (List.length unsuppressed)
+        (List.length (Lint.Lint.collect_files paths))
+    end;
     if unsuppressed = [] then 0 else 1
   end
 
@@ -765,17 +781,31 @@ let lint_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "baseline" ] ~doc:"Grandfathered-findings file.")
+      & info [ "baseline" ] ~doc:"Grandfathered detlint findings file.")
+  in
+  let perf_baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perf-baseline" ] ~doc:"Grandfathered perflint findings file.")
   in
   let list_rules =
-    Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule table.")
+    Arg.(value & flag & info [ "list-rules" ] ~doc:"Print both rule tables.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print unsuppressed findings as a JSON array on stdout.")
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Determinism & protocol-discipline static analysis over the OCaml \
-          sources (exit 1 on any unsuppressed finding).")
-    Term.(const run_lint $ paths $ baseline $ list_rules)
+         "Static analysis over the OCaml sources: the determinism & \
+          protocol-discipline pass (detlint) and the hot-path cost pass \
+          (perflint), combined (exit 1 on any unsuppressed finding).")
+    Term.(
+      const run_lint $ paths $ baseline $ perf_baseline $ list_rules $ json)
 
 (* ---- net: the real-network runtime ---- *)
 

@@ -189,7 +189,14 @@ let set_value srv inst (cmd : Types.cmd) =
 let commutative_read_safe srv ~key ~inst =
   match Hashtbl.find_opt srv.key_writes key with
   | None -> true
-  | Some slots -> List.for_all (fun j -> j >= inst || j < srv.applied) !slots
+  | Some slots ->
+      (* A write below [applied] stays applied forever ([applied] is
+         monotone), so prune such slots instead of re-scanning the key's
+         full write history on every check: each write is dropped exactly
+         once and the live list holds only unapplied writes. *)
+      if List.exists (fun j -> j < srv.applied) !slots then
+        slots := List.filter (fun j -> j >= srv.applied) !slots;
+      List.for_all (fun j -> j >= inst) !slots
 
 let owner t inst = inst mod t.n
 
@@ -287,36 +294,46 @@ and try_reply t srv =
     | Value held -> held.Types.id = cmd.Types.id
     | Skip | Unknown -> false
   in
-  let ready, waiting =
-    List.partition
-      (fun (inst, (cmd : Types.cmd)) ->
-        if conflicting cmd then srv.commit_frontier > inst
-        else
-          is_committed srv inst
-          && srv.known_frontier > inst
-          &&
-          match cmd.op with
-          | Types.Get { key } -> commutative_read_safe srv ~key ~inst
-          | Types.Put _ -> true)
-      (List.filter still_ours srv.waiting)
+  let entry_ready (inst, (cmd : Types.cmd)) =
+    if conflicting cmd then srv.commit_frontier > inst
+    else
+      is_committed srv inst
+      && srv.known_frontier > inst
+      &&
+      match cmd.op with
+      | Types.Get { key } -> commutative_read_safe srv ~key ~inst
+      | Types.Put _ -> true
   in
-  srv.waiting <- waiting;
-  List.iter
-    (fun (inst, (cmd : Types.cmd)) ->
-      Span.mark t.spans ~trace:cmd.Types.id ~node:srv.id ~phase:"quorum_commit"
-        ~now:(Engine.now t.engine);
-      let value =
-        match cmd.op with
-        | Types.Get { key } ->
-            (* Reads ordered at their slot: contended reads applied in slot
-               order see the applied store; commutative reads see their
-               key's applied state, untouched by concurrent ops. *)
-            ignore inst;
-            Hashtbl.find_opt srv.store key
-        | Types.Put _ -> None
-      in
-      complete_at_origin t srv cmd { Types.value })
-    ready
+  (* This runs after every message; most deliveries ready nothing, so
+     check without allocating before rebuilding the waiting list. *)
+  if
+    srv.waiting <> []
+    && List.exists
+         (fun e -> (not (still_ours e)) || entry_ready e)
+         srv.waiting
+  then begin
+    let ready, waiting =
+      List.partition entry_ready (List.filter still_ours srv.waiting)
+    in
+    srv.waiting <- waiting;
+    List.iter
+      (fun (inst, (cmd : Types.cmd)) ->
+        Span.mark t.spans ~trace:cmd.Types.id ~node:srv.id
+          ~phase:"quorum_commit" ~now:(Engine.now t.engine);
+        let value =
+          match cmd.op with
+          | Types.Get { key } ->
+              (* Reads ordered at their slot: contended reads applied in
+                 slot order see the applied store; commutative reads see
+                 their key's applied state, untouched by concurrent
+                 ops. *)
+              ignore inst;
+              Hashtbl.find_opt srv.store key
+          | Types.Put _ -> None
+        in
+        complete_at_origin t srv cmd { Types.value })
+      ready
+  end
 
 (* Mark [who]'s unused turns in [[start, upto)] as skips.  Skips by the
    slot owner are decided immediately (coordinated-Paxos): an owner only
@@ -603,7 +620,7 @@ and start_own_slot t srv (cmd : Types.cmd) =
 
 let create ?(telemetry = Telemetry.disabled) config net =
   let engine = Net.engine net in
-  let n = List.length (Net.nodes net) in
+  let n = Net.size net in
   let servers =
     Array.init n (fun id ->
         let cpu = Cpu.create engine in

@@ -79,7 +79,7 @@ type server = {
   mutable executed : int;  (** prefix [0..executed) applied to store *)
   store : (int, int) Hashtbl.t;
   prepare_oks : (int, int) Hashtbl.t;  (** voter -> 1 (set) *)
-  mutable gathered : (int * int * Types.cmd option) list;
+  gathered : (int * int * Types.cmd option) Vec.t;
   accept_oks : (int, bool array) Hashtbl.t;
       (** instance -> which peers acked (per-sender, so duplicate
           deliveries under fault injection cannot double-count) *)
@@ -271,7 +271,7 @@ and start_phase1 t srv =
   srv.ballot <- next_ballot t srv;
   srv.is_leader <- false;
   Hashtbl.reset srv.prepare_oks;
-  srv.gathered <- [];
+  Vec.clear srv.gathered;
   broadcast t srv (Prepare { bal = srv.ballot; from = srv.id })
 
 and become_leader t srv =
@@ -281,7 +281,7 @@ and become_leader t srv =
   (* Adopt the highest-ballot accepted value per instance; re-propose each
      adopted instance at our ballot so it can be chosen. *)
   let best = Hashtbl.create 64 in
-  List.iter
+  Vec.iter
     (fun (i, b, c) ->
       match Hashtbl.find_opt best i with
       | Some (b', _) when b' >= b -> ()
@@ -353,7 +353,7 @@ and handle t srv msg =
     | PrepareOk { bal; from; accepted } ->
         if bal = srv.ballot && not srv.is_leader then begin
           Hashtbl.replace srv.prepare_oks from 1;
-          srv.gathered <- accepted @ srv.gathered;
+          List.iter (Vec.push srv.gathered) accepted;
           if Hashtbl.length srv.prepare_oks + 1 >= majority t then
             become_leader t srv
         end
@@ -440,7 +440,7 @@ and watchdog t srv =
 
 let create ?(telemetry = Telemetry.disabled) ?(leader = 0) config net =
   let engine = Net.engine net in
-  let n = List.length (Net.nodes net) in
+  let n = Net.size net in
   let servers =
     Array.init n (fun id ->
         let cpu = Cpu.create engine in
@@ -455,7 +455,7 @@ let create ?(telemetry = Telemetry.disabled) ?(leader = 0) config net =
           executed = 0;
           store = Hashtbl.create 1024;
           prepare_oks = Hashtbl.create 8;
-          gathered = [];
+          gathered = Vec.create ();
           accept_oks = Hashtbl.create 1024;
           waiters = Hashtbl.create 1024;
           proposed_cmds = Hashtbl.create 1024;
@@ -607,7 +607,7 @@ let dump_state ?(rename = Fun.id) t ~node =
              (fun (i, b, c) ->
                Printf.sprintf "%d:b%d:%s" i (rb b)
                  (Types.render_cmd_opt ~rename c))
-             srv.gathered)));
+             (Vec.to_list srv.gathered))));
   tbl "ao" srv.accept_oks (fun (i, a) ->
       Printf.sprintf "%d=%s" i (mask (permuted a)));
   tbl "wt" srv.waiters (fun (i, c) ->

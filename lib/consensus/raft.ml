@@ -130,7 +130,7 @@ type server = {
   match_index : int array;
   inflight : int array;  (* in-flight append batches per follower *)
   votes : bool array;
-  mutable vote_extras : (int * Types.entry * int) list;
+  vote_extras : (int * Types.entry * int) Vec.t;
   follower_last_ack : int array;
   mutable leader_lease_until : int;
   (* quorum leases *)
@@ -144,7 +144,21 @@ type server = {
       (** [peer_grants.(x).(h)]: deadline of the lease x reported granting
           to h in its latest ack (leader-side bookkeeping) *)
   mutable pending_reads : (int * (unit -> unit)) list;
+  mutable verified_term : int;
+  mutable verified_to : int;
+      (** Raft* only: the highest log index known to match the log of the
+          leader of [verified_term] — the prefix this follower may safely
+          commit through.  Raft's prev-term consistency check cannot
+          serve: extra-entry adoption lets two logs agree at an index
+          while disagreeing below it, so matching at [prev] no longer
+          attests the prefix.  Reset to [commit_index] when a first batch
+          of a newer term arrives; extended only by batches that overlap
+          it ([prev_idx <= verified_to]). *)
   mutable election_timer : Engine.timer option;
+  mutable election_deadline : int;
+      (** virtual time the current election timeout expires; the armed
+          timer re-arms itself while the deadline keeps moving, so a
+          reset is a field write instead of a cancel + reschedule *)
   mutable down : bool;
   cpu : Cpu.t;
   rng : Rng.t;
@@ -283,12 +297,16 @@ and apply_committed t srv =
         end
     | None -> ())
   done;
-  (* Wake local reads blocked on the commit index (quorum-lease mode). *)
-  let ready, blocked =
-    List.partition (fun (threshold, _) -> srv.commit_index >= threshold) srv.pending_reads
-  in
-  srv.pending_reads <- blocked;
-  List.iter (fun (_, serve) -> serve ()) ready
+  (* Wake local reads blocked on the commit index (quorum-lease mode).
+     The partition is skipped entirely when nothing is blocked — the
+     common case on every append outside quorum-lease runs. *)
+  if srv.pending_reads <> [] then begin
+    let ready, blocked =
+      List.partition (fun (threshold, _) -> srv.commit_index >= threshold) srv.pending_reads
+    in
+    srv.pending_reads <- blocked;
+    List.iter (fun (_, serve) -> serve ()) ready
+  end
 
 (* ---- leases ---- *)
 
@@ -369,21 +387,35 @@ and maybe_replicate t srv =
 and advance_commit t srv =
   if srv.role = Leader then begin
     let now = Engine.now t.engine in
-    let quorum_match m =
-      let c = ref 1 in
-      Array.iteri (fun i x -> if i <> srv.id && x >= m then incr c) srv.match_index;
-      !c >= majority t
+    (* Highest index replicated on a majority: the majority-th largest
+       match index, with the leader standing at its own last index.
+       [quorum_match m] holds iff [m <= frontier] (match counts are
+       monotone downward), so the commit scan can start there instead of
+       probing every in-flight index from the log tip — with hundreds of
+       closed-loop clients the tip-to-commit gap is the outstanding-op
+       count, and this runs once per ack. *)
+    let quorum_frontier () =
+      let xs = Array.copy srv.match_index in
+      xs.(srv.id) <- last_index srv;
+      (* n = cluster size (<= a handful), not data volume. *)
+      (Array.sort Int.compare xs [@perf.allow "sort-in-loop"]);
+      xs.(t.n - majority t)
     in
-    let holders_match m =
+    (* Figure 13's LeaderLearn: the holder set is the union of the
+       leases granted by every commit-quorum member (reported in their
+       acks) and by the leader itself; each such holder must have
+       acknowledged the entry before it commits.  Returns the smallest
+       match index among the holders required at [m] ([max_int] when
+       unconstrained): [m] commits iff that bound is [>= m], and when it
+       is not, no index in its gap can commit either (a holder required
+       at [m] stays required below it), so the scan may jump straight to
+       the bound. *)
+    let holders_min_match m =
       match t.config.read_mode with
       | Quorum_lease ->
-          (* Figure 13's LeaderLearn: the holder set is the union of the
-             leases granted by every commit-quorum member (reported in
-             their acks) and by the leader itself; each such holder must
-             have acknowledged the entry before it commits. *)
-          let ok = ref true in
+          let bound = ref max_int in
           let require h =
-            if h <> srv.id && srv.match_index.(h) < m then ok := false
+            if h <> srv.id then bound := min !bound srv.match_index.(h)
           in
           Array.iteri
             (fun h deadline -> if deadline >= now then require h)
@@ -395,8 +427,8 @@ and advance_commit t srv =
                   (fun h deadline -> if deadline >= now then require h)
                   row)
             srv.peer_grants;
-          !ok
-      | Log_read | Leader_lease -> true
+          !bound
+      | Log_read | Leader_lease -> max_int
     in
     (* 5.4.2: only an entry of the current term commits by counting
        replicas, but committing it commits the whole prefix (inherited
@@ -404,12 +436,17 @@ and advance_commit t srv =
        committable index. *)
     let new_commit = ref srv.commit_index in
     let blocked_on_holder = ref false in
-    let m = ref (last_index srv) in
+    let m = ref (min (last_index srv) (quorum_frontier ())) in
     while !m > srv.commit_index && !new_commit = srv.commit_index do
-      if quorum_match !m && term_at srv !m = srv.term then
-        if holders_match !m then new_commit := !m
-        else blocked_on_holder := true;
-      decr m
+      if term_at srv !m = srv.term then begin
+        let bound = holders_min_match !m in
+        if bound >= !m then new_commit := !m
+        else begin
+          blocked_on_holder := true;
+          m := min (!m - 1) bound
+        end
+      end
+      else decr m
     done;
     if !new_commit > srv.commit_index then begin
       srv.commit_index <- !new_commit;
@@ -515,18 +552,52 @@ and handle_client t srv (cmd : Types.cmd) =
 (* ---- elections ---- *)
 
 and reset_election_timer t srv =
-  (match srv.election_timer with Some timer -> Engine.cancel timer | None -> ());
-  if not srv.down then
+  if srv.down then begin
+    match srv.election_timer with
+    | Some timer ->
+        Engine.cancel timer;
+        srv.election_timer <- None
+    | None -> ()
+  end
+  else begin
     let span =
       (p t).election_timeout_min_us
       + Rng.int srv.rng
           (max 1 ((p t).election_timeout_max_us - (p t).election_timeout_min_us))
     in
-    srv.election_timer <-
-      Some
-        (Engine.schedule_cancellable t.engine ~node:srv.id ~label:"election"
-           ~delay:span (fun () ->
-             if (not srv.down) && srv.role <> Leader then start_election t srv))
+    if Engine.is_manual t.engine then begin
+      (* Model-checking mode: each held timer is an explicit choice whose
+         firing must start an election, so a reset stays a fresh event. *)
+      (match srv.election_timer with
+      | Some timer -> Engine.cancel timer
+      | None -> ());
+      srv.election_timer <-
+        Some
+          (Engine.schedule_cancellable t.engine ~node:srv.id ~label:"election"
+             ~delay:span (fun () ->
+               if (not srv.down) && srv.role <> Leader then start_election t srv))
+    end
+    else begin
+      (* Simulation mode: a follower resets this timer on every append,
+         so cancelling and rescheduling here is two heap operations per
+         replicated message.  Instead push the deadline forward and let
+         the single armed timer re-arm itself until it catches up. *)
+      srv.election_deadline <- Engine.now t.engine + span;
+      if srv.election_timer = None then arm_election_timer t srv ~delay:span
+    end
+  end
+
+and arm_election_timer t srv ~delay =
+  srv.election_timer <-
+    Some
+      (Engine.schedule_cancellable t.engine ~node:srv.id ~label:"election"
+         ~delay (fun () ->
+           srv.election_timer <- None;
+           if not srv.down then begin
+             let remaining = srv.election_deadline - Engine.now t.engine in
+             if remaining > 0 then arm_election_timer t srv ~delay:remaining
+             else if srv.role <> Leader then start_election t srv
+           end))
 
 and start_election t srv =
   Metrics.inc srv.pr.pr_elections;
@@ -536,7 +607,7 @@ and start_election t srv =
   srv.voted_for <- Some srv.id;
   Array.fill srv.votes 0 t.n false;
   srv.votes.(srv.id) <- true;
-  srv.vote_extras <- [];
+  Vec.clear srv.vote_extras;
   reset_election_timer t srv;
   broadcast t srv
     (RequestVote
@@ -560,7 +631,7 @@ and become_leader t srv =
      for the slots beyond our log. *)
   (if t.config.flavor = Star then
      let best = Hashtbl.create 8 in
-     List.iter
+     Vec.iter
        (fun (idx, entry, bal) ->
          if idx > last_index srv then
            match Hashtbl.find_opt best idx with
@@ -672,7 +743,7 @@ and handle t srv msg =
         if term > srv.term then step_down t srv term
         else if srv.role = Candidate && term = srv.term && granted then begin
           srv.votes.(from) <- true;
-          srv.vote_extras <- extras @ srv.vote_extras;
+          List.iter (Vec.push srv.vote_extras) extras;
           let count = Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 srv.votes in
           if count >= majority t then become_leader t srv
         end
@@ -693,14 +764,52 @@ and handle t srv msg =
           if term > srv.term || srv.role <> Follower then step_down t srv term;
           srv.leader_hint <- leader;
           reset_election_timer t srv;
-          let k = List.length entries in
+          (* Wire batches are bounded by [max_batch]; the walk is the
+             same O(batch) the accept loop pays anyway. *)
+          let k = (List.length entries [@perf.allow "length-in-hot-path"]) in
           let cost = max 1 (k * (p t).cpu_follower_op_us) in
           (* The consistency check runs in processing order (inside the CPU
              queue): an earlier batch's log write may still be queued, and
              checking against the stale log would reject valid batches. *)
           Cpu.exec srv.cpu ~cost_us:cost (fun () ->
-              if not srv.down then
-                if not (prev_idx < 0 || term_at srv prev_idx = prev_term) then begin
+              if not srv.down then begin
+                (* Raft*'s acceptor rules.  Vanilla needs only the
+                   prev-term consistency check: truncation preserves log
+                   matching, so agreement at [prev] attests the whole
+                   prefix.  Star overwrites point-wise and never
+                   truncates, which voids both halves of that argument:
+
+                   - a batch ending below our log end would leave a stale
+                     old-term suffix whose tip no longer reflects the log
+                     content, breaking the up-to-date vote check
+                     ([would_shorten], spec AcceptEntries's
+                     [l_index >= last_index]);
+                   - extra-entry adoption lets the new leader's log agree
+                     with ours at [prev] while disagreeing below it, so a
+                     batch anchored past our verified frontier could make
+                     [min commit match_idx] commit a never-replicated
+                     stale gap ([unverified_gap]).
+
+                   A rejection reports the frontier so the leader's
+                   back-off resends a batch overlapping it, which then
+                   extends the frontier — one extra round trip per leader
+                   change, after which pipelined batches stay
+                   contiguous. *)
+                if t.config.flavor = Star && term > srv.verified_term then begin
+                  srv.verified_term <- term;
+                  srv.verified_to <- srv.commit_index
+                end;
+                let stale = t.config.flavor = Star && term < srv.term in
+                let would_shorten =
+                  t.config.flavor = Star && prev_idx + k < last_index srv
+                in
+                let unverified_gap =
+                  t.config.flavor = Star && prev_idx > srv.verified_to
+                in
+                if
+                  stale || would_shorten || unverified_gap
+                  || not (prev_idx < 0 || term_at srv prev_idx = prev_term)
+                then begin
                   Metrics.inc srv.pr.pr_acks;
                   send t ~src:srv.id ~dst:leader
                     (Ack
@@ -708,13 +817,17 @@ and handle t srv msg =
                          term = srv.term;
                          from = srv.id;
                          success = false;
-                         match_idx = srv.commit_index;
+                         match_idx =
+                           (if t.config.flavor = Star then srv.verified_to
+                            else srv.commit_index);
                          holders = my_valid_grants t srv;
                        })
                 end
                 else begin
                   accept_entries t srv ~prev_idx ~entries ~term;
                   let match_idx = prev_idx + k in
+                  if t.config.flavor = Star then
+                    srv.verified_to <- max srv.verified_to match_idx;
                   srv.commit_index <-
                     max srv.commit_index (min commit match_idx);
                   apply_committed t srv;
@@ -729,7 +842,8 @@ and handle t srv msg =
                          match_idx;
                          holders = my_valid_grants t srv;
                        })
-                end)
+                end
+              end)
         end
     | Ack { term; from; success; match_idx; holders } ->
         if term > srv.term then step_down t srv term
@@ -773,12 +887,22 @@ and activate_pending_grants t srv =
    overwrites the replicated range (rewriting ballots) and never shortens
    the log. *)
 and accept_entries t srv ~prev_idx ~entries ~term =
+  (* Raft*: every entry in an accepted batch is re-accepted at the
+     replicating leader's term (spec AcceptEntries rewrites logBallot to
+     [term] unconditionally) — not just the matching-term slots.  A
+     commit-quorum member must hold the committed entry at a ballot at
+     least the committing term, or a later election's highest-ballot
+     adoption could prefer a stale competing entry carried at a higher
+     wire ballot. *)
+  let star_bal bal =
+    if t.config.flavor = Star then max bal term else bal
+  in
   let idx = ref (prev_idx + 1) in
   List.iter
     (fun ((entry : Types.entry), bal) ->
       let i = !idx in
       if i > last_index srv then begin
-        Vec.push srv.log (entry, bal);
+        Vec.push srv.log (entry, star_bal bal);
         note_write srv i entry
       end
       else begin
@@ -787,13 +911,12 @@ and accept_entries t srv ~prev_idx ~entries ~term =
           (match t.config.flavor with
           | Vanilla -> Vec.truncate srv.log i
           | Star -> ());
-          if i > last_index srv then Vec.push srv.log (entry, bal)
-          else Vec.set srv.log i (entry, bal);
+          if i > last_index srv then Vec.push srv.log (entry, star_bal bal)
+          else Vec.set srv.log i (entry, star_bal bal);
           note_write srv i entry
         end
         else if t.config.flavor = Star then
-          (* ballot rewrite on re-replication *)
-          Vec.set srv.log i (entry, max bal term)
+          Vec.set srv.log i (entry, star_bal bal)
       end;
       incr idx)
     entries
@@ -832,7 +955,7 @@ let rec lease_loop t srv =
 
 let create ?(telemetry = Telemetry.disabled) config net =
   let engine = Net.engine net in
-  let n = List.length (Net.nodes net) in
+  let n = Net.size net in
   let servers =
     Array.init n (fun id ->
         let cpu = Cpu.create engine in
@@ -853,7 +976,7 @@ let create ?(telemetry = Telemetry.disabled) config net =
           match_index = Array.make n (-1);
           inflight = Array.make n 0;
           votes = Array.make n false;
-          vote_extras = [];
+          vote_extras = Vec.create ();
           follower_last_ack = Array.make n min_int;
           leader_lease_until = min_int;
           grant_from = Array.make n min_int;
@@ -862,7 +985,10 @@ let create ?(telemetry = Telemetry.disabled) config net =
           confirmed_grants = Array.make n min_int;
           peer_grants = Array.make_matrix n n min_int;
           pending_reads = [];
+          verified_term = 0;
+          verified_to = -1;
           election_timer = None;
+          election_deadline = 0;
           down = false;
           cpu;
           rng = Rng.split (Engine.rng engine);
@@ -1040,7 +1166,7 @@ let dump_state ?(rename = Fun.id) t ~node =
           (List.map
              (fun (i, e, b) ->
                Printf.sprintf "%d:%s/b%d" i (Types.render_entry ~rename e) b)
-             srv.vote_extras)));
+             (Vec.to_list srv.vote_extras))));
   ints "fa" (permuted srv.follower_last_ack);
   add "|ll:%d" srv.leader_lease_until;
   ints "gf" (permuted srv.grant_from);

@@ -11,10 +11,11 @@ let set v i x =
   if i < 0 || i >= v.len then invalid_arg "Vec.set";
   v.data.(i) <- x
 
-let push v x =
+let[@perf.hot] push v x =
   if v.len = Array.length v.data then begin
     let cap = max 8 (2 * v.len) in
-    let data = Array.make cap x in
+    (* Doubling growth: the copy amortises to O(1) per push. *)
+    let data = (Array.make cap x [@perf.allow "alloc-in-handler"]) in
     Array.blit v.data 0 data 0 v.len;
     v.data <- data
   end;
@@ -22,6 +23,11 @@ let push v x =
   v.len <- v.len + 1
 
 let truncate v n = if n < v.len then v.len <- max 0 n
+let clear v = v.len <- 0
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
 
 let last v = if v.len = 0 then None else Some v.data.(v.len - 1)
 

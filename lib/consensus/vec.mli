@@ -10,6 +10,12 @@ val push : 'a t -> 'a -> unit
 val truncate : 'a t -> int -> unit
 (** [truncate v n] keeps the first [n] elements. *)
 
+val clear : 'a t -> unit
+(** [clear v] empties [v] without releasing its storage — the natural
+    reset for per-election/per-takeover accumulators that refill to a
+    similar size. *)
+
 val last : 'a t -> 'a option
+val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val to_list : 'a t -> 'a list

@@ -65,6 +65,8 @@ type result = {
   bytes_by_node : int array;
   telemetry : Telemetry.t option;
   requests : request list;
+  sim_events : int;
+  minor_words : float;
 }
 
 (* A protocol instance reduced to what the clients need.  [submit] returns
@@ -185,6 +187,18 @@ let make_instance ?telemetry protocol net ~leader =
 
 let retry_timeout_us = 20_000_000
 
+(* Closed-loop client state.  [gen] counts attempts so a completion
+   arriving after the watchdog abandoned the attempt is ignored. *)
+type client = {
+  region : int;
+  mutable cur_op : Types.op;
+  mutable started_us : int;
+  mutable gen : int;
+  mutable waiting : bool;
+  mutable wd_pending : bool;  (* a watchdog event is in the heap *)
+  mutable trace : int;  (* command id of the current attempt *)
+}
+
 let run cfg =
   let engine = Engine.create ~seed:cfg.seed () in
   let nodes =
@@ -211,39 +225,57 @@ let run cfg =
   let events = ref [] in
   let requests = ref [] in
   let end_us = cfg.duration_s * 1_000_000 in
-  (* Closed-loop clients: one outstanding op each, retry on timeout. *)
-  let rec client_loop region () =
+  (* Closed-loop clients: one outstanding op each, retry on timeout.
+
+     The retry deadline is enforced by a single lazily re-armed watchdog
+     per client rather than a cancellable timer per op: a per-op timer
+     leaves one dead 20 s entry in the event heap per completed op, which
+     grows the heap to the run's total op count and slows every heap
+     operation.  The watchdog is armed at the current op's deadline; if
+     the op at hand is younger when it fires, it re-arms at that op's
+     exact deadline, so a stuck op still retries at precisely
+     [started + retry_timeout_us] while a healthy client schedules only
+     one event per 20 s of virtual time. *)
+  let rec client_loop c () =
     if Engine.now engine < end_us then begin
-      let op = Workload.next_op wl ~region in
-      attempt region op
+      let op = Workload.next_op wl ~region:c.region in
+      attempt c op
     end
-  and attempt region op =
-    let started = Engine.now engine in
-    let finished = ref false in
-    let timeout =
-      Engine.schedule_cancellable engine ~delay:retry_timeout_us (fun () ->
-          if not !finished then begin
-            finished := true;
-            incr retries;
-            if Engine.now engine < end_us then attempt region op
-          end)
-    in
-    (* The completion callback only fires from scheduled events, after
-       [submit] has returned the command id into the cell. *)
-    let trace_cell = ref (-1) in
+  and arm_watchdog c =
+    c.wd_pending <- true;
+    let delay = c.started_us + retry_timeout_us - Engine.now engine in
+    Engine.schedule engine ~delay (fun () -> watchdog_fire c)
+  and watchdog_fire c =
+    c.wd_pending <- false;
+    if c.waiting then
+      if Engine.now engine >= c.started_us + retry_timeout_us then begin
+        (* Abandon the outstanding attempt (its late completion is
+           ignored via the generation counter) and retry the same op. *)
+        c.waiting <- false;
+        incr retries;
+        if Engine.now engine < end_us then attempt c c.cur_op
+      end
+      else arm_watchdog c
+  and attempt c op =
+    c.cur_op <- op;
+    c.started_us <- Engine.now engine;
+    c.gen <- c.gen + 1;
+    c.waiting <- true;
+    if not c.wd_pending then arm_watchdog c;
+    let gen = c.gen in
+    let started = c.started_us in
     let trace =
-      inst.submit ~node:region op (fun reply ->
-        if not !finished then begin
-          finished := true;
-          Engine.cancel timeout;
+      inst.submit ~node:c.region op (fun reply ->
+        if c.waiting && c.gen = gen then begin
+          c.waiting <- false;
           let now = Engine.now engine in
           let latency = now - started in
-          let at_leader = region = leader in
+          let at_leader = c.region = leader in
           if cfg.tracing then
             requests :=
               {
-                trace = !trace_cell;
-                region;
+                trace = c.trace;
+                region = c.region;
                 is_read = (match op with Types.Get _ -> true | _ -> false);
                 started_us = started;
                 latency_us = latency;
@@ -265,19 +297,35 @@ let run cfg =
               events :=
                 Lin_check.Write_complete { write_id; key; at_us = now }
                 :: !events);
-          client_loop region ()
+          client_loop c ()
         end)
     in
-    trace_cell := trace
+    (* The completion callback only fires from scheduled events, after
+       [submit] has returned the command id into the client record. *)
+    c.trace <- trace
   in
   for region = 0 to regions - 1 do
     for _ = 1 to cfg.workload.Workload.clients_per_region do
+      let c =
+        {
+          region;
+          cur_op = Types.Get { key = 0 };
+          started_us = 0;
+          gen = 0;
+          waiting = false;
+          wd_pending = false;
+          trace = -1;
+        }
+      in
       (* Stagger client start to avoid a synchronized burst. *)
       let jitter = Sim.Rng.int (Engine.rng engine) 100_000 in
-      Engine.schedule engine ~delay:jitter (client_loop region)
+      Engine.schedule engine ~delay:jitter (client_loop c)
     done
   done;
+  let minor_before = Gc.minor_words () in
   Engine.run engine ~until:end_us;
+  let minor_words = Gc.minor_words () -. minor_before in
+  let sim_events = Engine.events_executed engine in
   (* ---- consistency check against the committed order ---- *)
   let committed_order = inst.committed_ops ~node:leader in
   let violations =
@@ -301,6 +349,8 @@ let run cfg =
     bytes_by_node = Array.init regions (fun n -> Net.bytes_sent net n);
     telemetry = tel;
     requests = List.rev !requests;
+    sim_events;
+    minor_words;
   }
 
 let median_throughput ?(trials = 3) cfg =

@@ -67,6 +67,12 @@ type result = {
       (** the run's metric registry and tracer, when enabled *)
   requests : request list;
       (** completed requests in completion order (tracing runs only) *)
+  sim_events : int;
+      (** engine events executed by the run — BENCH_engine's events/sec
+          numerator (wall time is the caller's to measure) *)
+  minor_words : float;
+      (** minor-heap words allocated across the simulation loop
+          ({!Gc.minor_words} delta; excludes the post-run lin check) *)
 }
 
 (** {1 Protocol instances}

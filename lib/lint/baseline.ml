@@ -22,11 +22,14 @@ let load path =
 let mem t f = Sset.mem (Finding.key f) t
 let size t = Sset.cardinal t
 
-let save path findings =
+let save ?(tool = "detlint") path findings =
   let oc = open_out path in
+  let attr = if tool = "perflint" then "perf.allow" else "lint.allow" in
   output_string oc
-    "# detlint baseline: grandfathered findings, one Finding.key per line.\n\
-     # Keep this empty; prefer [@lint.allow \"rule-id\"] at the site.\n";
+    (Printf.sprintf
+       "# %s baseline: grandfathered findings, one Finding.key per line.\n\
+        # Keep this empty; prefer [@%s \"rule-id\"] at the site.\n"
+       tool attr);
   let keys =
     List.sort_uniq String.compare (List.map Finding.key findings)
   in

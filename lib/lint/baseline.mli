@@ -15,9 +15,10 @@ val load : string -> t
 val mem : t -> Finding.t -> bool
 val size : t -> int
 
-val save : string -> Finding.t list -> unit
+val save : ?tool:string -> string -> Finding.t list -> unit
 (** Write the keys of [findings] (sorted, deduplicated) as the new
-    baseline, with a header comment. *)
+    baseline, with a header comment naming [tool] (default
+    ["detlint"]). *)
 
 val stale : t -> Finding.t list -> string list
 (** Baseline keys that no longer match any finding — candidates for

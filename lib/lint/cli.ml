@@ -1,0 +1,74 @@
+let run ~tool ~default_paths ~(rules : Lint.rule list) ~lint_paths () =
+  let baseline_path = ref "" in
+  let update_baseline = ref false in
+  let only_rules = ref [] in
+  let list_rules = ref false in
+  let json = ref false in
+  let quiet = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "FILE grandfathered-findings file (missing file = empty)" );
+      ( "--update-baseline",
+        Arg.Set update_baseline,
+        " rewrite the baseline to the current findings and exit 0" );
+      ( "--rule",
+        Arg.String (fun r -> only_rules := r :: !only_rules),
+        "ID only report this rule (repeatable)" );
+      ("--list-rules", Arg.Set list_rules, " print the rule table and exit");
+      ( "--json",
+        Arg.Set json,
+        " print unsuppressed findings as a JSON array on stdout" );
+      ("-q", Arg.Set quiet, " only print the summary line");
+    ]
+  in
+  let usage = Printf.sprintf "%s [options] [paths...]" tool in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Lint.rule) ->
+        Printf.printf "%-24s %-7s %s\n" r.id
+          (Finding.severity_name r.severity)
+          r.summary)
+      rules;
+    exit 0
+  end;
+  let paths = match List.rev !paths with [] -> default_paths | ps -> ps in
+  let findings = lint_paths paths in
+  let findings =
+    match !only_rules with
+    | [] -> findings
+    | ids -> List.filter (fun (f : Finding.t) -> List.mem f.rule ids) findings
+  in
+  if !update_baseline then begin
+    let path =
+      if !baseline_path = "" then tool ^ ".baseline" else !baseline_path
+    in
+    Baseline.save ~tool path findings;
+    Printf.printf "%s: wrote %d finding(s) to %s\n" tool
+      (List.length findings) path;
+    exit 0
+  end;
+  let baseline =
+    if !baseline_path = "" then Baseline.empty else Baseline.load !baseline_path
+  in
+  let unsuppressed, grandfathered =
+    List.partition (fun f -> not (Baseline.mem baseline f)) findings
+  in
+  let stale = Baseline.stale baseline findings in
+  if !json then print_endline (Finding.render_json unsuppressed)
+  else begin
+    if not !quiet then
+      List.iter (fun f -> print_endline (Finding.render f)) unsuppressed;
+    List.iter
+      (fun key -> Printf.printf "%s: stale baseline entry: %s\n" tool key)
+      stale;
+    Printf.printf "%s: %d file(s), %d finding(s) (%d grandfathered)\n" tool
+      (List.length (Lint.collect_files paths))
+      (List.length unsuppressed)
+      (List.length grandfathered)
+  end;
+  (* Stale entries gate too: the baseline may only shrink. *)
+  exit (if unsuppressed = [] && stale = [] then 0 else 1)

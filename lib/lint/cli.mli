@@ -1,0 +1,18 @@
+(** Shared command-line driver for the lint binaries.
+
+    detlint and perflint expose the same interface — paths in, findings
+    out, a baseline gate, [--json] for machine consumption — so the
+    whole argument loop lives here and each binary is a one-call
+    wrapper. *)
+
+val run :
+  tool:string ->
+  default_paths:string list ->
+  rules:Lint.rule list ->
+  lint_paths:(string list -> Finding.t list) ->
+  unit ->
+  unit
+(** Parse [Sys.argv], lint, report, and [exit] — 0 when every finding
+    is baselined or there are none, 1 otherwise.  Flags: [--baseline]
+    FILE, [--update-baseline], [--rule] ID (repeatable), [--list-rules],
+    [--json], [-q]. *)

@@ -21,3 +21,11 @@ val key : t -> string
 
 val compare : t -> t -> int
 (** Order by file, line, col, rule — a deterministic report order. *)
+
+val to_json : t -> string
+(** One finding as a JSON object (keys [file], [line], [col], [rule],
+    [severity], [message]); strings escaped per RFC 8259. *)
+
+val render_json : t list -> string
+(** A findings list as a JSON array, one object per line — the
+    [--json] output of the lint CLIs, stable enough for CI to diff. *)

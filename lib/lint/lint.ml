@@ -159,7 +159,7 @@ type ctx = {
   file : string;
   mutable findings : Finding.t list;
   mutable allow_stack : string list list;
-  mutable file_allows : string list;
+  mutable file_allows : string list list;  (* consed, one per attribute *)
   mutable ancestors : expression list;  (* innermost first *)
   msg_constructors : (string, unit) Hashtbl.t;
   mutable compare_shadowed : bool;
@@ -167,7 +167,7 @@ type ctx = {
 
 let suppressed ctx rule_id =
   let matches l = List.mem rule_id l || List.mem "all" l in
-  matches ctx.file_allows || List.exists matches ctx.allow_stack
+  List.exists matches ctx.file_allows || List.exists matches ctx.allow_stack
 
 let report ctx rule_id ~(loc : Location.t) message =
   match rule_by_id rule_id with
@@ -593,8 +593,7 @@ let main_iterator ctx =
         (match item.pstr_desc with
         | Pstr_attribute a ->
             if a.attr_name.txt = "lint.allow" then
-              ctx.file_allows <-
-                allows_of_attrs [ a ] @ ctx.file_allows
+              ctx.file_allows <- allows_of_attrs [ a ] :: ctx.file_allows
         | Pstr_value (_, vbs) ->
             List.iter
               (fun vb ->
@@ -633,7 +632,7 @@ let lint_string ~filename source =
         (fun item ->
           match item.pstr_desc with
           | Pstr_attribute a when a.attr_name.txt = "lint.allow" ->
-              ctx.file_allows <- allows_of_attrs [ a ] @ ctx.file_allows
+              ctx.file_allows <- allows_of_attrs [ a ] :: ctx.file_allows
           | _ -> ())
         structure;
       prepass ctx structure;

@@ -26,6 +26,11 @@ val rules : rule list
 val normalize_path : string -> string
 (** '\\' to '/', strip a leading ["./"]. *)
 
+val has_segment : seg:string -> string -> bool
+(** Does the normalized path contain [seg] as a whole '/'-separated
+    segment?  Shared by the path-scoping predicates of both lint
+    passes. *)
+
 val lint_string : filename:string -> string -> Finding.t list
 (** Lint source text.  [filename] determines rule scoping (rules look
     for [lib/] and [lib/consensus] segments) and appears in findings.

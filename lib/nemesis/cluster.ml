@@ -50,7 +50,7 @@ let fifo_required = function
 
 let make ?telemetry ?raft_config ?mencius_config ?multipaxos_config protocol
     net =
-  let n = List.length (Net.nodes net) in
+  let n = Net.size net in
   match protocol with
   | Raft | Raft_star | Raft_pql ->
       let cfg =

@@ -9,17 +9,78 @@ type event = {
   label : string;
 }
 
-(* Binary min-heap on (time, seq). *)
+(* Binary min-heap on (time, seq).
+
+   Cancelled events are removed lazily — normally when their time comes —
+   but a far-future cancelled timer (a client retry deadline, an election
+   timer reset on every append) would otherwise sit in the array for its
+   whole nominal delay.  At fig9 rates that grows the heap to the total
+   op count and every push/pop sifts through a cold multi-thousand-entry
+   array.  [maybe_sweep] compacts the dead entries away with an amortized
+   O(1)-per-push bound, keeping the heap at live size. *)
 module Heap = struct
-  type t = { mutable a : event array; mutable len : int }
+  type t = {
+    mutable a : event array;
+    mutable len : int;
+    mutable pushes_since_sweep : int;
+  }
 
   let dummy =
     { time = 0; seq = 0; run = ignore; dead = true; node = -1; label = "" }
-  let create () = { a = Array.make 256 dummy; len = 0 }
+  let create () = { a = Array.make 256 dummy; len = 0; pushes_since_sweep = 0 }
 
   let less x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
 
+  let sift_down h i =
+    let i = ref i in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && less h.a.(l) h.a.(!smallest) then smallest := l;
+      if r < h.len && less h.a.(r) h.a.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.a.(!smallest) in
+        h.a.(!smallest) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+
+  (* Every [max 1024 len] pushes, count the dead entries; if they are at
+     least a quarter of the heap, drop them and re-heapify (bottom-up,
+     O(len)).  Scan and rebuild are both paid at most once per [len]
+     pushes, so the amortized per-push cost is constant, and the result
+     depends only on the heap contents — determinism is untouched. *)
+  let maybe_sweep h =
+    h.pushes_since_sweep <- h.pushes_since_sweep + 1;
+    if h.pushes_since_sweep >= max 1024 h.len then begin
+      h.pushes_since_sweep <- 0;
+      let dead = ref 0 in
+      for i = 0 to h.len - 1 do
+        if h.a.(i).dead then incr dead
+      done;
+      if !dead * 4 >= h.len then begin
+        let live = ref 0 in
+        for i = 0 to h.len - 1 do
+          if not h.a.(i).dead then begin
+            h.a.(!live) <- h.a.(i);
+            incr live
+          end
+        done;
+        for i = !live to h.len - 1 do
+          h.a.(i) <- dummy
+        done;
+        h.len <- !live;
+        for i = (h.len / 2) - 1 downto 0 do
+          sift_down h i
+        done
+      end
+    end
+
   let push h e =
+    maybe_sweep h;
     if h.len = Array.length h.a then begin
       let a' = Array.make (2 * h.len) dummy in
       Array.blit h.a 0 a' 0 h.len;
@@ -48,21 +109,7 @@ module Heap = struct
       h.len <- h.len - 1;
       h.a.(0) <- h.a.(h.len);
       h.a.(h.len) <- dummy;
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.len && less h.a.(l) h.a.(!smallest) then smallest := l;
-        if r < h.len && less h.a.(r) h.a.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = h.a.(!smallest) in
-          h.a.(!smallest) <- h.a.(!i);
-          h.a.(!i) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done;
+      sift_down h 0;
       Some top
     end
 end
@@ -71,6 +118,7 @@ type t = {
   heap : Heap.t;
   mutable clock : int;
   mutable next_seq : int;
+  mutable executed : int;
   rng : Rng.t;
   mutable timer_skew : (int -> int) option;
   (* Manual (model-checking) mode: timers become explicitly fireable
@@ -90,6 +138,7 @@ let create ?(seed = 42L) () =
     heap = Heap.create ();
     clock = 0;
     next_seq = 0;
+    executed = 0;
     rng = Rng.create seed;
     timer_skew = None;
     manual = false;
@@ -101,6 +150,7 @@ let now t = t.clock
 let rng t = t.rng
 let set_timer_skew t f = t.timer_skew <- f
 let set_manual t b = t.manual <- b
+let is_manual t = t.manual
 
 let schedule_cancellable ?(kind = Timer) ?(node = -1) ?(label = "") t ~delay run
     =
@@ -133,7 +183,10 @@ let cancel e = e.dead <- true
 let manual_drain t =
   while not (Queue.is_empty t.manual_queue) do
     let e = Queue.pop t.manual_queue in
-    if not e.dead then e.run ()
+    if not e.dead then begin
+      t.executed <- t.executed + 1;
+      e.run ()
+    end
   done
 
 let manual_pending t =
@@ -145,6 +198,7 @@ let manual_fire t e =
   else begin
     t.manual_timers <- List.filter (fun e' -> e' != e) t.manual_timers;
     if e.time > t.clock then t.clock <- e.time;
+    t.executed <- t.executed + 1;
     e.run ();
     manual_drain t;
     true
@@ -155,7 +209,7 @@ let event_node e = e.node
 let event_label e = e.label
 let event_time e = e.time
 
-let run t ~until =
+let[@perf.hot] run t ~until =
   let continue = ref true in
   while !continue do
     match Heap.pop t.heap with
@@ -166,7 +220,10 @@ let run t ~until =
         continue := false
     | Some e ->
         t.clock <- e.time;
-        if not e.dead then e.run ()
+        if not e.dead then begin
+          t.executed <- t.executed + 1;
+          e.run ()
+        end
   done;
   if t.clock < until then t.clock <- until
 
@@ -177,10 +234,14 @@ let run_all t =
     | None -> continue := false
     | Some e ->
         t.clock <- e.time;
-        if not e.dead then e.run ()
+        if not e.dead then begin
+          t.executed <- t.executed + 1;
+          e.run ()
+        end
   done
 
 let pending t = t.heap.Heap.len
+let events_executed t = t.executed
 
 let next_deadline t =
   if t.heap.Heap.len = 0 then None else Some t.heap.Heap.a.(0).time

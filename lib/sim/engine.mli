@@ -60,6 +60,10 @@ val run_all : t -> unit
 val pending : t -> int
 (** Number of queued events (including cancelled-but-unpopped timers). *)
 
+val events_executed : t -> int
+(** Total events run so far (cancelled events are not counted) — the
+    denominator-free half of the BENCH_engine events/sec metric. *)
+
 val next_deadline : t -> int option
 (** Virtual time of the earliest queued event, if any.  May name a
     cancelled event (waking early is harmless); used by the network
@@ -77,6 +81,12 @@ val next_deadline : t -> int option
     current clock. *)
 
 val set_manual : t -> bool -> unit
+
+val is_manual : t -> bool
+(** Whether manual mode is on.  Runtimes that coalesce timer reschedules
+    in simulation (e.g. a lazily re-armed election timer) must keep the
+    one-event-per-reset shape under the model checker, where each held
+    timer is an explicit choice. *)
 
 val manual_pending : t -> timer list
 (** Live (uncancelled, unfired) manually-held timers, in scheduling

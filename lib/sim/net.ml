@@ -78,6 +78,7 @@ let create ?(drop_probability = 0.0) ?(jitter_us = 200) engine ~nodes =
 
 let engine t = t.engine
 let nodes t = t.nodes
+let size t = Array.length t.sites
 let node_site t id = t.sites.(id)
 let set_partition t p = t.partition <- p
 let set_chaos t c = t.chaos <- c

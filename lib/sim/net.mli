@@ -27,6 +27,12 @@ val create :
 
 val engine : t -> Engine.t
 val nodes : t -> node list
+
+val size : t -> int
+(** Cluster size, cached at creation — use this instead of recomputing
+    [List.length (nodes t)] when sizing per-replica state. *)
+
+
 val node_site : t -> int -> Topology.site
 
 val set_partition : t -> (int -> int -> bool) option -> unit

@@ -1,0 +1,14 @@
+(* perflint fixture: alloc-in-handler.  The rule fires only inside
+   explicitly [@perf.hot]-attributed functions: [broadcast] yields three
+   findings (List.map, the anonymous closure, the tuple).  A name-hot
+   [handle] (under lib/consensus/) and a cold copy stay silent, as does
+   the suppressed site. *)
+
+let[@perf.hot] broadcast peers msg = List.map (fun p -> (p, msg)) peers
+
+let handle peers msg = List.map (fun p -> (p, msg)) peers
+
+let cold peers msg = List.map (fun p -> (p, msg)) peers
+
+let[@perf.hot] broadcast_allowed peers =
+  (List.map (fun p -> p) peers [@perf.allow "alloc-in-handler"])

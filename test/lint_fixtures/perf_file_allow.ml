@@ -1,0 +1,10 @@
+[@@@perf.allow "all"]
+
+(* perflint fixture: a floating file-level allow silences every rule for
+   the whole compilation unit. *)
+
+let gathered = ref []
+let absorb extras = gathered := extras @ !gathered
+let[@perf.hot] tally xs = List.length xs
+let[@perf.hot] lookup tbl k = List.assoc k tbl
+let[@perf.hot] log_event st = Printf.sprintf "state %d" st

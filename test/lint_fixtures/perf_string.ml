@@ -1,0 +1,16 @@
+(* perflint fixture: string-build-in-hot-path.  3 positives (sprintf,
+   String.concat, ^) in [@perf.hot] functions.  A builder inside a
+   closure passed as ~info is the sanctioned lazy-render pattern and
+   stays silent, as do the cold copy and the suppressed site. *)
+
+let[@perf.hot] log_event st = Printf.sprintf "state %d" st
+let[@perf.hot] join xs = String.concat "," xs
+let[@perf.hot] cat a b = a ^ b
+
+let[@perf.hot] traced send st =
+  send ~info:(fun () -> Printf.sprintf "state %d" st) ()
+
+let cold st = Printf.sprintf "%d" st
+
+let[@perf.hot] log_allowed st =
+  (Printf.sprintf "%d" st [@perf.allow "string-build-in-hot-path"])
