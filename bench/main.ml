@@ -24,10 +24,26 @@ let quick = ref true
 let duration () = if !quick then 6 else 30
 let trim () = if !quick then 1 else 3
 
+(* Global batching knobs ([--batch N] / [--batch-delay US]): applied to
+   every figure run unless the figure overrides them per-row (fig_engine
+   runs both settings itself).  Defaults reproduce the unbatched
+   runtimes byte-for-byte. *)
+let batch_size_flag = ref 1
+let batch_delay_flag = ref 0
+
+(* The batched benchmark rows' setting (fig_engine, the million-user
+   shard run): a flush delay well under the WAN RTT so latency is
+   unaffected, a size cap large enough that the flush timer (not the
+   cap) is what usually fires. *)
+let engine_batch = (16, 2_000)
+
 let run_cfg ?leader_site ?(clients = 50) ?(read_fraction = 0.9)
-    ?(conflict_rate = 0.05) ?(value_size = 8) proto =
+    ?(conflict_rate = 0.05) ?(value_size = 8) ?batch_size ?batch_delay_us proto
+    =
+  let batch_size = Option.value batch_size ~default:!batch_size_flag in
+  let batch_delay_us = Option.value batch_delay_us ~default:!batch_delay_flag in
   H.config ?leader_site ~duration_s:(duration ()) ~warmup_s:(trim ())
-    ~cooldown_s:(trim ()) ~telemetry:true proto
+    ~cooldown_s:(trim ()) ~telemetry:true ~batch_size ~batch_delay_us proto
     {
       W.read_fraction;
       conflict_rate;
@@ -80,6 +96,8 @@ let json_of_run (cfg : H.config) (r : H.result) =
             ("cooldown_s", Json.Int cfg.H.cooldown_s);
             ("leader_site", Json.String (Topology.site_name cfg.H.leader_site));
             ("seed", Json.Int (Int64.to_int cfg.H.seed));
+            ("batch_size", Json.Int cfg.H.batch_size);
+            ("batch_delay_us", Json.Int cfg.H.batch_delay_us);
           ] );
       ("throughput_ops", Json.Float r.H.throughput_ops);
       ("p50_us", Json.Int (Stats.percentile_us stats 0.50));
@@ -335,7 +353,40 @@ let fig_shard () =
       (List.hd client_sweep)
   in
   Fmt.pr "heterogeneous mix (%d groups, Raft*/Mencius/MultiPaxos): %.0f ops/s@."
-    m r.Shard.throughput_ops
+    m r.Shard.throughput_ops;
+  (* ---- the million-user variant: 8 consensus groups over a 1M-record
+     keyspace, 2000 closed-loop clients (400/region over 5 regions),
+     command batching on.  Small values and a short quick-mode duration
+     keep it inside CI; full mode stretches the run, not the shape. *)
+  let mu_duration = if !quick then 3 else duration () in
+  let mu_clients = 400 in
+  let mu_shards = max 8 (match !shards_override with Some m -> m | None -> 8) in
+  let mu_wl =
+    {
+      W.read_fraction = 0.9;
+      conflict_rate = 0.0;
+      value_size = 8;
+      records = 1_000_000;
+      clients_per_region = mu_clients;
+      key_dist = W.Uniform;
+    }
+  in
+  let mu_cfg =
+    Shard.config ~protocols:[ H.Raft_star ] ~duration_s:mu_duration ~warmup_s:1
+      ~cooldown_s:1 ~telemetry:true ~batch_size:(fst engine_batch)
+      ~batch_delay_us:(snd engine_batch) ~shards:mu_shards mu_wl
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Shard.run mu_cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  recorded := Shard.result_to_json mu_cfg r :: !recorded;
+  assert (r.Shard.violations = 0);
+  Fmt.pr
+    "million-user: %d groups, %d clients, 1M records, batch=%d: %.0f ops/s \
+     (%.1fs wall)@."
+    mu_shards
+    (mu_clients * List.length Topology.sites)
+    (fst engine_batch) r.Shard.throughput_ops wall
 
 (* ---- network cost table (ours): egress distribution per protocol ---- *)
 
@@ -495,63 +546,89 @@ let micro () =
    data-structure work — protocol figures measure the protocol, this one
    measures the harness.  The floor is deliberately well below the
    committed baseline (slowest row ~700k events/s, Raft* ~1.05M after
-   the Vec/Net.size hot-path fixes) so only a real regression — e.g.
-   reintroducing a quadratic accumulator — trips it, not CI noise. *)
+   the Vec/Net.size hot-path fixes; batching only raises those) so only
+   a real regression — e.g. reintroducing a quadratic accumulator —
+   trips it, not CI noise. *)
 
-let engine_events_floor = 200_000.0
+let engine_events_floor = 300_000.0
 
 let fig_engine () =
   Fmt.pr "== engine: sim hot-path microbenchmark (fig9 workload, 50 clients/region) ==@.";
-  Fmt.pr "%-14s %12s %8s %14s %9s %10s@." "system" "sim_events" "wall_s"
-    "events/s" "ops" "minorw/op";
+  Fmt.pr "%-14s %6s %12s %8s %14s %9s %10s %10s@." "system" "batch"
+    "sim_events" "wall_s" "events/s" "ops" "wall_ops/s" "minorw/op";
+  (* (protocol, batch_size, wall-clock ops/s) per row, for the speedup
+     summary: batching is the perf optimization under test, so the
+     interesting ratio is ops completed per wall second at equal
+     simulated duration. *)
+  let rows = ref [] in
   List.iter
     (fun proto ->
-      let cfg = run_cfg proto in
-      (* Start each protocol from the same GC state so minor-words/op is
-         comparable across rows and runs. *)
-      Gc.full_major ();
-      let t0 = Unix.gettimeofday () in
-      let r = H.run cfg in
-      let wall = Unix.gettimeofday () -. t0 in
-      let stats =
-        Stats.merge
-          [
-            r.H.read_leader;
-            r.H.read_follower;
-            r.H.write_leader;
-            r.H.write_follower;
-          ]
+      List.iter
+        (fun (batch_size, batch_delay_us) ->
+          let cfg = run_cfg ~batch_size ~batch_delay_us proto in
+          (* Start each row from the same GC state so minor-words/op is
+             comparable across rows and runs. *)
+          Gc.full_major ();
+          let t0 = Unix.gettimeofday () in
+          let r = H.run cfg in
+          let wall = Unix.gettimeofday () -. t0 in
+          let stats =
+            Stats.merge
+              [
+                r.H.read_leader;
+                r.H.read_follower;
+                r.H.write_leader;
+                r.H.write_follower;
+              ]
+          in
+          let ops = Stats.count stats in
+          let events_per_sec = float_of_int r.H.sim_events /. wall in
+          let wall_ops_per_sec = float_of_int ops /. wall in
+          let words_per_op = r.H.minor_words /. float_of_int (max 1 ops) in
+          Fmt.pr "%-14s %6d %12d %8.2f %14.0f %9d %10.0f %10.0f@."
+            (H.protocol_name proto) batch_size r.H.sim_events wall
+            events_per_sec ops wall_ops_per_sec words_per_op;
+          assert (r.H.consistency_violations = 0);
+          (* sanity floor: a hot-path regression fails loudly in CI *)
+          assert (events_per_sec >= engine_events_floor);
+          rows := (proto, batch_size, wall_ops_per_sec) :: !rows;
+          recorded :=
+            Json.Obj
+              [
+                ("protocol", Json.String (H.protocol_name proto));
+                ( "config",
+                  Json.Obj
+                    [
+                      ( "clients_per_region",
+                        Json.Int cfg.H.workload.W.clients_per_region );
+                      ("read_fraction", Json.Float cfg.H.workload.W.read_fraction);
+                      ("duration_s", Json.Int cfg.H.duration_s);
+                      ("seed", Json.Int (Int64.to_int cfg.H.seed));
+                      ("batch_size", Json.Int batch_size);
+                      ("batch_delay_us", Json.Int batch_delay_us);
+                    ] );
+                ("sim_events", Json.Int r.H.sim_events);
+                ("wall_s", Json.Float wall);
+                ("events_per_sec", Json.Float events_per_sec);
+                ("ops", Json.Int ops);
+                ("throughput_ops", Json.Float r.H.throughput_ops);
+                ("wall_ops_per_sec", Json.Float wall_ops_per_sec);
+                ("minor_words_per_op", Json.Float words_per_op);
+                ("events_floor", Json.Float engine_events_floor);
+              ]
+            :: !recorded)
+        [ (1, 0); engine_batch ])
+    [ H.Raft_star; H.Raft_pql; H.Multipaxos; H.Mencius ];
+  List.iter
+    (fun proto ->
+      let find b =
+        List.find_opt (fun (p, s, _) -> p = proto && s = b) !rows
       in
-      let ops = Stats.count stats in
-      let events_per_sec = float_of_int r.H.sim_events /. wall in
-      let words_per_op = r.H.minor_words /. float_of_int (max 1 ops) in
-      Fmt.pr "%-14s %12d %8.2f %14.0f %9d %10.0f@." (H.protocol_name proto)
-        r.H.sim_events wall events_per_sec ops words_per_op;
-      assert (r.H.consistency_violations = 0);
-      (* sanity floor: a hot-path regression fails loudly in CI *)
-      assert (events_per_sec >= engine_events_floor);
-      recorded :=
-        Json.Obj
-          [
-            ("protocol", Json.String (H.protocol_name proto));
-            ( "config",
-              Json.Obj
-                [
-                  ( "clients_per_region",
-                    Json.Int cfg.H.workload.W.clients_per_region );
-                  ("read_fraction", Json.Float cfg.H.workload.W.read_fraction);
-                  ("duration_s", Json.Int cfg.H.duration_s);
-                  ("seed", Json.Int (Int64.to_int cfg.H.seed));
-                ] );
-            ("sim_events", Json.Int r.H.sim_events);
-            ("wall_s", Json.Float wall);
-            ("events_per_sec", Json.Float events_per_sec);
-            ("ops", Json.Int ops);
-            ("throughput_ops", Json.Float r.H.throughput_ops);
-            ("minor_words_per_op", Json.Float words_per_op);
-            ("events_floor", Json.Float engine_events_floor);
-          ]
-        :: !recorded)
+      match (find 1, find (fst engine_batch)) with
+      | Some (_, _, base), Some (_, _, batched) when base > 0.0 ->
+          Fmt.pr "  %-14s batching speedup: %.2fx wall ops/s@."
+            (H.protocol_name proto) (batched /. base)
+      | _ -> ())
     [ H.Raft_star; H.Raft_pql; H.Multipaxos; H.Mencius ]
 
 (* ---- net: wall-clock throughput/latency over the real runtime ----
@@ -654,6 +731,27 @@ let () =
         shards_override :=
           int_of_string_opt (String.sub a 9 (String.length a - 9));
         take_out acc rest
+    | "--batch" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> batch_size_flag := n
+        | _ -> ());
+        take_out acc rest
+    | a :: rest when String.length a > 8 && String.sub a 0 8 = "--batch=" ->
+        (match int_of_string_opt (String.sub a 8 (String.length a - 8)) with
+        | Some n when n >= 1 -> batch_size_flag := n
+        | _ -> ());
+        take_out acc rest
+    | "--batch-delay" :: us :: rest ->
+        (match int_of_string_opt us with
+        | Some us when us >= 0 -> batch_delay_flag := us
+        | _ -> ());
+        take_out acc rest
+    | a :: rest
+      when String.length a > 14 && String.sub a 0 14 = "--batch-delay=" ->
+        (match int_of_string_opt (String.sub a 14 (String.length a - 14)) with
+        | Some us when us >= 0 -> batch_delay_flag := us
+        | _ -> ());
+        take_out acc rest
     | a :: rest -> take_out (a :: acc) rest
   in
   let args = take_out [] args in
@@ -674,7 +772,9 @@ let () =
           (* Mirror repro's unknown-subcommand gate: a typo'd figure name
              must fail the invocation, not silently run nothing. *)
           Fmt.epr "bench: unknown figure '%s'@." target;
-          Fmt.epr "usage: main.exe [figure ...] [full] [--out DIR] [--shards M]@.";
+          Fmt.epr
+            "usage: main.exe [figure ...] [full] [--out DIR] [--shards M] \
+             [--batch N] [--batch-delay US]@.";
           Fmt.epr "figures: %a@."
             Fmt.(list ~sep:sp string)
             (List.map fst figures @ [ "all" ]);

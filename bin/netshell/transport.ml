@@ -18,6 +18,9 @@ type conn = {
   fd : Unix.file_descr;
   reasm : Framing.reassembler;
   outq : string Queue.t;
+  scratch : Codec.writer;
+      (** per-connection frame-encoding buffer, reset between sends so
+          encoding stops allocating per message *)
   mutable out_head_off : int;  (** written prefix of the queue head *)
   mutable out_bytes : int;
   mutable alive : bool;
@@ -31,6 +34,7 @@ let of_fd fd =
     fd;
     reasm = Framing.reassembler ();
     outq = Queue.create ();
+    scratch = Codec.writer_sized 4096;
     out_head_off = 0;
     out_bytes = 0;
     alive = true;
@@ -71,7 +75,8 @@ let flush c =
 
 let send c frame =
   if c.alive then begin
-    let payload = Framing.encode (Wire.encode_frame frame) in
+    Wire.encode_frame_into c.scratch frame;
+    let payload = Framing.encode_writer c.scratch in
     if c.out_bytes + String.length payload <= max_buffered then begin
       Queue.add payload c.outq;
       c.out_bytes <- c.out_bytes + String.length payload
@@ -158,6 +163,8 @@ type link = {
           initial dial — e.g. a Raft Forward, which is never retransmitted —
           would be lost *)
   mutable pending_bytes : int;
+  l_scratch : Codec.writer;
+      (** frame-encoding buffer for sends while the link is down *)
 }
 
 let backoff_min_ms = 50
@@ -173,6 +180,7 @@ let link ~host ~port ~hello =
     next_attempt_us = 0;
     pending = Queue.create ();
     pending_bytes = 0;
+    l_scratch = Codec.writer_sized 4096;
   }
 
 let link_up l ~now_us fd =
@@ -241,7 +249,8 @@ let link_send l frame =
   match l.state with
   | Up c -> send c frame
   | Dialing _ | Down ->
-      let payload = Framing.encode (Wire.encode_frame frame) in
+      Wire.encode_frame_into l.l_scratch frame;
+      let payload = Framing.encode_writer l.l_scratch in
       if l.pending_bytes + String.length payload <= max_buffered then begin
         Queue.add payload l.pending;
         l.pending_bytes <- l.pending_bytes + String.length payload

@@ -53,6 +53,14 @@ type msg =
           (** (instance, is_skip, value, committed) for every decided or
               known slot *)
     }
+  | MAppendMulti of {
+      from : int;
+      items : (int * Types.cmd) list;
+          (** one flushed batch of the sender's own turns — a single
+            frame, CPU charge and ack instead of one each *)
+    }
+  | MAckMulti of { from : int; insts : int list }
+  | MCommitMulti of { insts : int list }
   | Complete of { cmd_id : int; reply : Types.reply }
 
 type server_probes = {
@@ -66,6 +74,8 @@ type server_probes = {
   pr_revocations_skip : Metrics.counter;  (** resolved by force-skip *)
   pr_catchups : Metrics.counter;  (** MCatchup requests sent *)
   pr_retransmits : Metrics.counter;  (** own-append re-broadcasts *)
+  pr_batch_cmds : Metrics.histogram;
+      (** commands per flushed own-turn batch; batched path only *)
 }
 
 let make_probes m ~node =
@@ -81,6 +91,7 @@ let make_probes m ~node =
     pr_revocations_skip = c "revocations_skip";
     pr_catchups = c "catchups";
     pr_retransmits = c "retransmits";
+    pr_batch_cmds = Metrics.histogram m "batch_flush_cmds" ~node;
   }
 
 type server = {
@@ -104,6 +115,11 @@ type server = {
   mutable waiting : (int * Types.cmd) list;  (** (slot, cmd) awaiting reply *)
   mutable recovering : bool;
   mutable buffered : Types.cmd list;  (** submissions queued during recovery *)
+  (* command batching (batch_size > 1 only): own turns claimed but whose
+     MAppend broadcast is held for the current batch *)
+  mutable pending_batch : (int * Types.cmd) list;  (** reversed *)
+  mutable pending_count : int;
+  mutable flush_pending : bool;  (** a flush timer is armed *)
   mutable down : bool;
   cpu : Cpu.t;
   rng : Rng.t;
@@ -148,6 +164,13 @@ let msg_size t = function
             + 8
             + match cmd with Some c -> Types.op_size c.Types.op | None -> 0)
           0 slots
+  | MAppendMulti { items; _ } ->
+      (p t).msg_header_bytes
+      + List.fold_left
+          (fun acc (_, c) -> acc + 8 + Types.op_size c.Types.op)
+          0 items
+  | MAckMulti { insts; _ } | MCommitMulti { insts } ->
+      (p t).msg_header_bytes + (8 * List.length insts)
   | Complete _ -> (p t).reply_bytes
 
 (* ---- slot bookkeeping ---- *)
@@ -234,6 +257,19 @@ let render_msg ?(rename = Fun.id) = function
                   | None -> "")
                   (if committed then "!" else ""))
               (List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) slots)))
+  | MAppendMulti { from; items } ->
+      Printf.sprintf "MAppendMulti(f%d [%s])" (rename from)
+        (String.concat ";"
+           (List.map
+              (fun (i, c) ->
+                Printf.sprintf "%d:%s" i (Types.render_cmd ~rename c))
+              items))
+  | MAckMulti { from; insts } ->
+      Printf.sprintf "MAckMulti(f%d [%s])" (rename from)
+        (String.concat ";" (List.map string_of_int insts))
+  | MCommitMulti { insts } ->
+      Printf.sprintf "MCommitMulti([%s])"
+        (String.concat ";" (List.map string_of_int insts))
   | Complete { cmd_id; reply } ->
       Printf.sprintf "Complete(c%d v%s)" cmd_id
         (match reply.Types.value with
@@ -535,6 +571,70 @@ and handle t srv msg =
           srv.buffered <- [];
           List.iter (fun cmd -> start_own_slot t srv cmd) queued
         end
+    | MAppendMulti { from; items } ->
+        (* One CPU charge, one own-turn skip walk and one ack for the
+           whole batch; bounded by the sender's batch_size. *)
+        let k = (List.length items [@perf.allow "length-in-hot-path"]) in
+        Cpu.exec srv.cpu ~cost_us:(max 1 (k * (p t).cpu_follower_op_us))
+          (fun () ->
+            if not srv.down then begin
+              let held = ref [] in
+              let max_inst = ref (-1) in
+              List.iter
+                (fun (inst, (cmd : Types.cmd)) ->
+                  ensure srv inst;
+                  if inst > !max_inst then max_inst := inst;
+                  let refused =
+                    from = owner t inst && Hashtbl.mem srv.promised inst
+                  in
+                  (match slot srv inst with
+                  | Unknown when not refused -> set_value srv inst cmd
+                  | _ -> ());
+                  match slot srv inst with
+                  | Value held_cmd when held_cmd.Types.id = cmd.Types.id ->
+                      held := inst :: !held
+                  | _ -> ())
+                items;
+              if !max_inst >= 0 then skip_own_turns t srv ~upto:!max_inst;
+              if !held <> [] then begin
+                Metrics.inc srv.pr.pr_acks;
+                send t ~src:srv.id ~dst:from
+                  (MAckMulti { from = srv.id; insts = List.rev !held })
+              end;
+              advance_frontiers t srv
+            end)
+    | MAckMulti { from; insts } ->
+        let newly = ref [] in
+        List.iter
+          (fun inst ->
+            match Hashtbl.find_opt srv.acks inst with
+            | None -> ()
+            | Some acked ->
+                acked.(from) <- true;
+                let count =
+                  Array.fold_left
+                    (fun acc b -> if b then acc + 1 else acc)
+                    0 acked
+                in
+                if count + 1 >= majority t && not (is_committed srv inst)
+                then begin
+                  ensure srv inst;
+                  Vec.set srv.committed inst true;
+                  newly := inst :: !newly
+                end)
+          insts;
+        if !newly <> [] then begin
+          (* One commit broadcast and one frontier walk per acked batch. *)
+          broadcast t srv (MCommitMulti { insts = List.rev !newly });
+          advance_frontiers t srv
+        end
+    | MCommitMulti { insts } ->
+        List.iter
+          (fun inst ->
+            ensure srv inst;
+            Vec.set srv.committed inst true)
+          insts;
+        advance_frontiers t srv
 
 (* Frontier watchdog: if the committed prefix stalls on a dead replica's
    slot, the lowest live replica revokes it with no-ops. *)
@@ -592,7 +692,9 @@ and lowest_live t =
   let rec find i = if i >= t.n || not t.servers.(i).down then i else find (i + 1) in
   find 0
 
-and start_own_slot t srv (cmd : Types.cmd) =
+(* Claim the next free own turn for [cmd] and set up its local state —
+   everything but the broadcast, which batching may hold back. *)
+and claim_own_slot t srv (cmd : Types.cmd) =
   (* Our turn may have been revoked (force-skipped) while we sat on it;
      proposing into a decided slot would overwrite the decision.  Advance
      to the first turn nobody has touched. *)
@@ -611,9 +713,26 @@ and start_own_slot t srv (cmd : Types.cmd) =
   srv.waiting <- (inst, cmd) :: srv.waiting;
   Span.mark t.spans ~trace:cmd.Types.id ~node:srv.id ~phase:"append"
     ~now:(Engine.now t.engine);
+  inst
+
+and start_own_slot t srv (cmd : Types.cmd) =
+  let inst = claim_own_slot t srv cmd in
   Metrics.add srv.pr.pr_appends (t.n - 1);
   broadcast t srv (MAppend { from = srv.id; inst; cmd });
   if t.n = 1 then Vec.set srv.committed inst true;
+  advance_frontiers t srv
+
+(* Release the accumulated batch: one MAppendMulti broadcast carries
+   every held (turn, command) pair. *)
+and flush_appends t srv =
+  let items = List.rev srv.pending_batch in
+  Metrics.observe srv.pr.pr_batch_cmds srv.pending_count;
+  srv.pending_batch <- [];
+  srv.pending_count <- 0;
+  Metrics.add srv.pr.pr_appends (t.n - 1);
+  broadcast t srv (MAppendMulti { from = srv.id; items });
+  if t.n = 1 then
+    List.iter (fun (inst, _) -> Vec.set srv.committed inst true) items;
   advance_frontiers t srv
 
 (* ---- construction and client interface ---- *)
@@ -641,6 +760,9 @@ let create ?(telemetry = Telemetry.disabled) config net =
           waiting = [];
           recovering = false;
           buffered = [];
+          pending_batch = [];
+          pending_count = 0;
+          flush_pending = false;
           down = false;
           cpu;
           rng = Rng.split (Engine.rng engine);
@@ -666,7 +788,25 @@ let submit_cmd t srv (cmd : Types.cmd) =
   Cpu.exec srv.cpu ~cost_us:(p t).cpu_leader_op_us (fun () ->
       if not srv.down then
         if srv.recovering then srv.buffered <- cmd :: srv.buffered
-        else start_own_slot t srv cmd)
+        else if (p t).batch_size <= 1 then start_own_slot t srv cmd
+        else begin
+          (* Batched: the turn is claimed now; only its broadcast is held
+             back until the batch flushes. *)
+          let inst = claim_own_slot t srv cmd in
+          srv.pending_batch <- (inst, cmd) :: srv.pending_batch;
+          srv.pending_count <- srv.pending_count + 1;
+          if srv.pending_count >= (p t).batch_size then flush_appends t srv
+          else if not srv.flush_pending then begin
+            srv.flush_pending <- true;
+            Engine.schedule t.engine ~node:srv.id ~label:"flush"
+              ~delay:(max 1 (p t).batch_delay_us) (fun () ->
+                srv.flush_pending <- false;
+                if
+                  (not srv.down) && (not srv.recovering)
+                  && srv.pending_count > 0
+                then flush_appends t srv)
+          end
+        end)
 
 let submit_id t ~node op k =
   let id = t.next_cmd_id in
@@ -782,6 +922,14 @@ let dump_state ?(rename = Fun.id) t ~node =
   add "|bf:%s"
     (String.concat ","
        (List.map (fun (c : Types.cmd) -> string_of_int c.id) srv.buffered));
+  (* Batched runs only: the held batch is real protocol state the checker
+     must distinguish.  Unbatched fingerprints stay byte-identical. *)
+  if (p t).batch_size > 1 then
+    add "|pb:%s"
+      (String.concat ";"
+         (List.rev_map
+            (fun (i, (c : Types.cmd)) -> Printf.sprintf "%d:c%d" i c.id)
+            srv.pending_batch));
   Buffer.contents buf
 
 (* Frontiers, the applied prefix, the own-turn cursor and the number of
@@ -855,6 +1003,11 @@ let restart t ~node =
   let srv = t.servers.(node) in
   srv.down <- false;
   Net.set_node_down t.net node false;
+  (* A batch held across the crash is dropped: its claimed turns stay
+     locally Value-and-uncommitted, and the frontier watchdog's own-append
+     retransmission (or a peer's revocation) decides them. *)
+  srv.pending_batch <- [];
+  srv.pending_count <- 0;
   (* Re-learn decided slots (and our dead turns) from the peers before
      proposing again. *)
   srv.recovering <- true;

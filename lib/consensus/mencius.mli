@@ -56,6 +56,13 @@ type msg =
           (** (instance, is_skip, value, committed) for every decided or
               known slot *)
     }
+  | MAppendMulti of {
+      from : int;
+      items : (int * Types.cmd) list;
+          (** one flushed batch of the sender's own turns *)
+    }
+  | MAckMulti of { from : int; insts : int list }
+  | MCommitMulti of { insts : int list }
   | Complete of { cmd_id : int; reply : Types.reply }
 
 type t

@@ -42,6 +42,15 @@ type msg =
   | Accept of { bal : int; from : int; inst : int; cmd : Types.cmd option }
   | AcceptOk of { bal : int; from : int; inst : int }
   | Learn of { inst : int; cmd : Types.cmd option }
+  | AcceptMulti of {
+      bal : int;
+      from : int;
+      items : (int * Types.cmd option) list;
+          (** one flushed leader batch: (instance, value) per command —
+            a single frame, CPU charge and ack instead of one each *)
+    }
+  | AcceptOkMulti of { bal : int; from : int; insts : int list }
+  | LearnMulti of { items : (int * Types.cmd option) list }
   | Forward of Types.cmd
   | Complete of { cmd_id : int; reply : Types.reply }
 
@@ -54,6 +63,8 @@ type server_probes = {
   pr_retransmits : Metrics.counter;  (** watchdog re-broadcasts of unchosen *)
   pr_forwards : Metrics.counter;
   pr_commits : Metrics.counter;  (** instances executed *)
+  pr_batch_cmds : Metrics.histogram;
+      (** commands per leader-side flush; batched path only *)
 }
 
 let make_probes m ~node =
@@ -67,6 +78,7 @@ let make_probes m ~node =
     pr_retransmits = c "retransmits";
     pr_forwards = c "forwards";
     pr_commits = c "commits";
+    pr_batch_cmds = Metrics.histogram m "batch_flush_cmds" ~node;
   }
 
 type server = {
@@ -87,6 +99,11 @@ type server = {
   proposed_cmds : (int, unit) Hashtbl.t;
       (** cmd ids this leader already assigned an instance; a duplicated
           [Forward] must not occupy a second instance *)
+  (* command batching (leader side, batch_size > 1 only): instances
+     assigned but whose Accept broadcast is held for the current batch *)
+  mutable pending_batch : (int * Types.cmd option) list;  (** reversed *)
+  mutable pending_count : int;
+  mutable flush_pending : bool;  (** a flush timer is armed *)
   mutable last_leader_sign : int;
   mutable down : bool;
   cpu : Cpu.t;
@@ -123,6 +140,14 @@ let msg_size t = function
   | Accept { cmd; _ } | Learn { cmd; _ } -> (
       (p t).msg_header_bytes
       + match cmd with Some c -> Types.op_size c.Types.op | None -> 8)
+  | AcceptMulti { items; _ } | LearnMulti { items } ->
+      (p t).msg_header_bytes
+      + List.fold_left
+          (fun acc (_, c) ->
+            acc + match c with Some c -> Types.op_size c.Types.op | None -> 8)
+          0 items
+  | AcceptOkMulti { insts; _ } ->
+      (p t).msg_header_bytes + (8 * List.length insts)
   | Forward cmd -> (p t).msg_header_bytes + Types.op_size cmd.Types.op
   | Complete _ -> (p t).reply_bytes
 
@@ -173,6 +198,27 @@ let render_msg ?(rename = Fun.id) ~n = function
         (rename from) inst
   | Learn { inst; cmd } ->
       Printf.sprintf "Learn(i%d %s)" inst (Types.render_cmd_opt ~rename cmd)
+  | AcceptMulti { bal; from; items } ->
+      Printf.sprintf "AcceptMulti(b%d f%d [%s])"
+        (rename_ballot rename ~n bal)
+        (rename from)
+        (String.concat ";"
+           (List.map
+              (fun (i, c) ->
+                Printf.sprintf "%d:%s" i (Types.render_cmd_opt ~rename c))
+              items))
+  | AcceptOkMulti { bal; from; insts } ->
+      Printf.sprintf "AcceptOkMulti(b%d f%d [%s])"
+        (rename_ballot rename ~n bal)
+        (rename from)
+        (String.concat ";" (List.map string_of_int insts))
+  | LearnMulti { items } ->
+      Printf.sprintf "LearnMulti([%s])"
+        (String.concat ";"
+           (List.map
+              (fun (i, c) ->
+                Printf.sprintf "%d:%s" i (Types.render_cmd_opt ~rename c))
+              items))
   | Forward cmd -> "Forward(" ^ Types.render_cmd ~rename cmd ^ ")"
   | Complete { cmd_id; reply } ->
       Printf.sprintf "Complete(c%d v%s)" cmd_id
@@ -226,13 +272,18 @@ and execute t srv =
     else continue := false
   done
 
-and mark_chosen t srv i cmd =
+(* Record a decision without executing; callers run one [execute] walk
+   per delivered batch instead of per instance. *)
+and choose srv i cmd =
   let it = inst srv i in
   if not it.chosen then begin
     it.chosen <- true;
     it.accepted_cmd <- Some cmd;
-    execute t srv
+    true
   end
+  else false
+
+and mark_chosen t srv i cmd = if choose srv i cmd then execute t srv
 
 (* ---- phase 2 ---- *)
 
@@ -251,17 +302,50 @@ and propose t srv (cmd : Types.cmd) =
         Hashtbl.replace srv.waiters i cmd;
         Span.mark t.spans ~trace:cmd.id ~node:srv.id ~phase:"append"
           ~now:(Engine.now t.engine);
-        Metrics.add srv.pr.pr_accepts (t.n - 1);
-        broadcast t srv
-          (Accept { bal = srv.ballot; from = srv.id; inst = i; cmd = Some cmd });
-        if t.n = 1 then begin
-          mark_chosen t srv i (Some cmd)
+        if (p t).batch_size <= 1 then begin
+          Metrics.add srv.pr.pr_accepts (t.n - 1);
+          broadcast t srv
+            (Accept
+               { bal = srv.ballot; from = srv.id; inst = i; cmd = Some cmd });
+          if t.n = 1 then begin
+            mark_chosen t srv i (Some cmd)
+          end
+        end
+        else begin
+          (* Batched: the instance is fully set up above; only its Accept
+             broadcast is held back until the batch flushes. *)
+          srv.pending_batch <- (i, Some cmd) :: srv.pending_batch;
+          srv.pending_count <- srv.pending_count + 1;
+          if srv.pending_count >= (p t).batch_size then flush_accepts t srv
+          else if not srv.flush_pending then begin
+            srv.flush_pending <- true;
+            Engine.schedule t.engine ~node:srv.id ~label:"flush"
+              ~delay:(max 1 (p t).batch_delay_us) (fun () ->
+                srv.flush_pending <- false;
+                if srv.is_leader && (not srv.down) && srv.pending_count > 0
+                then flush_accepts t srv)
+          end
         end
       end
       else if not srv.down then begin
         Metrics.inc srv.pr.pr_forwards;
         send t ~src:srv.id ~dst:srv.leader_hint (Forward cmd)
       end)
+
+(* Release the accumulated batch: one AcceptMulti broadcast carries
+   every held (instance, value) pair. *)
+and flush_accepts t srv =
+  let items = List.rev srv.pending_batch in
+  Metrics.observe srv.pr.pr_batch_cmds srv.pending_count;
+  srv.pending_batch <- [];
+  srv.pending_count <- 0;
+  Metrics.add srv.pr.pr_accepts (t.n - 1);
+  broadcast t srv (AcceptMulti { bal = srv.ballot; from = srv.id; items });
+  if t.n = 1 then begin
+    let any = ref false in
+    List.iter (fun (i, cmd) -> if choose srv i cmd then any := true) items;
+    if !any then execute t srv
+  end
 
 (* ---- phase 1 ---- *)
 
@@ -278,6 +362,10 @@ and become_leader t srv =
   Metrics.inc srv.pr.pr_leader_wins;
   srv.is_leader <- true;
   srv.leader_hint <- srv.id;
+  (* A batch held when leadership was lost refers to instances of the old
+     reign; drop it (the origin's retry resubmits the commands). *)
+  srv.pending_batch <- [];
+  srv.pending_count <- 0;
   (* Adopt the highest-ballot accepted value per instance; re-propose each
      adopted instance at our ballot so it can be chosen. *)
   let best = Hashtbl.create 64 in
@@ -391,6 +479,64 @@ and handle t srv msg =
               end
         end
     | Learn { inst = i; cmd } -> mark_chosen t srv i cmd
+    | AcceptMulti { bal; from; items } ->
+        if bal >= srv.ballot then begin
+          if bal > srv.ballot then Metrics.inc srv.pr.pr_ballot_changes;
+          srv.ballot <- bal;
+          if from <> srv.id then srv.is_leader <- false;
+          srv.leader_hint <- from;
+          srv.last_leader_sign <- Engine.now t.engine;
+          (* One CPU charge and one ack for the whole batch; the walk is
+             bounded by the leader's batch_size. *)
+          let k = (List.length items [@perf.allow "length-in-hot-path"]) in
+          Cpu.exec srv.cpu ~cost_us:(max 1 (k * (p t).cpu_follower_op_us))
+            (fun () ->
+              if not srv.down then begin
+                List.iter
+                  (fun (i, cmd) ->
+                    let it = inst srv i in
+                    it.accepted_bal <- bal;
+                    it.accepted_cmd <- Some cmd)
+                  items;
+                Metrics.inc srv.pr.pr_acks;
+                send t ~src:srv.id ~dst:from
+                  (AcceptOkMulti
+                     { bal; from = srv.id; insts = List.map fst items })
+              end)
+        end
+    | AcceptOkMulti { bal; from; insts } ->
+        if bal = srv.ballot && srv.is_leader then begin
+          let newly = ref [] in
+          List.iter
+            (fun i ->
+              match Hashtbl.find_opt srv.accept_oks i with
+              | None -> ()
+              | Some acked ->
+                  acked.(from) <- true;
+                  let count =
+                    Array.fold_left
+                      (fun acc b -> if b then acc + 1 else acc)
+                      0 acked
+                  in
+                  if count + 1 >= majority t && not (inst srv i).chosen then begin
+                    let cmd =
+                      match (inst srv i).accepted_cmd with
+                      | Some c -> c
+                      | None -> None
+                    in
+                    if choose srv i cmd then newly := (i, cmd) :: !newly
+                  end)
+            insts;
+          if !newly <> [] then begin
+            (* One execute walk and one Learn broadcast per acked batch. *)
+            execute t srv;
+            broadcast t srv (LearnMulti { items = List.rev !newly })
+          end
+        end
+    | LearnMulti { items } ->
+        let any = ref false in
+        List.iter (fun (i, cmd) -> if choose srv i cmd then any := true) items;
+        if !any then execute t srv
 
 (* Leader-failure watchdog: lowest live replica takes over.  The same
    tick is the leader's repair timer: an [Accept] or its [AcceptOk]s can
@@ -459,6 +605,9 @@ let create ?(telemetry = Telemetry.disabled) ?(leader = 0) config net =
           accept_oks = Hashtbl.create 1024;
           waiters = Hashtbl.create 1024;
           proposed_cmds = Hashtbl.create 1024;
+          pending_batch = [];
+          pending_count = 0;
+          flush_pending = false;
           last_leader_sign = 0;
           down = false;
           cpu;
@@ -552,9 +701,12 @@ let crash t ~node =
   Net.set_node_down t.net node true
 
 let restart t ~node =
-  t.servers.(node).down <- false;
+  let srv = t.servers.(node) in
+  srv.down <- false;
   Net.set_node_down t.net node false;
-  t.servers.(node).is_leader <- false
+  srv.is_leader <- false;
+  srv.pending_batch <- [];
+  srv.pending_count <- 0
 
 (* ---- model-checker inspection hooks ---- *)
 
@@ -613,6 +765,15 @@ let dump_state ?(rename = Fun.id) t ~node =
   tbl "wt" srv.waiters (fun (i, c) ->
       Printf.sprintf "%d:%s" i (Types.render_cmd ~rename c));
   tbl "pc" srv.proposed_cmds (fun (i, ()) -> string_of_int i);
+  (* Batched runs only: the held batch is real protocol state the checker
+     must distinguish.  Unbatched fingerprints stay byte-identical. *)
+  if (p t).batch_size > 1 then
+    add "|pb:%s"
+      (String.concat ";"
+         (List.rev_map
+            (fun (i, c) ->
+              Printf.sprintf "%d:%s" i (Types.render_cmd_opt ~rename c))
+            srv.pending_batch));
   Buffer.contents buf
 
 (* Highest ballot seen, the executed prefix and the chosen count only

@@ -37,6 +37,14 @@ type msg =
   | Accept of { bal : int; from : int; inst : int; cmd : Types.cmd option }
   | AcceptOk of { bal : int; from : int; inst : int }
   | Learn of { inst : int; cmd : Types.cmd option }
+  | AcceptMulti of {
+      bal : int;
+      from : int;
+      items : (int * Types.cmd option) list;
+          (** one flushed leader batch: (instance, value) per command *)
+    }
+  | AcceptOkMulti of { bal : int; from : int; insts : int list }
+  | LearnMulti of { items : (int * Types.cmd option) list }
   | Forward of Types.cmd
   | Complete of { cmd_id : int; reply : Types.reply }
 

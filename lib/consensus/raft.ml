@@ -52,6 +52,9 @@ type server_probes = {
   pr_lease_confirms : Metrics.counter;
   pr_local_reads : Metrics.counter;
   pr_lease_waits : Metrics.counter;
+  pr_batch_cmds : Metrics.histogram;
+      (** commands per leader-side flush; observed only on the batched
+          path, so batch_size=1 telemetry is unchanged *)
 }
 
 let make_probes m ~node =
@@ -71,6 +74,7 @@ let make_probes m ~node =
     pr_lease_confirms = c "lease_confirms";
     pr_local_reads = c "local_reads";
     pr_lease_waits = c "lease_waits";
+    pr_batch_cmds = Metrics.histogram m "batch_flush_cmds" ~node;
   }
 
 type msg =
@@ -154,6 +158,14 @@ type server = {
           attests the prefix.  Reset to [commit_index] when a first batch
           of a newer term arrives; extended only by batches that overlap
           it ([prev_idx <= verified_to]). *)
+  (* command batching (leader side, batch_size > 1 only) *)
+  mutable flush_to : int;
+      (** replication tip: the highest log index released to
+          {!send_batch}.  Entries above it are appended but still
+          accumulating into the current batch; with batching off the tip
+          is simply [last_index] and this field is ignored. *)
+  mutable unflushed : int;  (** commands appended since the last flush *)
+  mutable flush_pending : bool;  (** a flush timer is armed *)
   mutable election_timer : Engine.timer option;
   mutable election_deadline : int;
       (** virtual time the current election timeout expires; the armed
@@ -249,6 +261,12 @@ let last_index srv = Vec.length srv.log - 1
 
 let term_at srv i =
   if i < 0 || i > last_index srv then -1 else (fst (Vec.get srv.log i)).Types.term
+
+(* The highest index replication may ship.  Batching holds appended
+   entries back until the batch flushes; unbatched, the tip is the log
+   end and the field plays no part. *)
+let repl_tip t srv =
+  if (p t).batch_size <= 1 then last_index srv else srv.flush_to
 
 let note_write srv idx (e : Types.entry) =
   match e.cmd with
@@ -353,15 +371,16 @@ and my_valid_grants t srv =
 
 and send_batch t srv peer =
   let next = srv.next_index.(peer) in
+  let tip = repl_tip t srv in
   let entries =
     List.init
-      (max 0 (last_index srv - next + 1))
+      (max 0 (tip - next + 1))
       (fun k -> Vec.get srv.log (next + k))
   in
   srv.inflight.(peer) <- srv.inflight.(peer) + 1;
   Metrics.inc srv.pr.pr_appends;
   (* Optimistic next-index: pipeline further batches without waiting. *)
-  srv.next_index.(peer) <- max srv.next_index.(peer) (last_index srv + 1);
+  srv.next_index.(peer) <- max srv.next_index.(peer) (tip + 1);
   send t ~src:srv.id ~dst:peer
     (Append
        {
@@ -374,15 +393,29 @@ and send_batch t srv peer =
        })
 
 and maybe_replicate t srv =
-  if srv.role = Leader then
+  if srv.role = Leader then begin
+    let tip = repl_tip t srv in
     Array.iter
       (fun peer ->
         if
           peer.id <> srv.id
           && srv.inflight.(peer.id) < (p t).pipeline_window
-          && srv.next_index.(peer.id) <= last_index srv
+          && srv.next_index.(peer.id) <= tip
         then send_batch t srv peer.id)
       t.servers
+  end
+
+(* Release the accumulated batch to replication.  One call replicates
+   every command appended since the previous flush as a single Append
+   per follower (one wire frame, one follower CPU charge, one
+   apply_committed walk and one Ack at the other end). *)
+and flush_batch t srv =
+  Metrics.observe srv.pr.pr_batch_cmds srv.unflushed;
+  srv.unflushed <- 0;
+  if srv.flush_to < last_index srv then begin
+    srv.flush_to <- last_index srv;
+    maybe_replicate t srv
+  end
 
 and advance_commit t srv =
   if srv.role = Leader then begin
@@ -496,7 +529,23 @@ and append_cmd t srv (cmd : Types.cmd) =
         note_write srv (last_index srv) entry;
         Span.mark t.spans ~trace:cmd.id ~node:srv.id ~phase:"append"
           ~now:(Engine.now t.engine);
-        maybe_replicate t srv;
+        (if (p t).batch_size <= 1 then maybe_replicate t srv
+         else begin
+           srv.unflushed <- srv.unflushed + 1;
+           if srv.unflushed >= (p t).batch_size then flush_batch t srv
+           else if not srv.flush_pending then begin
+             (* Time bound on the accumulator: the timer is armed by the
+                batch's first command and left to fire (never cancelled);
+                a size-triggered flush just empties it early and the
+                firing degenerates to a no-op. *)
+             srv.flush_pending <- true;
+             Engine.schedule t.engine ~node:srv.id ~label:"flush"
+               ~delay:(max 1 (p t).batch_delay_us) (fun () ->
+                 srv.flush_pending <- false;
+                 if srv.role = Leader && (not srv.down) && srv.unflushed > 0
+                 then flush_batch t srv)
+           end
+         end);
         if t.n = 1 then begin
           srv.match_index.(srv.id) <- last_index srv;
           srv.commit_index <- last_index srv;
@@ -653,6 +702,10 @@ and become_leader t srv =
   Array.fill srv.match_index 0 t.n (-1);
   Array.fill srv.inflight 0 t.n 0;
   srv.match_index.(srv.id) <- last_index srv;
+  (* The no-op (and any adopted extras) ship immediately: batching only
+     holds back client commands between flushes. *)
+  srv.flush_to <- last_index srv;
+  srv.unflushed <- 0;
   Array.iter
     (fun peer -> if peer.id <> srv.id then send_batch t srv peer.id)
     t.servers;
@@ -985,6 +1038,9 @@ let create ?(telemetry = Telemetry.disabled) config net =
           confirmed_grants = Array.make n min_int;
           peer_grants = Array.make_matrix n n min_int;
           pending_reads = [];
+          flush_to = -1;
+          unflushed = 0;
+          flush_pending = false;
           verified_term = 0;
           verified_to = -1;
           election_timer = None;
@@ -1019,6 +1075,7 @@ let create ?(telemetry = Telemetry.disabled) config net =
       let leader = servers.(l) in
       leader.role <- Leader;
       Vec.push leader.log ({ Types.term = 1; cmd = None }, 1);
+      leader.flush_to <- 0;
       leader.match_index.(l) <- 0;
       Array.iteri (fun i _ -> leader.next_index.(i) <- 0) leader.next_index;
       leader.next_index.(l) <- 1
@@ -1101,6 +1158,7 @@ let restart t ~node =
   Net.set_node_down t.net node false;
   srv.role <- Follower;
   Array.fill srv.inflight 0 t.n 0;
+  srv.unflushed <- 0;
   srv.pending_reads <- [];
   Array.fill srv.grant_from 0 t.n min_int;
   srv.pending_grants <- [];
@@ -1183,6 +1241,10 @@ let dump_state ?(rename = Fun.id) t ~node =
     (String.concat ","
        (List.map string_of_int
           (sorted_ints (List.map fst srv.pending_reads))));
+  (* Batched runs only: the accumulator is real protocol state the
+     checker must distinguish.  Unbatched fingerprints stay identical. *)
+  if (p t).batch_size > 1 then
+    add "|fl:%d,%d,%b" srv.flush_to srv.unflushed srv.flush_pending;
   Buffer.contents buf
 
 type peek_entry = { pe_term : int; pe_ballot : int; pe_cmd : int option }

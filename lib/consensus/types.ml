@@ -24,6 +24,14 @@ type params = {
   election_timeout_max_us : int;
   lease_duration_us : int;
   lease_renew_us : int;
+  batch_size : int;
+      (** leader-side command batching: accumulate up to this many client
+          commands into one consensus instance / replication batch before
+          flushing.  1 disables batching entirely — the code path is then
+          byte-identical to the unbatched runtime. *)
+  batch_delay_us : int;
+      (** time bound on the accumulator: a partial batch flushes this many
+          µs after its first command.  0 means flush only on [batch_size]. *)
 }
 
 let default_params =
@@ -40,6 +48,8 @@ let default_params =
     election_timeout_max_us = 2_000_000;
     lease_duration_us = 2_000_000;
     lease_renew_us = 500_000;
+    batch_size = 1;
+    batch_delay_us = 0;
   }
 
 (* Canonical renderings used by the model checker to fingerprint

@@ -42,6 +42,14 @@ type params = {
   election_timeout_max_us : int;
   lease_duration_us : int;  (** paper: 2 s *)
   lease_renew_us : int;  (** paper: 0.5 s *)
+  batch_size : int;
+      (** leader-side command batching: accumulate up to this many client
+          commands into one consensus instance / replication batch before
+          flushing.  1 disables batching — byte-identical to the
+          unbatched runtime. *)
+  batch_delay_us : int;
+      (** time bound on the accumulator: a partial batch flushes this
+          many µs after its first command.  0 = flush on size only. *)
 }
 
 val default_params : params

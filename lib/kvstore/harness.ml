@@ -28,11 +28,13 @@ type config = {
   seed : int64;
   telemetry : bool;
   tracing : bool;
+  batch_size : int;
+  batch_delay_us : int;
 }
 
 let config ?(leader_site = Topology.Oregon) ?(duration_s = 10) ?(warmup_s = 2)
     ?(cooldown_s = 2) ?(seed = 1L) ?(telemetry = false) ?(tracing = false)
-    protocol workload =
+    ?(batch_size = 1) ?(batch_delay_us = 0) protocol workload =
   {
     protocol;
     leader_site;
@@ -43,6 +45,8 @@ let config ?(leader_site = Topology.Oregon) ?(duration_s = 10) ?(warmup_s = 2)
     seed;
     telemetry;
     tracing;
+    batch_size;
+    batch_delay_us;
   }
 
 type request = {
@@ -91,7 +95,13 @@ type wired = {
   w_set_cmd_ids : base:int -> stride:int -> unit;
 }
 
-let make_wired ?telemetry protocol net ~leader =
+let make_wired ?telemetry ?(batch_size = 1) ?(batch_delay_us = 0) protocol net
+    ~leader =
+  (* batch_size = 1 leaves [p] untouched, so the default configs reach the
+     runtimes byte-for-byte as before batching existed. *)
+  let batched (p : Types.params) =
+    if batch_size <= 1 then p else { p with batch_size; batch_delay_us }
+  in
   match protocol with
   | Raft | Raft_star | Raft_ll | Raft_pql ->
       let cfg =
@@ -102,6 +112,7 @@ let make_wired ?telemetry protocol net ~leader =
         | Raft_pql -> C.Raft.raft_pql ~leader ()
         | _ -> assert false
       in
+      let cfg = { cfg with C.Raft.params = batched cfg.C.Raft.params } in
       let t = C.Raft.create ?telemetry cfg net in
       C.Raft.start t;
       {
@@ -132,7 +143,9 @@ let make_wired ?telemetry protocol net ~leader =
           (fun ~base ~stride -> C.Raft.set_cmd_ids t ~base ~stride);
       }
   | Mencius ->
-      let t = C.Mencius.create ?telemetry C.Mencius.default_config net in
+      let cfg = C.Mencius.default_config in
+      let cfg = { cfg with C.Mencius.params = batched cfg.C.Mencius.params } in
+      let t = C.Mencius.create ?telemetry cfg net in
       C.Mencius.start t;
       {
         w_instance =
@@ -156,9 +169,11 @@ let make_wired ?telemetry protocol net ~leader =
           (fun ~base ~stride -> C.Mencius.set_cmd_ids t ~base ~stride);
       }
   | Multipaxos ->
-      let t =
-        C.Multipaxos.create ?telemetry ~leader C.Multipaxos.default_config net
+      let cfg = C.Multipaxos.default_config in
+      let cfg =
+        { cfg with C.Multipaxos.params = batched cfg.C.Multipaxos.params }
       in
+      let t = C.Multipaxos.create ?telemetry ~leader cfg net in
       C.Multipaxos.start t;
       {
         w_instance =
@@ -182,8 +197,9 @@ let make_wired ?telemetry protocol net ~leader =
           (fun ~base ~stride -> C.Multipaxos.set_cmd_ids t ~base ~stride);
       }
 
-let make_instance ?telemetry protocol net ~leader =
-  (make_wired ?telemetry protocol net ~leader).w_instance
+let make_instance ?telemetry ?batch_size ?batch_delay_us protocol net ~leader =
+  (make_wired ?telemetry ?batch_size ?batch_delay_us protocol net ~leader)
+    .w_instance
 
 let retry_timeout_us = 20_000_000
 
@@ -215,7 +231,10 @@ let run cfg =
   (match tel with
   | Some tel -> Net.set_metrics net tel.Telemetry.metrics
   | None -> ());
-  let inst = make_instance ?telemetry:tel cfg.protocol net ~leader in
+  let inst =
+    make_instance ?telemetry:tel ~batch_size:cfg.batch_size
+      ~batch_delay_us:cfg.batch_delay_us cfg.protocol net ~leader
+  in
   let wl = Workload.create ~seed:cfg.seed ~regions cfg.workload in
   let read_leader = Stats.create ()
   and read_follower = Stats.create ()

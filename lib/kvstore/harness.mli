@@ -25,6 +25,10 @@ type config = {
   tracing : bool;
       (** additionally capture per-request span traces and the
           per-request latency records (implies telemetry) *)
+  batch_size : int;
+      (** leader-side command batching (see {!Raftpax_consensus.Types.params});
+          1 (the default) reproduces the unbatched runtimes byte-for-byte *)
+  batch_delay_us : int;  (** batching flush timer; meaningless at size 1 *)
 }
 
 val config :
@@ -35,6 +39,8 @@ val config :
   ?seed:int64 ->
   ?telemetry:bool ->
   ?tracing:bool ->
+  ?batch_size:int ->
+  ?batch_delay_us:int ->
   protocol ->
   Workload.spec ->
   config
@@ -94,13 +100,17 @@ type instance = {
 
 val make_instance :
   ?telemetry:Raftpax_telemetry.Telemetry.t ->
+  ?batch_size:int ->
+  ?batch_delay_us:int ->
   protocol ->
   Raftpax_sim.Net.t ->
   leader:int ->
   instance
 (** Create, start and reduce a protocol runtime over [net] with the
     initial leader at replica [leader] (ignored by Mencius, which has no
-    distinguished leader). *)
+    distinguished leader).  [?batch_size] / [?batch_delay_us] (defaults
+    1 / 0) override the protocol's batching knobs; size 1 leaves the
+    default params untouched. *)
 
 (** {1 Wired instances — the real-network runtime's entry point}
 
@@ -131,6 +141,8 @@ type wired = {
 
 val make_wired :
   ?telemetry:Raftpax_telemetry.Telemetry.t ->
+  ?batch_size:int ->
+  ?batch_delay_us:int ->
   protocol ->
   Raftpax_sim.Net.t ->
   leader:int ->

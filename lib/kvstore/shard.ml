@@ -34,11 +34,14 @@ type config = {
   cooldown_s : int;
   seed : int64;
   telemetry : bool;
+  batch_size : int;
+  batch_delay_us : int;
 }
 
 let config ?(protocols = [ Harness.Raft_star ]) ?(placement = Nearest_majority)
     ?(duration_s = 10) ?(warmup_s = 2) ?(cooldown_s = 2) ?(seed = 1L)
-    ?(telemetry = false) ~shards workload =
+    ?(telemetry = false) ?(batch_size = 1) ?(batch_delay_us = 0) ~shards
+    workload =
   if shards < 1 then invalid_arg "Shard.config: shards must be >= 1";
   if protocols = [] then invalid_arg "Shard.config: empty protocol list";
   {
@@ -51,6 +54,8 @@ let config ?(protocols = [ Harness.Raft_star ]) ?(placement = Nearest_majority)
     cooldown_s;
     seed;
     telemetry;
+    batch_size;
+    batch_delay_us;
   }
 
 let group_protocol cfg g = List.nth cfg.protocols (g mod List.length cfg.protocols)
@@ -110,7 +115,8 @@ let run cfg =
     | None -> ());
     let leader = Topology.site_index sites.(g) in
     let inst =
-      Harness.make_instance ?telemetry:tel (group_protocol cfg g) net ~leader
+      Harness.make_instance ?telemetry:tel ~batch_size:cfg.batch_size
+        ~batch_delay_us:cfg.batch_delay_us (group_protocol cfg g) net ~leader
     in
     {
       inst;
@@ -370,6 +376,8 @@ let result_to_json cfg r =
             ("warmup_s", Json.Int cfg.warmup_s);
             ("cooldown_s", Json.Int cfg.cooldown_s);
             ("seed", Json.Int (Int64.to_int cfg.seed));
+            ("batch_size", Json.Int cfg.batch_size);
+            ("batch_delay_us", Json.Int cfg.batch_delay_us);
           ] );
       ("throughput_ops", Json.Float r.throughput_ops);
       ("retries", Json.Int r.retries);

@@ -39,6 +39,10 @@ type config = {
   cooldown_s : int;
   seed : int64;
   telemetry : bool;  (** per-group metric registries *)
+  batch_size : int;
+      (** leader-side command batching applied to every group's protocol;
+          1 (the default) reproduces the unbatched runtimes byte-for-byte *)
+  batch_delay_us : int;  (** batching flush timer; meaningless at size 1 *)
 }
 
 val config :
@@ -49,6 +53,8 @@ val config :
   ?cooldown_s:int ->
   ?seed:int64 ->
   ?telemetry:bool ->
+  ?batch_size:int ->
+  ?batch_delay_us:int ->
   shards:int ->
   Workload.spec ->
   config

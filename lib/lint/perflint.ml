@@ -105,6 +105,13 @@ let default_hot path name =
         "maybe_replicate";
         "send_batch";
         "append_cmd";
+        (* batching flush points: run once per batch, but sit directly on
+           the submit/commit spine, so per-call cost is per-event cost at
+           batch size 1 *)
+        "flush_batch";
+        "flush_accepts";
+        "flush_appends";
+        "claim_own_slot";
       ]
   else if seg "sim" then
     List.mem name [ "run"; "send"; "deliver"; "execute"; "schedule" ]

@@ -133,6 +133,97 @@ let crash protocol =
     ~ops:[ put 11 1; get 11 ]
     ~targets:[ 0; 1 ] ~timer_budget:2 ~crash_budget:1
 
+(* ---- batched variants ---- *)
+
+(* The same scopes with leader-side command batching armed (batch size 2,
+   1 us flush delay): batching is the paper's Section-4 non-mutating
+   optimization, so the checker must reach exactly the verdicts of the
+   unbatched scope while the flush timer and the batch accumulators join
+   the choice set and the state fingerprint.
+
+   Batching only touches the write path, so the batched scopes replace
+   the read with a second write — two puts submitted at two replicas —
+   and steady scopes narrow the fire filter to the flush timers alone:
+   heartbeat/watchdog/lease interleavings are the unbatched scopes' job,
+   and admitting them under the larger budget multiplies the space
+   without testing anything batching-specific.  The model submits ops
+   sequentially (the next only after the previous ack), so every command
+   is a lone size-2 batch that ships only when its flush timer fires:
+   the timer budget grows by one fire per op.  Crash scopes admit the
+   flush timers plus the protocol's failure-recovery timer (Raft's
+   election, Mencius'/MultiPaxos' watchdog) so leader loss, recovery and
+   batched replication interleave, and carry a single write — the
+   crash/restart/recovery choices widen every search layer so much that
+   a two-op goal sits beyond any sane state bound; one op still drives a
+   crash into an armed accumulator and a flush after recovery.  They are
+   bounded hunts, not exhaustive proofs.
+
+   PQL is the exception in the crash scope: its quorum-lease handshake
+   puts the write's ack several message rounds deeper than the other
+   protocols', beyond what a blind bounded search reaches.  A policy
+   prefix commits the batched write deterministically (greedy delivery,
+   firing the flush timer when the batch is all that's left), then hands
+   the post-commit state to exploration for the crash/recovery hunt. *)
+let batchify sc =
+  let batch (p : Types.params) = { p with batch_size = 2; batch_delay_us = 1 } in
+  let protocol = sc.Model.sc_protocol in
+  {
+    sc with
+    Model.sc_name = sc.Model.sc_name ^ "-batched";
+    sc_ops =
+      (if sc.Model.sc_crash_budget = 0 then [ put 11 1; put 12 2 ]
+       else [ put 11 1 ]);
+    sc_targets = (if sc.Model.sc_crash_budget = 0 then [ 0; 1 ] else [ 0 ]);
+    sc_timer_budget =
+      (sc.Model.sc_timer_budget + if sc.Model.sc_crash_budget = 0 then 2 else 1);
+    sc_raft_config =
+      Option.map
+        (fun (c : C.Raft.config) -> { c with params = batch c.params })
+        sc.Model.sc_raft_config;
+    sc_mencius_config =
+      (match protocol with
+      | Cluster.Mencius ->
+          let c = C.Mencius.default_config in
+          Some { c with params = batch c.C.Mencius.params }
+      | _ -> sc.Model.sc_mencius_config);
+    sc_multipaxos_config =
+      (match protocol with
+      | Cluster.Multipaxos ->
+          let c = C.Multipaxos.default_config in
+          Some { c with params = batch c.C.Multipaxos.params }
+      | _ -> sc.Model.sc_multipaxos_config);
+    sc_fire_filter =
+      (if sc.Model.sc_crash_budget = 0 then
+         Some (fun ~node:_ ~label -> label = "flush")
+       else
+         let recovery =
+           match protocol with
+           | Cluster.Raft | Cluster.Raft_star | Cluster.Raft_pql -> "election"
+           | Cluster.Mencius | Cluster.Multipaxos -> "watchdog"
+         in
+         Some (fun ~node:_ ~label -> label = "flush" || label = recovery));
+    sc_policy =
+      (if sc.Model.sc_crash_budget > 0 && protocol = Cluster.Raft_pql then (
+         (* Stop BEFORE the goal: a prefix that already acks the write
+            would short-circuit the checker's exploration entirely.
+            Drain the lease-establishment traffic, put the batched
+            append on the wire, then hand over to the search. *)
+         let fired = ref false in
+         Some
+           (fun w ->
+             if !fired then None
+             else
+               match next_delivery w with
+               | Some d -> Some d
+               | None ->
+                   fired := true;
+                   Some (Model.Fire (0, "flush", 0))))
+       else sc.Model.sc_policy);
+  }
+
+let steady_batched protocol = batchify (steady protocol)
+let crash_batched protocol = batchify (crash protocol)
+
 (* ---- mutation smoke scenarios ---- *)
 
 (* Mencius slot reuse after revocation (the PR-1 bug, re-armed by
@@ -249,39 +340,58 @@ let clean_protocols =
   ]
 
 let by_name name =
-  match String.lowercase_ascii name with
-  | "mencius-slot-reuse" -> Some (mencius_slot_reuse ~mutant:true ())
-  | "mencius-slot-reuse-clean" -> Some (mencius_slot_reuse ~mutant:false ())
-  | "mp-takeover" -> Some (mp_takeover ~mutant:true ())
-  | "mp-takeover-clean" -> Some (mp_takeover ~mutant:false ())
-  | "refine-raft-star" -> Some (refinement ())
-  | s -> (
-      let strip prefix =
-        if String.length s > String.length prefix
-           && String.sub s 0 (String.length prefix) = prefix
-        then
-          Some (String.sub s (String.length prefix)
-                  (String.length s - String.length prefix))
-        else None
-      in
-      match strip "steady-sym-" with
-      | Some p -> (
-          match Cluster.protocol_of_name p with
-          | Some proto when List.mem proto sym_protocols ->
-              Some (steady_sym proto)
-          | _ -> None)
-      | None -> (
-          match strip "steady-" with
-          | Some p -> Option.map steady (Cluster.protocol_of_name p)
-          | None -> (
-              match strip "crash-" with
-              | Some p -> Option.map crash (Cluster.protocol_of_name p)
-              | None -> None)))
+  let rec resolve s =
+    match s with
+    | "mencius-slot-reuse" -> Some (mencius_slot_reuse ~mutant:true ())
+    | "mencius-slot-reuse-clean" -> Some (mencius_slot_reuse ~mutant:false ())
+    | "mp-takeover" -> Some (mp_takeover ~mutant:true ())
+    | "mp-takeover-clean" -> Some (mp_takeover ~mutant:false ())
+    | "refine-raft-star" -> Some (refinement ())
+    | s -> (
+        let strip prefix =
+          if String.length s > String.length prefix
+             && String.sub s 0 (String.length prefix) = prefix
+          then
+            Some (String.sub s (String.length prefix)
+                    (String.length s - String.length prefix))
+          else None
+        in
+        let strip_suffix suffix =
+          let n = String.length s and m = String.length suffix in
+          if n > m && String.sub s (n - m) m = suffix then
+            Some (String.sub s 0 (n - m))
+          else None
+        in
+        (* "<steady|crash>-<proto>-batched": resolve the unbatched scope,
+           then arm batching on it. *)
+        match strip_suffix "-batched" with
+        | Some inner
+          when Option.is_some (strip "steady-") || Option.is_some (strip "crash-")
+          ->
+            Option.map batchify (resolve inner)
+        | _ -> (
+            match strip "steady-sym-" with
+            | Some p -> (
+                match Cluster.protocol_of_name p with
+                | Some proto when List.mem proto sym_protocols ->
+                    Some (steady_sym proto)
+                | _ -> None)
+            | None -> (
+                match strip "steady-" with
+                | Some p -> Option.map steady (Cluster.protocol_of_name p)
+                | None -> (
+                    match strip "crash-" with
+                    | Some p -> Option.map crash (Cluster.protocol_of_name p)
+                    | None -> None))))
+  in
+  resolve (String.lowercase_ascii name)
 
 let names =
   List.map (fun p -> (steady p).Model.sc_name) clean_protocols
   @ List.map (fun p -> (steady_sym p).Model.sc_name) sym_protocols
+  @ List.map (fun p -> (steady_batched p).Model.sc_name) clean_protocols
   @ List.map (fun p -> (crash p).Model.sc_name) clean_protocols
+  @ List.map (fun p -> (crash_batched p).Model.sc_name) clean_protocols
   @ [
       "mencius-slot-reuse";
       "mencius-slot-reuse-clean";

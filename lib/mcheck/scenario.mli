@@ -27,6 +27,15 @@ val steady_sym_off : Raftpax_nemesis.Cluster.protocol -> Model.scenario
     asserting the quotient shrinks the visited set with identical
     verdicts. *)
 
+val batchify : Model.scenario -> Model.scenario
+(** Arm leader-side command batching (batch size 2, 1 us flush delay) on
+    a scope: the flush timer and batch accumulators join the choice set
+    and fingerprint, and the checker must reach exactly the unbatched
+    scope's verdicts — batching is non-mutating (paper Section 4). *)
+
+val steady_batched : Raftpax_nemesis.Cluster.protocol -> Model.scenario
+val crash_batched : Raftpax_nemesis.Cluster.protocol -> Model.scenario
+
 val sym_protocols : Raftpax_nemesis.Cluster.protocol list
 (** Protocols whose node ids are fully renamable (everything but
     Mencius, whose slot ownership is positional). *)
@@ -50,8 +59,8 @@ val clean_protocols : Raftpax_nemesis.Cluster.protocol list
 
 val by_name : string -> Model.scenario option
 (** CLI lookup: ["steady-<protocol>"], ["steady-sym-<protocol>"],
-    ["crash-<protocol>"], the mutation scenarios and ["refine-raft-star"].
-    Scenario values hold single-use policy state — look up a fresh one
-    per check. *)
+    ["crash-<protocol>"], their ["-batched"] suffixed variants, the
+    mutation scenarios and ["refine-raft-star"].  Scenario values hold
+    single-use policy state — look up a fresh one per check. *)
 
 val names : string list

@@ -48,9 +48,14 @@ let fifo_required = function
   | Mencius -> true
   | Raft | Raft_star | Raft_pql | Multipaxos -> false
 
-let make ?telemetry ?raft_config ?mencius_config ?multipaxos_config protocol
-    net =
+let make ?telemetry ?(batch_size = 1) ?(batch_delay_us = 0) ?raft_config
+    ?mencius_config ?multipaxos_config protocol net =
   let n = Net.size net in
+  (* At size 1 the params are passed through untouched, so an unbatched
+     cluster is byte-identical to one built before batching existed. *)
+  let batched (p : Types.params) =
+    if batch_size <= 1 then p else { p with Types.batch_size; batch_delay_us }
+  in
   match protocol with
   | Raft | Raft_star | Raft_pql ->
       let cfg =
@@ -62,6 +67,7 @@ let make ?telemetry ?raft_config ?mencius_config ?multipaxos_config protocol
             | Raft_star -> C.Raft.raft_star ~leader:0 ()
             | _ -> C.Raft.raft_pql ~leader:0 ())
       in
+      let cfg = { cfg with C.Raft.params = batched cfg.C.Raft.params } in
       let r = C.Raft.create ?telemetry cfg net in
       C.Raft.start r;
       {
@@ -111,6 +117,7 @@ let make ?telemetry ?raft_config ?mencius_config ?multipaxos_config protocol
       let cfg =
         Option.value ~default:C.Mencius.default_config mencius_config
       in
+      let cfg = { cfg with C.Mencius.params = batched cfg.C.Mencius.params } in
       let m = C.Mencius.create ?telemetry cfg net in
       C.Mencius.start m;
       {
@@ -138,6 +145,9 @@ let make ?telemetry ?raft_config ?mencius_config ?multipaxos_config protocol
   | Multipaxos ->
       let cfg =
         Option.value ~default:C.Multipaxos.default_config multipaxos_config
+      in
+      let cfg =
+        { cfg with C.Multipaxos.params = batched cfg.C.Multipaxos.params }
       in
       let mp = C.Multipaxos.create ?telemetry ~leader:0 cfg net in
       C.Multipaxos.start mp;

@@ -61,6 +61,8 @@ type t = {
 
 val make :
   ?telemetry:Raftpax_telemetry.Telemetry.t ->
+  ?batch_size:int ->
+  ?batch_delay_us:int ->
   ?raft_config:Raftpax_consensus.Raft.config ->
   ?mencius_config:Raftpax_consensus.Mencius.config ->
   ?multipaxos_config:Raftpax_consensus.Multipaxos.config ->
@@ -72,4 +74,7 @@ val make :
     [?telemetry] is forwarded to the runtime's [create]; the per-protocol
     config overrides let the model checker inject mutation flags and
     election-scope configs (each applies only to its own protocol and
-    defaults to the standard config). *)
+    defaults to the standard config).  [?batch_size] / [?batch_delay_us]
+    arm leader-side command batching on whichever config is resolved; the
+    default size 1 leaves the params untouched, reproducing the unbatched
+    runtimes byte-for-byte. *)

@@ -17,11 +17,14 @@ type config = {
   capture_messages : bool;
   debug_invariants : bool;
   actions : Schedule.action list;
+  batch_size : int;
+  batch_delay_us : int;
 }
 
 let config ?(chaos_steps = 30) ?(clients = 4) ?(read_pct = 50) ?(hot_pct = 30)
     ?(capture_messages = true) ?(debug_invariants = true)
-    ?(actions = Schedule.default) protocol ~seed =
+    ?(actions = Schedule.default) ?(batch_size = 1) ?(batch_delay_us = 0)
+    protocol ~seed =
   {
     protocol;
     seed;
@@ -32,6 +35,8 @@ let config ?(chaos_steps = 30) ?(clients = 4) ?(read_pct = 50) ?(hot_pct = 30)
     capture_messages;
     debug_invariants;
     actions;
+    batch_size;
+    batch_delay_us;
   }
 
 type report = {
@@ -85,7 +90,10 @@ let run cfg =
     Telemetry.create ~tracing:true ~n:(List.length nodes) ()
   in
   Net.set_metrics net telemetry.Telemetry.metrics;
-  let cluster = Cluster.make ~telemetry cfg.protocol net in
+  let cluster =
+    Cluster.make ~telemetry ~batch_size:cfg.batch_size
+      ~batch_delay_us:cfg.batch_delay_us cfg.protocol net
+  in
   let n = cluster.Cluster.n in
   let trace = Trace.create () in
   if cfg.capture_messages then

@@ -32,6 +32,11 @@ type config = {
           oracles doubling as a continuous sanitizer; a violation is
           traced as an [INVARIANT] line and fails the run *)
   actions : Schedule.action list;
+  batch_size : int;
+      (** leader-side command batching on the cluster's protocol config;
+          1 (the default) reproduces the unbatched runtimes
+          byte-for-byte *)
+  batch_delay_us : int;  (** batching flush timer; meaningless at size 1 *)
 }
 
 val config :
@@ -42,12 +47,14 @@ val config :
   ?capture_messages:bool ->
   ?debug_invariants:bool ->
   ?actions:Schedule.action list ->
+  ?batch_size:int ->
+  ?batch_delay_us:int ->
   Cluster.protocol ->
   seed:int ->
   config
 (** Defaults: 30 chaos steps, 4 clients, 50% reads, 30% hot-key ops,
     message capture on, invariant sanitizer on, {!Schedule.default}
-    actions. *)
+    actions, batching off (size 1). *)
 
 type report = {
   cfg : config;

@@ -14,6 +14,10 @@ let malformed what = raise (Err (Malformed what))
 type writer = Buffer.t
 
 let writer () = Buffer.create 256
+let writer_sized n = Buffer.create n
+let reset = Buffer.clear
+let length = Buffer.length
+let blit = Buffer.blit
 let to_string = Buffer.contents
 let put_byte w v = Buffer.add_char w (Char.chr (v land 0xff))
 

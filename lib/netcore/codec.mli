@@ -15,6 +15,17 @@ val error_to_string : error -> string
 type writer
 
 val writer : unit -> writer
+
+val writer_sized : int -> writer
+(** A writer with [n] bytes preallocated — for long-lived per-connection
+    scratch buffers that are {!reset} between frames instead of
+    reallocated. *)
+
+val reset : writer -> unit
+(** Empty the writer, keeping its internal storage for reuse. *)
+
+val length : writer -> int
+val blit : writer -> int -> bytes -> int -> int -> unit
 val to_string : writer -> string
 val put_byte : writer -> int -> unit
 (** Low 8 bits, verbatim — used for tags and version bytes. *)

@@ -19,6 +19,19 @@ let encode payload =
   Bytes.blit_string payload 0 b 4 n;
   Bytes.unsafe_to_string b
 
+(* Frame straight out of a scratch writer: one allocation (the framed
+   string), no intermediate payload string. *)
+let encode_writer w =
+  let n = Codec.length w in
+  if n >= max_frame then invalid_arg "Framing.encode_writer: payload too large";
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Codec.blit w 0 b 4 n;
+  Bytes.unsafe_to_string b
+
 type reassembler = { mutable acc : string }
 
 let reassembler () = { acc = "" }

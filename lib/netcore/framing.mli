@@ -9,6 +9,13 @@ val encode : string -> string
 (** Prefix a payload with its length.  @raise Invalid_argument if the
     payload is [max_frame] bytes or larger. *)
 
+val encode_writer : Codec.writer -> string
+(** [encode] of the writer's contents without materialising an
+    intermediate payload string: the framed string is the only
+    allocation.  Pair with {!Wire.encode_frame_into} and a per-connection
+    scratch writer for an allocation-free send path (bar the queued
+    frame itself). *)
+
 type error = Frame_too_large of int
 
 type reassembler

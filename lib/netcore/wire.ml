@@ -1,8 +1,10 @@
 (* Versioned binary encoding for every protocol message and the
    client/peer session frames.  One byte of version, one byte of frame
    tag, then tag-specific fields via Codec; protocol messages carry a
-   protocol byte and a constructor tag.  Adding a constructor means a new
-   tag and a version bump — the golden-vector test pins the format. *)
+   protocol byte and a constructor tag.  New constructors append new tags
+   (additive, existing encodings unchanged); changing an existing tag's
+   layout means a version bump — the golden-vector test pins the
+   format. *)
 
 module Types = Raftpax_consensus.Types
 module Raft = Raftpax_consensus.Raft
@@ -251,6 +253,21 @@ let put_mencius w (m : Mencius.msg) =
       C.put_byte w 9;
       C.put_int w cmd_id;
       put_reply w reply
+  | MAppendMulti { from; items } ->
+      C.put_byte w 10;
+      C.put_int w from;
+      C.put_list
+        (fun w (inst, cmd) ->
+          C.put_int w inst;
+          put_cmd w cmd)
+        w items
+  | MAckMulti { from; insts } ->
+      C.put_byte w 11;
+      C.put_int w from;
+      C.put_list C.put_int w insts
+  | MCommitMulti { insts } ->
+      C.put_byte w 12;
+      C.put_list C.put_int w insts
 
 let get_mencius r : Mencius.msg =
   match C.u8 r with
@@ -296,6 +313,22 @@ let get_mencius r : Mencius.msg =
       let cmd_id = C.get_int r in
       let reply = get_reply r in
       Complete { cmd_id; reply }
+  | 10 ->
+      let from = C.get_int r in
+      let items =
+        C.get_list
+          (fun r ->
+            let inst = C.get_int r in
+            let cmd = get_cmd r in
+            (inst, cmd))
+          r
+      in
+      MAppendMulti { from; items }
+  | 11 ->
+      let from = C.get_int r in
+      let insts = C.get_list C.get_int r in
+      MAckMulti { from; insts }
+  | 12 -> MCommitMulti { insts = C.get_list C.get_int r }
   | _ -> C.malformed "mencius tag"
 
 (* ---- MultiPaxos ---- *)
@@ -338,6 +371,27 @@ let put_multipaxos w (m : Multipaxos.msg) =
       C.put_byte w 6;
       C.put_int w cmd_id;
       put_reply w reply
+  | AcceptMulti { bal; from; items } ->
+      C.put_byte w 7;
+      C.put_int w bal;
+      C.put_int w from;
+      C.put_list
+        (fun w (inst, cmd) ->
+          C.put_int w inst;
+          C.put_option put_cmd w cmd)
+        w items
+  | AcceptOkMulti { bal; from; insts } ->
+      C.put_byte w 8;
+      C.put_int w bal;
+      C.put_int w from;
+      C.put_list C.put_int w insts
+  | LearnMulti { items } ->
+      C.put_byte w 9;
+      C.put_list
+        (fun w (inst, cmd) ->
+          C.put_int w inst;
+          C.put_option put_cmd w cmd)
+        w items
 
 let get_multipaxos r : Multipaxos.msg =
   match C.u8 r with
@@ -378,6 +432,33 @@ let get_multipaxos r : Multipaxos.msg =
       let cmd_id = C.get_int r in
       let reply = get_reply r in
       Complete { cmd_id; reply }
+  | 7 ->
+      let bal = C.get_int r in
+      let from = C.get_int r in
+      let items =
+        C.get_list
+          (fun r ->
+            let inst = C.get_int r in
+            let cmd = C.get_option get_cmd r in
+            (inst, cmd))
+          r
+      in
+      AcceptMulti { bal; from; items }
+  | 8 ->
+      let bal = C.get_int r in
+      let from = C.get_int r in
+      let insts = C.get_list C.get_int r in
+      AcceptOkMulti { bal; from; insts }
+  | 9 ->
+      let items =
+        C.get_list
+          (fun r ->
+            let inst = C.get_int r in
+            let cmd = C.get_option get_cmd r in
+            (inst, cmd))
+          r
+      in
+      LearnMulti { items }
   | _ -> C.malformed "multipaxos tag"
 
 (* ---- protocol envelope ---- *)
@@ -452,10 +533,14 @@ let get_frame r =
       Snapshot_reply { node; committed; snapshot }
   | _ -> C.malformed "frame tag"
 
+let encode_frame_into w f =
+  C.reset w;
+  C.put_byte w version;
+  put_frame w f
+
 let encode_frame f =
   let w = C.writer () in
-  C.put_byte w version;
-  put_frame w f;
+  encode_frame_into w f;
   C.to_string w
 
 let decode_frame s =

@@ -26,4 +26,10 @@ type frame =
           committed-op count it covers *)
 
 val encode_frame : frame -> string
+
+val encode_frame_into : Codec.writer -> frame -> unit
+(** Reset [w] and encode the frame into it (version byte + body).
+    Combined with {!Framing.encode_writer}, a long-lived scratch writer
+    makes the send path allocate only the final framed string. *)
+
 val decode_frame : string -> (frame, Codec.error) result

@@ -11,6 +11,10 @@
    Regenerate goldens (after an *intentional* behavior change only) with
 
      HOTPATH_PRINT=1 dune exec test/test_hotpath.exe
+
+   and the batched-mode table with
+
+     HOTPATH_PRINT=1 HOTPATH_BATCH=16,2000 dune exec test/test_hotpath.exe
 *)
 
 module Sim = Raftpax_sim
@@ -53,12 +57,12 @@ let fnv1a (s : string) : string =
 
    Everything is simulated, so the committed history is a deterministic
    function of (protocol, seed). *)
-let run_scenario protocol seed =
+let run_scenario ?(batch_size = 1) ?(batch_delay_us = 0) protocol seed =
   let engine = Engine.create ~seed:(Int64.of_int seed) () in
   let nodes = List.mapi (fun i site -> { Net.id = i; site }) Topology.sites in
   let net = Net.create engine ~nodes in
   let regions = List.length Topology.sites in
-  let cluster = Cluster.make protocol net in
+  let cluster = Cluster.make ~batch_size ~batch_delay_us protocol net in
   let wl =
     Workload.create ~seed:(Int64.of_int seed) ~regions
       {
@@ -171,7 +175,32 @@ let goldens =
     ("MultiPaxos/seed12", "7db9382849121278");
   ]
 
-let test_goldens () =
+(* The same scenario with leader-side batching armed (engine-bench
+   knobs: size 16, 2 ms flush).  Batched histories legitimately differ
+   from unbatched ones — replication interleaves differently — so they
+   get their own golden table pinning the batched commit order. *)
+let batch_knobs = (16, 2_000)
+
+let batched_goldens =
+  [
+    ("Raft/seed2", "71ebb2f5484b2176");
+    ("Raft/seed6", "8751039ae3af2952");
+    ("Raft/seed12", "1c8218caedfa7156");
+    ("Raft*/seed2", "6ad8854605a3a608");
+    ("Raft*/seed6", "8751039ae3af2952");
+    ("Raft*/seed12", "1b43da1c2fee063b");
+    ("Raft*-PQL/seed2", "fb0ffd52ac1009c2");
+    ("Raft*-PQL/seed6", "2496d20a371f1509");
+    ("Raft*-PQL/seed12", "b7195c35bb7f5e49");
+    ("Raft*-Mencius/seed2", "0bcc052b7ca66b47");
+    ("Raft*-Mencius/seed6", "c9733652de3f240a");
+    ("Raft*-Mencius/seed12", "dddeef4d8fe3df81");
+    ("MultiPaxos/seed2", "471dd25a761b2f75");
+    ("MultiPaxos/seed6", "bfb5c994a1c1a966");
+    ("MultiPaxos/seed12", "0b425fd48fc49f48");
+  ]
+
+let check_goldens ?batch_size ?batch_delay_us table () =
   List.iter
     (fun protocol ->
       List.iter
@@ -179,11 +208,29 @@ let test_goldens () =
           let name =
             Printf.sprintf "%s/seed%d" (Cluster.protocol_name protocol) seed
           in
-          let got = run_scenario protocol seed in
-          match List.assoc_opt name goldens with
+          let got = run_scenario ?batch_size ?batch_delay_us protocol seed in
+          match List.assoc_opt name table with
           | Some want -> Alcotest.(check string) name want got
           | None -> Alcotest.failf "no golden for %s (got %s)" name got)
         seeds)
+    Cluster.all_protocols
+
+let test_goldens = check_goldens goldens
+
+let test_batched_goldens =
+  check_goldens ~batch_size:(fst batch_knobs) ~batch_delay_us:(snd batch_knobs)
+    batched_goldens
+
+(* batch_size = 1 must reproduce the unbatched histories byte-for-byte
+   whatever the flush delay says — the accumulator paths are bypassed
+   entirely, so the *committed* goldens are the oracle, not a separate
+   table. *)
+let test_batch1_identity () =
+  List.iter
+    (fun protocol ->
+      let name = Printf.sprintf "%s/seed2" (Cluster.protocol_name protocol) in
+      let got = run_scenario ~batch_size:1 ~batch_delay_us:2_000 protocol 2 in
+      Alcotest.(check string) name (List.assoc name goldens) got)
     Cluster.all_protocols
 
 let print_goldens () =
@@ -192,6 +239,14 @@ let print_goldens () =
     | None -> seeds
     | Some s -> String.split_on_char ',' s |> List.map int_of_string
   in
+  let batch_size, batch_delay_us =
+    match Sys.getenv_opt "HOTPATH_BATCH" with
+    | None -> (1, 0)
+    | Some s -> (
+        match String.split_on_char ',' s with
+        | [ b; d ] -> (int_of_string b, int_of_string d)
+        | _ -> failwith "HOTPATH_BATCH=<size>,<delay_us>")
+  in
   List.iter
     (fun protocol ->
       List.iter
@@ -199,7 +254,8 @@ let print_goldens () =
           Printf.eprintf "RUN %s/seed%d\n%!" (Cluster.protocol_name protocol) seed;
           Printf.printf "    (\"%s/seed%d\", \"%s\");\n"
             (Cluster.protocol_name protocol)
-            seed (run_scenario protocol seed))
+            seed
+            (run_scenario ~batch_size ~batch_delay_us protocol seed))
         seeds)
     Cluster.all_protocols
 
@@ -221,6 +277,10 @@ let () =
         ( "differential",
           [
             Alcotest.test_case "golden digests" `Slow test_goldens;
+            Alcotest.test_case "batched golden digests" `Slow
+              test_batched_goldens;
+            Alcotest.test_case "batch=1 reproduces unbatched goldens" `Slow
+              test_batch1_identity;
             QCheck_alcotest.to_alcotest determinism;
           ] );
       ]

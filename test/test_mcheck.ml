@@ -117,6 +117,48 @@ let symmetry_case proto () =
     (on.r_goal_reached = off.r_goal_reached
     && on.r_complete = off.r_complete)
 
+(* Batching is non-mutating (paper Section 4): arming leader-side
+   batching on a clean scope must leave the verdicts untouched —
+   exhaustive search, goal reached, nothing flagged — with the flush
+   timer and batch accumulators now part of the choice set and the
+   fingerprints, so the claim holds over every interleaving of flush
+   against delivery and not just one schedule. *)
+let steady_batched_case proto () =
+  assert_clean
+    (MC.Checker.check ~max_states:2_000_000 (MC.Scenario.steady_batched proto))
+
+(* Full verdict equivalence on the one protocol whose plain steady
+   space is quick-suite cheap: the batched scope must reach exactly the
+   unbatched scope's verdict triple. *)
+let batched_equivalence_case () =
+  let plain =
+    MC.Checker.check ~max_states:2_000_000 (MC.Scenario.steady Cluster.Multipaxos)
+  in
+  let batched =
+    MC.Checker.check ~max_states:2_000_000
+      (MC.Scenario.steady_batched Cluster.Multipaxos)
+  in
+  assert_clean plain;
+  assert_clean batched;
+  Alcotest.(check bool) "verdict triples agree" true
+    (plain.r_goal_reached = batched.r_goal_reached
+    && plain.r_complete = batched.r_complete
+    && (plain.r_violation = None) = (batched.r_violation = None))
+
+(* Crash scopes are bounded hunts — the crash choice widens every BFS
+   layer past exhaustibility — so the batched fault scope must commit
+   its batch and flag nothing across the explored region; completeness
+   is not demanded. *)
+let crash_batched_case proto () =
+  let r =
+    MC.Checker.check ~max_states:60_000 (MC.Scenario.crash_batched proto)
+  in
+  (match r.r_violation with
+  | Some v ->
+      Alcotest.failf "%s: unexpected violation: %s" r.r_scenario v.v_reason
+  | None -> ());
+  Alcotest.(check bool) "goal reached" true r.r_goal_reached
+
 let refinement_case () =
   let r = MC.Refine.check () in
   (match r.r_failure with
@@ -175,6 +217,21 @@ let () =
           Alcotest.test_case "replay determinism" `Quick replay_determinism_case;
           Alcotest.test_case "schedule round-trips" `Quick
             schedule_roundtrip_case;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "batched steady raft exhaustive" `Quick
+            (steady_batched_case Cluster.Raft);
+          Alcotest.test_case "batched steady multipaxos exhaustive" `Quick
+            (steady_batched_case Cluster.Multipaxos);
+          Alcotest.test_case "batched steady mencius exhaustive" `Quick
+            (steady_batched_case Cluster.Mencius);
+          Alcotest.test_case "batched steady raft-pql exhaustive" `Slow
+            (steady_batched_case Cluster.Raft_pql);
+          Alcotest.test_case "batched vs plain multipaxos verdicts" `Quick
+            batched_equivalence_case;
+          Alcotest.test_case "batched crash multipaxos hunt" `Slow
+            (crash_batched_case Cluster.Multipaxos);
         ] );
       ( "refinement",
         [ Alcotest.test_case "raft-star refines multipaxos" `Slow refinement_case ] );

@@ -113,6 +113,17 @@ let gen_mencius_msg =
         map2
           (fun cmd_id reply -> Mencius.Complete { cmd_id; reply })
           (int_bound 1_000_000) gen_reply;
+        map2
+          (fun from items -> Mencius.MAppendMulti { from; items })
+          (int_bound 8)
+          (small_list (pair (int_bound 1000) gen_cmd));
+        map2
+          (fun from insts -> Mencius.MAckMulti { from; insts })
+          (int_bound 8)
+          (small_list (int_bound 1000));
+        map
+          (fun insts -> Mencius.MCommitMulti { insts })
+          (small_list (int_bound 1000));
       ])
 
 let gen_multipaxos_msg =
@@ -141,6 +152,17 @@ let gen_multipaxos_msg =
         map2
           (fun cmd_id reply -> Multipaxos.Complete { cmd_id; reply })
           (int_bound 1_000_000) gen_reply;
+        map
+          (fun (bal, from, items) -> Multipaxos.AcceptMulti { bal; from; items })
+          (triple (int_bound 50) (int_bound 8)
+             (small_list (pair (int_bound 1000) (option gen_cmd))));
+        map
+          (fun (bal, from, insts) ->
+            Multipaxos.AcceptOkMulti { bal; from; insts })
+          (triple (int_bound 50) (int_bound 8) (small_list (int_bound 1000)));
+        map
+          (fun items -> Multipaxos.LearnMulti { items })
+          (small_list (pair (int_bound 1000) (option gen_cmd)));
       ])
 
 let gen_protocol_msg =
@@ -296,6 +318,65 @@ let test_golden () =
     "golden decodes" true
     (Wire.decode_frame (Wire.encode_frame golden_frame) = Ok golden_frame)
 
+(* A second pin for the batched replication path: an [AcceptMulti]
+   carrying a two-command flush.  The Multi constructors were appended
+   to each protocol's tag space, so this vector changing — or the
+   original one above — is a format break. *)
+let golden_batched_frame =
+  Wire.Peer_msg
+    {
+      src = 0;
+      dst = 2;
+      msg =
+        Wire.Multipaxos_msg
+          (Multipaxos.AcceptMulti
+             {
+               bal = 4;
+               from = 0;
+               items =
+                 [
+                   ( 11,
+                     Some
+                       {
+                         Types.id = 7;
+                         op = Types.Put { key = 5; size = 8; write_id = 3 };
+                         origin = 0;
+                         submitted_us = 900;
+                       } );
+                   (12, None);
+                 ];
+             });
+    }
+
+let golden_batched_hex = "01010004020708000216010e010a100600880e1800"
+
+let test_golden_batched () =
+  Alcotest.(check string)
+    "batched golden bytes" golden_batched_hex
+    (hex_of (Wire.encode_frame golden_batched_frame));
+  Alcotest.(check bool)
+    "batched golden decodes" true
+    (Wire.decode_frame (Wire.encode_frame golden_batched_frame)
+    = Ok golden_batched_frame)
+
+(* The single-allocation send path must be byte-equivalent to the
+   allocating one: encoding into a reused writer then framing it with
+   [Framing.encode_writer] yields the same stream as [Framing.encode
+   (Wire.encode_frame f)] — for every frame, reusing one writer across
+   the whole sequence. *)
+let writer_equivalence =
+  Test.make ~name:"encode_writer equals encode o encode_frame" ~count:200
+    (QCheck.make (Gen.small_list gen_frame))
+    (fun frames ->
+      let scratch = Codec.writer_sized 64 in
+      List.for_all
+        (fun f ->
+          Wire.encode_frame_into scratch f;
+          String.equal
+            (Framing.encode_writer scratch)
+            (Framing.encode (Wire.encode_frame f)))
+        frames)
+
 (* ---- framing ---- *)
 
 let framing_chunks =
@@ -375,6 +456,9 @@ let () =
           Alcotest.test_case "version and garbage rejected" `Quick
             test_bad_version;
           Alcotest.test_case "golden byte vector" `Quick test_golden;
+          Alcotest.test_case "batched golden byte vector" `Quick
+            test_golden_batched;
+          QCheck_alcotest.to_alcotest writer_equivalence;
         ] );
       ( "framing",
         [
