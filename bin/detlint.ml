@@ -1,10 +1,7 @@
-(* detlint CLI — the raw binary CI runs (see also `repro lint`).
+(* detlint CLI — the determinism-discipline lint (see also `repro lint`).
 
    Usage: detlint [options] [paths...]
    Lints every .ml under the given files/directories (default:
    lib bin bench) and exits 1 on any unsuppressed finding. *)
 
-let () =
-  Raftpax_lint.Cli.run ~tool:"detlint"
-    ~default_paths:[ "lib"; "bin"; "bench" ]
-    ~rules:Raftpax_lint.Lint.rules ~lint_paths:Raftpax_lint.Lint.lint_paths ()
+let () = Raftpax_lint.Cli.main "detlint"

@@ -5,7 +5,4 @@
    Lints every .ml under the given files/directories (default: lib)
    and exits 1 on any unsuppressed finding. *)
 
-let () =
-  Raftpax_lint.Cli.run ~tool:"perflint" ~default_paths:[ "lib" ]
-    ~rules:Raftpax_lint.Perflint.rules
-    ~lint_paths:Raftpax_lint.Perflint.lint_paths ()
+let () = Raftpax_lint.Cli.main "perflint"

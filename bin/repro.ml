@@ -10,7 +10,7 @@
      nemesis     deterministic fault-injection sweep
      mcheck      explicit-state model checking of the real runtimes
      topology    print the WAN model
-     lint        determinism & protocol-discipline static analysis
+     lint        static analysis: detlint + perflint + parlint
      net         real-network loopback demo / sim-vs-net cross-check *)
 
 open Cmdliner
@@ -724,58 +724,83 @@ let topology_cmd =
 
 (* ---- lint ---- *)
 
-let run_lint paths baseline perf_baseline list_rules json =
+let run_lint paths baseline perf_baseline par_baseline list_rules json =
   if list_rules then begin
-    let table tool rules =
-      Fmt.pr "%s:@." tool;
-      List.iter
-        (fun (r : Lint.Lint.rule) ->
-          Fmt.pr "  %-26s %-7s %s@." r.id
-            (Lint.Finding.severity_name r.severity)
-            r.summary)
-        rules
-    in
-    table "detlint" Lint.Lint.rules;
-    table "perflint" Lint.Perflint.rules;
+    List.iter
+      (fun (p : Lint.Registry.pass) ->
+        Fmt.pr "%s:@." p.tool;
+        List.iter
+          (fun (r : Lint.Lint.rule) ->
+            Fmt.pr "  %-26s %-7s %s@." r.id
+              (Lint.Finding.severity_name r.severity)
+              r.summary)
+          p.rules)
+      Lint.Registry.passes;
     0
   end
   else begin
-    (* Both passes run over the same paths; each rule self-scopes by
-       path, so perflint contributes nothing outside lib/. *)
-    let pass lint_paths baseline =
-      let findings = lint_paths paths in
-      let bl =
-        match baseline with
-        | None -> Lint.Baseline.empty
-        | Some p -> Lint.Baseline.load p
-      in
-      let unsuppressed =
-        List.filter (fun f -> not (Lint.Baseline.mem bl f)) findings
-      in
-      (unsuppressed, Lint.Baseline.stale bl findings)
+    (* All three passes run from the registry.  With no explicit paths
+       each pass scans its own default tree (perflint only judges lib/,
+       parlint also reads test/); explicit paths apply to every pass. *)
+    let baseline_for tool =
+      match tool with
+      | "detlint" -> baseline
+      | "perflint" -> perf_baseline
+      | "parlint" -> par_baseline
+      | _ -> None
     in
-    let det, det_stale = pass Lint.Lint.lint_paths baseline in
-    let perf, perf_stale = pass Lint.Perflint.lint_paths perf_baseline in
-    let unsuppressed = List.sort Lint.Finding.compare (det @ perf) in
+    let results =
+      List.map
+        (fun (p : Lint.Registry.pass) ->
+          let roots = match paths with [] -> p.default_paths | _ -> paths in
+          let findings = p.lint_paths roots in
+          let bl =
+            match baseline_for p.tool with
+            | None -> Lint.Baseline.empty
+            | Some path -> Lint.Baseline.load path
+          in
+          let unsuppressed =
+            List.filter (fun f -> not (Lint.Baseline.mem bl f)) findings
+          in
+          let grandfathered =
+            List.length findings - List.length unsuppressed
+          in
+          let stale = Lint.Baseline.stale bl findings in
+          let files = List.length (p.collect roots) in
+          (p.tool, files, unsuppressed, grandfathered, stale))
+        Lint.Registry.passes
+    in
+    let unsuppressed =
+      List.sort Lint.Finding.compare
+        (List.concat_map (fun (_, _, u, _, _) -> u) results)
+    in
     if json then print_endline (Lint.Finding.render_json unsuppressed)
     else begin
       List.iter (fun f -> print_endline (Lint.Finding.render f)) unsuppressed;
       List.iter
-        (fun key -> Fmt.pr "stale baseline entry: %s@." key)
-        (det_stale @ perf_stale);
-      Fmt.pr "lint: %d finding(s) in %d file(s)@."
-        (List.length unsuppressed)
-        (List.length (Lint.Lint.collect_files paths))
+        (fun (tool, files, u, grandfathered, stale) ->
+          List.iter
+            (fun key -> Fmt.pr "%s: stale baseline entry: %s@." tool key)
+            stale;
+          Fmt.pr "%s: %d file(s), %d finding(s) (%d grandfathered)@." tool
+            files (List.length u) grandfathered)
+        results
     end;
-    if unsuppressed = [] then 0 else 1
+    let any_stale =
+      List.exists (fun (_, _, _, _, stale) -> stale <> []) results
+    in
+    match (unsuppressed, any_stale) with [], false -> 0 | _ -> 1
   end
 
 let lint_cmd =
   let paths =
     Arg.(
-      value
-      & pos_all string [ "lib"; "bin"; "bench" ]
-      & info [] ~docv:"PATH" ~doc:"Files or directories to lint.")
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Files or directories to lint.  Default: each pass's own tree \
+             (detlint: lib bin bench; perflint: lib; parlint: lib bin bench \
+             test).")
   in
   let baseline =
     Arg.(
@@ -789,23 +814,41 @@ let lint_cmd =
       & opt (some string) None
       & info [ "perf-baseline" ] ~doc:"Grandfathered perflint findings file.")
   in
+  let par_baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "par-baseline" ] ~doc:"Grandfathered parlint findings file.")
+  in
   let list_rules =
-    Arg.(value & flag & info [ "list-rules" ] ~doc:"Print both rule tables.")
+    Arg.(
+      value & flag & info [ "list-rules" ] ~doc:"Print every pass's rule table.")
   in
   let json =
     Arg.(
       value & flag
       & info [ "json" ]
-          ~doc:"Print unsuppressed findings as a JSON array on stdout.")
+          ~doc:
+            "Print the merged unsuppressed findings of all passes as one \
+             sorted JSON array on stdout.")
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Static analysis over the OCaml sources: the determinism & \
-          protocol-discipline pass (detlint) and the hot-path cost pass \
-          (perflint), combined (exit 1 on any unsuppressed finding).")
+          protocol-discipline pass (detlint), the hot-path cost pass \
+          (perflint) and the cross-protocol parity pass (parlint), \
+          combined.  Exits 0 when every pass is clean; exits 1 if any pass \
+          reports an unsuppressed finding or a stale baseline entry."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"every pass clean";
+           Cmd.Exit.info 1
+             ~doc:"unsuppressed findings or stale baseline entries";
+         ])
     Term.(
-      const run_lint $ paths $ baseline $ perf_baseline $ list_rules $ json)
+      const run_lint $ paths $ baseline $ perf_baseline $ par_baseline
+      $ list_rules $ json)
 
 (* ---- net: the real-network runtime ---- *)
 

@@ -11,19 +11,46 @@ let key_of = function Get { key } -> key | Put { key; _ } -> key
 type entry = { term : int; cmd : cmd option }
 type reply = { value : int option }
 
+(* parlint's knob-threading rule holds every field here to the
+   six-surface porting discipline (Harness/Shard/Nemesis configs, the
+   shard JSON emitter, a bench flag).  Fields that are engine-model
+   constants rather than per-run knobs — only ever overridden via
+   [{ default_params with ... }] at bench ablation sites — carry the
+   reason inline. *)
 type params = {
   pipeline_window : int;
+      [@lint.allow
+        "knob-threading"
+        "replication-model constant; the pipelining ablation overrides it \
+         via default_params, it is not a per-run config surface"]
   cpu_leader_op_us : int;
+      [@lint.allow "knob-threading" "engine CPU cost-model constant"]
   cpu_follower_op_us : int;
+      [@lint.allow "knob-threading" "engine CPU cost-model constant"]
   cpu_read_op_us : int;
+      [@lint.allow "knob-threading" "engine CPU cost-model constant"]
   cpu_pql_commit_extra_us : int;
+      [@lint.allow "knob-threading" "engine CPU cost-model constant"]
   msg_header_bytes : int;
+      [@lint.allow "knob-threading" "wire cost-model constant"]
   reply_bytes : int;
+      [@lint.allow "knob-threading" "wire cost-model constant"]
   heartbeat_interval_us : int;
+      [@lint.allow
+        "knob-threading"
+        "protocol timing-model constant; the nemesis perturbs clocks and \
+         schedules rather than retuning timeouts per run"]
   election_timeout_min_us : int;
+      [@lint.allow "knob-threading" "protocol timing-model constant"]
   election_timeout_max_us : int;
+      [@lint.allow "knob-threading" "protocol timing-model constant"]
   lease_duration_us : int;
+      [@lint.allow
+        "knob-threading"
+        "Raft-LL lease-model constant; only the bench lease ablation \
+         overrides it via default_params"]
   lease_renew_us : int;
+      [@lint.allow "knob-threading" "Raft-LL lease-model constant"]
   batch_size : int;
       (** leader-side command batching: accumulate up to this many client
           commands into one consensus instance / replication batch before

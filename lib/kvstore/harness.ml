@@ -8,7 +8,18 @@ module Types = C.Types
 module Telemetry = Raftpax_telemetry.Telemetry
 module Wire = Raftpax_netcore.Wire
 
-type protocol = Raft | Raft_star | Raft_ll | Raft_pql | Mencius | Multipaxos
+type protocol =
+  | Raft
+  | Raft_star
+  | Raft_ll
+      [@lint.allow
+        "scenario-parity"
+        "leader-lease local reads under the nemesis clock-skew adversary \
+         need lease-aware linearizability accounting first; tracked on the \
+         ROADMAP as the Raft-LL lease scope"]
+  | Raft_pql
+  | Mencius
+  | Multipaxos
 
 let protocol_name = function
   | Raft -> "Raft"

@@ -1,4 +1,9 @@
-let run ~tool ~default_paths ~(rules : Lint.rule list) ~lint_paths () =
+(* Shared flag surface for every lint binary.  A pass supplies its
+   registry record; the driver below owns --baseline/--update-baseline/
+   --rule/--list-rules/--json/-q and the stale-entry gate. *)
+
+let run ~(pass : Registry.pass) () =
+  let tool = pass.Registry.tool in
   let baseline_path = ref "" in
   let update_baseline = ref false in
   let only_rules = ref [] in
@@ -32,11 +37,13 @@ let run ~tool ~default_paths ~(rules : Lint.rule list) ~lint_paths () =
         Printf.printf "%-24s %-7s %s\n" r.id
           (Finding.severity_name r.severity)
           r.summary)
-      rules;
+      pass.Registry.rules;
     exit 0
   end;
-  let paths = match List.rev !paths with [] -> default_paths | ps -> ps in
-  let findings = lint_paths paths in
+  let paths =
+    match List.rev !paths with [] -> pass.Registry.default_paths | ps -> ps
+  in
+  let findings = pass.Registry.lint_paths paths in
   let findings =
     match !only_rules with
     | [] -> findings
@@ -66,9 +73,11 @@ let run ~tool ~default_paths ~(rules : Lint.rule list) ~lint_paths () =
       (fun key -> Printf.printf "%s: stale baseline entry: %s\n" tool key)
       stale;
     Printf.printf "%s: %d file(s), %d finding(s) (%d grandfathered)\n" tool
-      (List.length (Lint.collect_files paths))
+      (List.length (pass.Registry.collect paths))
       (List.length unsuppressed)
       (List.length grandfathered)
   end;
   (* Stale entries gate too: the baseline may only shrink. *)
   exit (if unsuppressed = [] && stale = [] then 0 else 1)
+
+let main tool = run ~pass:(Registry.find tool) ()

@@ -1,18 +1,16 @@
 (** Shared command-line driver for the lint binaries.
 
-    detlint and perflint expose the same interface — paths in, findings
-    out, a baseline gate, [--json] for machine consumption — so the
-    whole argument loop lives here and each binary is a one-call
-    wrapper. *)
+    Every pass exposes the same interface — paths in, findings out, a
+    baseline gate, [--json] for machine consumption — so the whole
+    argument loop lives here and each binary is a one-call wrapper
+    around its {!Registry} record. *)
 
-val run :
-  tool:string ->
-  default_paths:string list ->
-  rules:Lint.rule list ->
-  lint_paths:(string list -> Finding.t list) ->
-  unit ->
-  unit
+val run : pass:Registry.pass -> unit -> unit
 (** Parse [Sys.argv], lint, report, and [exit] — 0 when every finding
-    is baselined or there are none, 1 otherwise.  Flags: [--baseline]
-    FILE, [--update-baseline], [--rule] ID (repeatable), [--list-rules],
-    [--json], [-q]. *)
+    is baselined or there are none, 1 otherwise (stale baseline entries
+    also gate).  Flags: [--baseline] FILE, [--update-baseline], [--rule]
+    ID (repeatable), [--list-rules], [--json], [-q]. *)
+
+val main : string -> unit
+(** [main tool] looks the pass up in {!Registry.passes} and runs it:
+    the whole body of a lint executable. *)

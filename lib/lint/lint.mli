@@ -28,8 +28,27 @@ val normalize_path : string -> string
 
 val has_segment : seg:string -> string -> bool
 (** Does the normalized path contain [seg] as a whole '/'-separated
-    segment?  Shared by the path-scoping predicates of both lint
+    segment?  Shared by the path-scoping predicates of all the lint
     passes. *)
+
+val in_lib : string -> bool
+val in_consensus : string -> bool
+
+val everywhere : string -> bool
+(** [applies] predicate for rules with no path scoping. *)
+
+val contains_sub : string -> string -> bool
+(** [contains_sub hay needle]: substring containment. *)
+
+val ends_with : suffix:string -> string -> bool
+
+val last : string list -> string
+(** Last element, or [""] on an empty list. *)
+
+val allows_of_attrs : Parsetree.attributes -> string list
+(** Rule ids granted by [[@lint.allow ...]] attributes (any payload
+    strings; extra strings such as human reasons pass through
+    harmlessly). *)
 
 val lint_string : filename:string -> string -> Finding.t list
 (** Lint source text.  [filename] determines rule scoping (rules look

@@ -1,0 +1,44 @@
+(** parlint — cross-protocol parity & porting-discipline static
+    analysis.
+
+    The third pass on the compiler-libs AST driver.  Unlike {!Lint}
+    (detlint) and {!Perflint}, which judge one file at a time, parlint
+    parses the whole scanned corpus into a fact base and
+    cross-references ASTs across files: the property it guards is the
+    paper's porting discipline — the three runtimes are structurally
+    parallel, so a message constructor, config knob, telemetry probe or
+    mcheck scope present for one protocol and absent for the others is
+    drift.  See DESIGN.md "Porting discipline" for the rationale.
+
+    Rules: [wire-coverage], [knob-threading], [handler-parity],
+    [probe-parity], [scenario-parity].  File roles are detected by path
+    segments and basenames, so the same rules run over the real tree
+    and over miniature fixture corpora; every rule self-gates on its
+    anchor files being present in the scanned corpus.
+
+    Suppression mirrors detlint ([[@lint.allow "rule-id" "reason"]]),
+    and additionally attaches to constructor and record-label
+    declarations — the natural anchors for parity findings.  The second
+    payload string is the human justification. *)
+
+val rules : Lint.rule list
+(** All rules, in the order they are documented. *)
+
+val rule_by_id : string -> Lint.rule option
+
+val lint_sources : (string * string) list -> Finding.t list
+(** Cross-reference a corpus given as [(filename, source)] pairs.
+    Files that fail to parse yield a [parse-error] finding each and are
+    excluded from the fact base. *)
+
+val lint_string : filename:string -> string -> Finding.t list
+(** Single-file corpus; cross-file rules mostly self-gate away. *)
+
+val collect_files : string list -> string list
+(** Like {!Lint.collect_files}, but also skips [lint_fixtures]
+    directories: the broken fixture corpora deliberately violate every
+    rule and must not pollute the real tree's fact base.  Explicitly
+    given roots are never filtered. *)
+
+val lint_paths : string list -> Finding.t list
+(** [collect_files], then one {!lint_sources} run over the lot. *)

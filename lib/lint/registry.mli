@@ -1,0 +1,16 @@
+(** The pass registry: one record per static-analysis pass (detlint,
+    perflint, parlint), so binaries and [repro lint] iterate data
+    instead of duplicating flag plumbing. *)
+
+type pass = {
+  tool : string;  (** binary name; also the default baseline stem *)
+  default_paths : string list;
+  rules : Lint.rule list;
+  lint_paths : string list -> Finding.t list;
+  collect : string list -> string list;  (** the pass's file collector *)
+}
+
+val passes : pass list
+
+val find : string -> pass
+(** Look a pass up by [tool] name.  @raise Not_found on an unknown name. *)

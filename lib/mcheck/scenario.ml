@@ -173,7 +173,13 @@ let batchify sc =
     sc_ops =
       (if sc.Model.sc_crash_budget = 0 then [ put 11 1; put 12 2 ]
        else [ put 11 1 ]);
-    sc_targets = (if sc.Model.sc_crash_budget = 0 then [ 0; 1 ] else [ 0 ]);
+    sc_targets =
+      (* Symmetry scopes route every op through the bootstrap leader:
+         a target of 1 would distinguish the followers and break the
+         orbit argument that makes the reduction sound. *)
+      (if sc.Model.sc_crash_budget > 0 then [ 0 ]
+       else if sc.Model.sc_symmetry <> [] then [ 0; 0 ]
+       else [ 0; 1 ]);
     sc_timer_budget =
       (sc.Model.sc_timer_budget + if sc.Model.sc_crash_budget = 0 then 2 else 1);
     sc_raft_config =
@@ -222,6 +228,7 @@ let batchify sc =
   }
 
 let steady_batched protocol = batchify (steady protocol)
+let steady_sym_batched protocol = batchify (steady_sym protocol)
 let crash_batched protocol = batchify (crash protocol)
 
 (* ---- mutation smoke scenarios ---- *)
@@ -390,6 +397,7 @@ let names =
   List.map (fun p -> (steady p).Model.sc_name) clean_protocols
   @ List.map (fun p -> (steady_sym p).Model.sc_name) sym_protocols
   @ List.map (fun p -> (steady_batched p).Model.sc_name) clean_protocols
+  @ List.map (fun p -> (steady_sym_batched p).Model.sc_name) sym_protocols
   @ List.map (fun p -> (crash p).Model.sc_name) clean_protocols
   @ List.map (fun p -> (crash_batched p).Model.sc_name) clean_protocols
   @ [

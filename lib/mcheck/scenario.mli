@@ -34,6 +34,12 @@ val batchify : Model.scenario -> Model.scenario
     scope's verdicts — batching is non-mutating (paper Section 4). *)
 
 val steady_batched : Raftpax_nemesis.Cluster.protocol -> Model.scenario
+
+val steady_sym_batched : Raftpax_nemesis.Cluster.protocol -> Model.scenario
+(** {!steady_sym} with batching armed; [batchify] keeps the batched ops
+    routed through the bootstrap leader so the follower-swap quotient
+    stays sound. *)
+
 val crash_batched : Raftpax_nemesis.Cluster.protocol -> Model.scenario
 
 val sym_protocols : Raftpax_nemesis.Cluster.protocol list

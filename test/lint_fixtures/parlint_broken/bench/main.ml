@@ -1,0 +1,1 @@
+let () = print_string "batch_size"

@@ -1,0 +1,6 @@
+(* parlint_broken miniature: new_knob is declared but never threaded. *)
+type params = {
+  batch_size : int;
+  new_knob : int;
+  cpu_model_us : int; [@lint.allow "knob-threading" "engine model constant"]
+}

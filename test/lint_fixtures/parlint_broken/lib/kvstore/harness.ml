@@ -1,0 +1,4 @@
+(* Raft_ll has no counterpart in cluster.ml and no allow —
+   scenario-parity must fire. *)
+type protocol = Raft | Multipaxos | Raft_ll
+type config = { batch_size : int }

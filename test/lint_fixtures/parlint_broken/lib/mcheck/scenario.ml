@@ -1,0 +1,6 @@
+(* crash has no batched variant and no allow — scenario-parity must
+   fire on the crash binding. *)
+let steady p = "steady-" ^ p
+let steady_batched p = steady p ^ "-batched"
+let crash p = "crash-" ^ p
+let names = [ steady "raft"; steady_batched "raft"; crash "raft" ]

@@ -1,0 +1,2 @@
+let () =
+  List.iter (fun p -> ignore (Cluster.protocol_name p)) Cluster.all_protocols

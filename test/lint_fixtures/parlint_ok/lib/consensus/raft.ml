@@ -1,0 +1,18 @@
+type msg =
+  | Append of { term : int }
+  | Ack of { from : int }
+  | Internal [@lint.allow "wire-coverage" "never crosses the wire"]
+
+let handle m = match m with Append _ -> 1 | Ack _ -> 2 | Internal -> 3
+
+let make_probes c =
+  ignore (c "elections");
+  ignore (c "leader_wins");
+  ignore (c "term_changes");
+  ignore (c "heartbeats");
+  ignore (c "appends_sent");
+  ignore (c "acks_sent");
+  ignore (c "commits");
+  ignore (c "retransmits");
+  ignore (c "forwards");
+  ignore (c "batch_flush_cmds")

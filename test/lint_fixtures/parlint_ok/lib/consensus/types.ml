@@ -1,0 +1,5 @@
+(* parlint_ok miniature: one threaded knob, one suppressed constant. *)
+type params = {
+  batch_size : int;
+  cpu_model_us : int; [@lint.allow "knob-threading" "engine model constant"]
+}

@@ -1,0 +1,7 @@
+type protocol =
+  | Raft
+  | Multipaxos
+  | Raft_ll
+      [@lint.allow "scenario-parity" "no chaos coverage for leases yet"]
+
+type config = { batch_size : int }

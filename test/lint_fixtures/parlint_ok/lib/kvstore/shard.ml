@@ -1,0 +1,3 @@
+type config = { batch_size : int }
+
+let to_json cfg = [ ("batch_size", cfg.batch_size) ]

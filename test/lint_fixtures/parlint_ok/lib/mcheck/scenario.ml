@@ -1,0 +1,7 @@
+let steady p = "steady-" ^ p
+let steady_batched p = steady p ^ "-batched"
+
+let crash p = "crash-" ^ p
+[@@lint.allow "scenario-parity" "crash scopes not batched in this miniature"]
+
+let names = [ steady "raft"; steady_batched "raft"; crash "raft" ]

@@ -1,0 +1,4 @@
+type protocol = Raft | Multipaxos
+
+let all_protocols = [ Raft; Multipaxos ]
+let protocol_name = function Raft -> "raft" | Multipaxos -> "multipaxos"

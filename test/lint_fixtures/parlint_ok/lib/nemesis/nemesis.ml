@@ -1,0 +1,1 @@
+type config = { batch_size : int }

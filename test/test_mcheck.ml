@@ -117,6 +117,28 @@ let symmetry_case proto () =
     (on.r_goal_reached = off.r_goal_reached
     && on.r_complete = off.r_complete)
 
+(* The batched symmetry scope: [batchify] must preserve follower
+   interchangeability (it re-routes the batched ops through the
+   bootstrap leader), so the quotient still shrinks the batched space
+   strictly and changes no verdict. *)
+let symmetry_batched_case proto () =
+  let scope = MC.Scenario.steady_sym_batched proto in
+  let on = MC.Checker.check ~max_states:2_000_000 scope in
+  let off =
+    MC.Checker.check ~max_states:2_000_000
+      { scope with MC.Model.sc_symmetry = [] }
+  in
+  assert_clean on;
+  assert_clean off;
+  Alcotest.(check bool)
+    (Printf.sprintf "visited shrank (%d sym vs %d plain)" on.r_states
+       off.r_states)
+    true
+    (on.r_states < off.r_states);
+  Alcotest.(check bool) "verdicts agree" true
+    (on.r_goal_reached = off.r_goal_reached
+    && on.r_complete = off.r_complete)
+
 (* Batching is non-mutating (paper Section 4): arming leader-side
    batching on a clean scope must leave the verdicts untouched —
    exhaustive search, goal reached, nothing flagged — with the flush
@@ -203,6 +225,11 @@ let () =
             (symmetry_case Cluster.Raft_star);
           Alcotest.test_case "raft-pql follower-swap quotient" `Slow
             (symmetry_case Cluster.Raft_pql);
+          Alcotest.test_case "multipaxos batched follower-swap quotient"
+            `Quick
+            (symmetry_batched_case Cluster.Multipaxos);
+          Alcotest.test_case "raft batched follower-swap quotient" `Slow
+            (symmetry_batched_case Cluster.Raft);
         ] );
       ( "mutants",
         [

@@ -359,6 +359,156 @@ let test_golden_batched () =
     (Wire.decode_frame (Wire.encode_frame golden_batched_frame)
     = Ok golden_batched_frame)
 
+(* ---- the golden family ----
+
+   The two pins above cover one nested Append and one AcceptMulti;
+   parlint's wire-coverage rule demands the rest of the family too:
+   every msg constructor of every protocol pinned to bytes, each with a
+   small representative value.  Any hex changing here is a wire-format
+   break — bump [Wire.version] and regenerate the table by running this
+   binary with GOLDEN_REGEN=1, which prints the rows and exits. *)
+
+let sample_cmd =
+  {
+    Types.id = 7;
+    op = Types.Put { key = 5; size = 8; write_id = 3 };
+    origin = 1;
+    submitted_us = 900;
+  }
+
+let sample_get =
+  { Types.id = 8; op = Types.Get { key = 5 }; origin = 2; submitted_us = 901 }
+
+let sample_entry = { Types.term = 2; cmd = Some sample_cmd }
+let sample_reply = { Types.value = Some 4 }
+
+let golden_family : (string * Wire.protocol_msg * string) list =
+  [
+    ( "raft-request-vote",
+      Wire.Raft_msg
+        (Raft.RequestVote { term = 3; cand = 1; last_idx = 7; last_term = 2 }),
+      "01010204000006020e04" );
+    ( "raft-vote",
+      Wire.Raft_msg
+        (Raft.Vote
+           {
+             term = 3;
+             from = 1;
+             granted = true;
+             extras = [ (5, sample_entry, 2) ];
+           }),
+      "010102040001060201010a04010e010a100602880e04" );
+    ( "raft-ack",
+      Wire.Raft_msg
+        (Raft.Ack
+           {
+             term = 3;
+             from = 2;
+             success = true;
+             match_idx = 7;
+             holders = [ (1, 900) ];
+           }),
+      "0101020400030604010e0102880e" );
+    ("raft-forward", Wire.Raft_msg (Raft.Forward sample_cmd), "0101020400040e010a100602880e");
+    ( "raft-complete",
+      Wire.Raft_msg (Raft.Complete { cmd_id = 7; reply = sample_reply }),
+      "0101020400050e0108" );
+    ( "raft-grant",
+      Wire.Raft_msg (Raft.Grant { from = 0; deadline = 5_000; grantor_last = 7 }),
+      "01010204000600904e0e" );
+    ( "raft-grant-confirm",
+      Wire.Raft_msg (Raft.GrantConfirm { from = 1; deadline = 5_000 }),
+      "01010204000702904e" );
+    ( "mencius-mappend",
+      Wire.Mencius_msg (Mencius.MAppend { from = 1; inst = 4; cmd = sample_cmd }),
+      "01010204010002080e010a100602880e" );
+    ("mencius-mack", Wire.Mencius_msg (Mencius.MAck { from = 2; inst = 4 }), "0101020401010408");
+    ( "mencius-mskip",
+      Wire.Mencius_msg (Mencius.MSkip { from = 1; first = 4; upto = 7 }),
+      "01010204010202080e" );
+    ("mencius-mcommit", Wire.Mencius_msg (Mencius.MCommit { inst = 4 }), "01010204010308");
+    ( "mencius-mrevoke",
+      Wire.Mencius_msg (Mencius.MRevoke { from = 0; inst = 5 }),
+      "010102040104000a" );
+    ( "mencius-mrevstatus",
+      Wire.Mencius_msg
+        (Mencius.MRevStatus { from = 2; inst = 5; value = Some sample_cmd }),
+      "010102040105040a010e010a100602880e" );
+    ( "mencius-mskipforce",
+      Wire.Mencius_msg (Mencius.MSkipForce { inst = 5 }),
+      "0101020401060a" );
+    ("mencius-mcatchup", Wire.Mencius_msg (Mencius.MCatchup { from = 2 }), "01010204010704");
+    ( "mencius-mstate",
+      Wire.Mencius_msg
+        (Mencius.MState
+           {
+             slots =
+               [ (4, true, Some sample_cmd, false); (5, false, None, true) ];
+           }),
+      "010102040108020801010e010a100602880e000a000001" );
+    ( "mencius-mappend-multi",
+      Wire.Mencius_msg
+        (Mencius.MAppendMulti
+           { from = 1; items = [ (4, sample_cmd); (5, sample_get) ] }),
+      "01010204010a0202080e010a100602880e0a10000a048a0e" );
+    ( "mencius-mack-multi",
+      Wire.Mencius_msg (Mencius.MAckMulti { from = 2; insts = [ 4; 5 ] }),
+      "01010204010b0402080a" );
+    ( "mencius-mcommit-multi",
+      Wire.Mencius_msg (Mencius.MCommitMulti { insts = [ 4; 5 ] }),
+      "01010204010c02080a" );
+    ( "mencius-complete",
+      Wire.Mencius_msg (Mencius.Complete { cmd_id = 7; reply = sample_reply }),
+      "0101020401090e0108" );
+    ( "multipaxos-prepare",
+      Wire.Multipaxos_msg (Multipaxos.Prepare { bal = 3; from = 1 }),
+      "0101020402000602" );
+    ( "multipaxos-prepare-ok",
+      Wire.Multipaxos_msg
+        (Multipaxos.PrepareOk
+           { bal = 3; from = 1; accepted = [ (4, 2, Some sample_cmd) ] }),
+      "0101020402010602010804010e010a100602880e" );
+    ( "multipaxos-accept",
+      Wire.Multipaxos_msg
+        (Multipaxos.Accept { bal = 3; from = 1; inst = 4; cmd = Some sample_cmd }),
+      "010102040202060208010e010a100602880e" );
+    ( "multipaxos-accept-ok",
+      Wire.Multipaxos_msg (Multipaxos.AcceptOk { bal = 3; from = 2; inst = 4 }),
+      "010102040203060408" );
+    ( "multipaxos-learn",
+      Wire.Multipaxos_msg (Multipaxos.Learn { inst = 4; cmd = Some sample_cmd }),
+      "01010204020408010e010a100602880e" );
+    ( "multipaxos-forward",
+      Wire.Multipaxos_msg (Multipaxos.Forward sample_get),
+      "01010204020510000a048a0e" );
+    ( "multipaxos-complete",
+      Wire.Multipaxos_msg
+        (Multipaxos.Complete { cmd_id = 8; reply = sample_reply }),
+      "010102040206100108" );
+    ( "multipaxos-accept-ok-multi",
+      Wire.Multipaxos_msg
+        (Multipaxos.AcceptOkMulti { bal = 3; from = 2; insts = [ 4; 5 ] }),
+      "010102040208060402080a" );
+    ( "multipaxos-learn-multi",
+      Wire.Multipaxos_msg
+        (Multipaxos.LearnMulti { items = [ (4, Some sample_cmd); (5, None) ] }),
+      "0101020402090208010e010a100602880e0a00" );
+  ]
+
+let frame_of_family msg = Wire.Peer_msg { src = 1; dst = 2; msg }
+
+let test_golden_family () =
+  List.iter
+    (fun (name, msg, hex) ->
+      let frame = frame_of_family msg in
+      Alcotest.(check string)
+        (name ^ " bytes") hex
+        (hex_of (Wire.encode_frame frame));
+      Alcotest.(check bool)
+        (name ^ " decodes") true
+        (Wire.decode_frame (Wire.encode_frame frame) = Ok frame))
+    golden_family
+
 (* The single-allocation send path must be byte-equivalent to the
    allocating one: encoding into a reused writer then framing it with
    [Framing.encode_writer] yields the same stream as [Framing.encode
@@ -438,6 +588,19 @@ let test_snapshot_canonical () =
   Alcotest.(check string)
     "digest stable" (Snapshot.digest a) (Snapshot.digest b)
 
+(* GOLDEN_REGEN=1 prints the golden_family rows (name and current hex)
+   and exits, for conscious regeneration after a format break. *)
+let () =
+  match Sys.getenv_opt "GOLDEN_REGEN" with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun (name, msg, _) ->
+          Printf.printf "%s %s\n" name
+            (hex_of (Wire.encode_frame (frame_of_family msg))))
+        golden_family;
+      exit 0
+
 let () =
   Alcotest.run "netcore"
     [
@@ -458,6 +621,8 @@ let () =
           Alcotest.test_case "golden byte vector" `Quick test_golden;
           Alcotest.test_case "batched golden byte vector" `Quick
             test_golden_batched;
+          Alcotest.test_case "golden family (every constructor)" `Quick
+            test_golden_family;
           QCheck_alcotest.to_alcotest writer_equivalence;
         ] );
       ( "framing",
